@@ -1,0 +1,122 @@
+// Command iprism-render draws street scenes as SVG in the style of the
+// paper's Fig. 7: either one of the four case studies (-case) or a step of
+// a generated NHTSA scenario (-typology/-id/-step), with the ego's
+// reach-tube shaded and actors coloured by STI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/actor"
+	"repro/internal/agent"
+	"repro/internal/dataset"
+	"repro/internal/reach"
+	"repro/internal/render"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/sti"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iprism-render:", err)
+		os.Exit(1)
+	}
+}
+
+var typologyNames = map[string]scenario.Typology{
+	"ghost-cut-in":  scenario.GhostCutIn,
+	"lead-cut-in":   scenario.LeadCutIn,
+	"lead-slowdown": scenario.LeadSlowdown,
+	"rear-end":      scenario.RearEnd,
+	"roundabout":    scenario.RoundaboutCutIn,
+}
+
+func run() error {
+	var (
+		caseName = flag.String("case", "", "render a Fig. 7 case study: pedestrian|oversized|cluttered|pullout")
+		typology = flag.String("typology", "ghost-cut-in", "scenario typology to render")
+		id       = flag.Int("id", 0, "scenario instance index")
+		step     = flag.Int("step", 50, "simulation step to render (0.1 s each)")
+		seed     = flag.Int64("seed", 2024, "scenario seed")
+		out      = flag.String("o", "scene.svg", "output SVG path")
+	)
+	flag.Parse()
+
+	cfg := reach.DefaultConfig()
+	cfg.RecordPoints = true
+	eval, err := sti.NewEvaluator(reach.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	var scene render.Scene
+	if *caseName != "" {
+		cs, err := findCase(*caseName)
+		if err != nil {
+			return err
+		}
+		scene = render.Scene{
+			Map: cs.Map, Ego: cs.Ego, Actors: cs.Actors,
+			Risk:  cs.Evaluate(eval),
+			Title: cs.Name,
+		}
+	} else {
+		ty, ok := typologyNames[*typology]
+		if !ok {
+			return fmt.Errorf("unknown typology %q", *typology)
+		}
+		scns := scenario.GenerateValid(ty, *id+1, *seed)
+		if *id >= len(scns) {
+			return fmt.Errorf("instance %d unavailable (only %d valid)", *id, len(scns))
+		}
+		scn := scns[*id]
+		w, err := scn.Build()
+		if err != nil {
+			return err
+		}
+		driver := agent.NewLBC(agent.DefaultLBCConfig())
+		driver.Reset()
+		for i := 0; i < *step; i++ {
+			obs := w.Observe()
+			if ev := w.Advance(driver.Act(obs)); ev.EgoCollision {
+				fmt.Fprintf(os.Stderr, "note: collision at step %d; rendering that frame\n", i)
+				break
+			}
+		}
+		obs := w.Observe()
+		scene = render.Scene{
+			Map: w.Map, Ego: obs.Ego, Actors: obs.Actors,
+			Risk:  eval.EvaluateWithPrediction(w.Map, obs.Ego, obs.Actors),
+			Title: fmt.Sprintf("%s #%d @ t=%.1fs", ty, scn.ID, obs.Time),
+		}
+	}
+
+	// Reach-tube for the rendered frame.
+	trajs := actor.PredictAll(scene.Actors, cfg.NumSlices(), cfg.SliceDt)
+	obs := reach.BuildObstacles(scene.Actors, trajs, cfg)
+	tube := reach.Compute(scene.Map, obs.Collide(), scene.Ego, cfg)
+	scene.Tube = &tube
+
+	svg := render.SVG(scene, render.Options{Window: 70})
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(svg))
+	return nil
+}
+
+func findCase(name string) (dataset.CaseStudy, error) {
+	for _, cs := range dataset.CaseStudies() {
+		if strings.Contains(strings.ReplaceAll(cs.Name, " ", ""), strings.ToLower(name)) ||
+			strings.Contains(cs.Name, strings.ToLower(name)) {
+			return cs, nil
+		}
+	}
+	return dataset.CaseStudy{}, fmt.Errorf("unknown case %q (want pedestrian|oversized|cluttered|pulling)", name)
+}
+
+var _ sim.Driver = (*agent.LBC)(nil)

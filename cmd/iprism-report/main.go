@@ -1,0 +1,52 @@
+// Command iprism-report reproduces the paper's entire evaluation in one
+// run — Tables I–IV, Figs. 5–7, and the roundabout study — and writes a
+// markdown report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iprism-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 60, "scenario instances per typology (paper: 1000)")
+		episodes = flag.Int("episodes", 60, "SMC training episodes per typology (paper: 100)")
+		seed     = flag.Int64("seed", 2024, "generation and training seed")
+		out      = flag.String("o", "report.md", "output path ('-' for stdout)")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.ScenariosPerTypology = *n
+	opt.Seed = *seed
+	opt.TrainEpisodes = *episodes
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.Report(w, opt, time.Now); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command iprism-risktrace dumps the Fig. 4 risk-characterisation series
+// (mean±SD of STI/PKL/TTC over time, split safe vs accident) and, with
+// -mitigated, the Fig. 5 STI comparison (LBC vs LBC+iPrism on ghost
+// cut-in) as CSV on stdout.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iprism-risktrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 40, "scenario instances per typology")
+		seed      = flag.Int64("seed", 2024, "suite generation seed")
+		mitigated = flag.Bool("mitigated", false, "emit Fig. 5 (train an SMC and compare STI traces)")
+		episodes  = flag.Int("episodes", 60, "SMC training episodes for -mitigated")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.ScenariosPerTypology = *n
+	opt.Seed = *seed
+	opt.TrainEpisodes = *episodes
+
+	suites, err := experiments.BuildSuites(opt)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *mitigated {
+		ctrl, err := experiments.TrainGhostCutInSMC(suites, opt)
+		if err != nil {
+			return err
+		}
+		f5, err := experiments.Fig5(suites, ctrl, opt, 0)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"t", "sti_lbc_mean", "sti_lbc_sd", "sti_iprism_mean", "sti_iprism_sd"}); err != nil {
+			return err
+		}
+		n := f5.LBC.Len()
+		if f5.IPrism.Len() > n {
+			n = f5.IPrism.Len()
+		}
+		for i := 0; i < n; i++ {
+			row := []string{f(float64(i) * f5.Dt)}
+			row = append(row, seriesAt(f5.LBC.Mean, i), seriesAt(f5.LBC.SD, i))
+			row = append(row, seriesAt(f5.IPrism.Mean, i), seriesAt(f5.IPrism.SD, i))
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	series, err := experiments.Fig4(suites, opt)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"typology", "metric", "population", "t", "mean", "sd", "n"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for name, pop := range map[string]struct {
+			mean, sd []float64
+			n        []int
+		}{
+			"safe":     {s.Safe.Mean, s.Safe.SD, s.Safe.N},
+			"accident": {s.Accident.Mean, s.Accident.SD, s.Accident.N},
+		} {
+			for i := range pop.mean {
+				if err := w.Write([]string{
+					s.Typology.String(), s.Metric, name,
+					f(float64(i) * s.Dt), f(pop.mean[i]), f(pop.sd[i]),
+					strconv.Itoa(pop.n[i]),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+func seriesAt(xs []float64, i int) string {
+	if i >= len(xs) {
+		return ""
+	}
+	return f(xs[i])
+}

@@ -1,0 +1,71 @@
+// Ghost cut-in mitigation: the paper's headline scenario end to end.
+// A baseline LBC-like ADS is driven through ghost cut-in scenarios and
+// crashes; an SMC is trained with the Eq. 8 STI reward on one crash
+// scenario and re-evaluated on all of them.
+//
+// Run with:
+//
+//	go run ./examples/ghostcutin [-episodes 40] [-n 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/iprism"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20, "ghost cut-in scenario instances")
+		episodes = flag.Int("episodes", 40, "SMC training episodes")
+		seed     = flag.Int64("seed", 7, "scenario seed")
+	)
+	flag.Parse()
+
+	scns := iprism.GenerateScenarios(iprism.GhostCutIn, *n, *seed)
+	makeDriver := func() iprism.Driver { return agent.NewLBC(agent.DefaultLBCConfig()) }
+
+	// 1. Baseline: how often does the ADS crash?
+	var crashes []iprism.Scenario
+	for _, s := range scns {
+		w, err := s.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out := iprism.RunEpisode(w, makeDriver(), nil); out.Collision {
+			crashes = append(crashes, s)
+		}
+	}
+	fmt.Printf("baseline LBC: %d/%d ghost cut-in scenarios end in collision\n", len(crashes), len(scns))
+	if len(crashes) == 0 {
+		fmt.Println("no crashes to mitigate; increase -n")
+		return
+	}
+
+	// 2. Train the SMC on the first crash scenario.
+	fmt.Printf("training SMC for %d episodes on scenario #%d...\n", *episodes, crashes[0].ID)
+	ctrl, stats, err := iprism.TrainSMC(crashes[:1], makeDriver, iprism.DefaultSMCConfig(), *episodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training done: %d episodes, %d training collisions, final epsilon %.2f\n",
+		stats.Episodes, stats.Collisions, stats.FinalEpsilon)
+
+	// 3. Re-evaluate with the mitigation controller in the loop.
+	saved := 0
+	for _, s := range crashes {
+		w, err := s.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out := iprism.RunEpisode(w, makeDriver(), ctrl.CloneForRun()); !out.Collision {
+			saved++
+		}
+	}
+	fmt.Printf("LBC+iPrism: %d/%d previously fatal scenarios now collision-free (%.0f%%)\n",
+		saved, len(crashes), 100*float64(saved)/float64(len(crashes)))
+	fmt.Println("(paper: iPrism prevents 49% of ghost cut-in accidents at full scale)")
+}

@@ -1,0 +1,67 @@
+// Risk monitor: watch STI, TTC and Dist. CIPA evolve side by side while an
+// ADS drives through a lead-slowdown scenario — the online risk-assessment
+// use case of §V-A/V-B, built on the public iprism.RiskMonitor API.
+//
+// Run with:
+//
+//	go run ./examples/riskmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/agent"
+	"repro/iprism"
+)
+
+func main() {
+	scn := iprism.GenerateScenarios(iprism.LeadSlowdown, 40, 11)[3]
+	w, err := scn.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	monitor, err := iprism.NewRiskMonitor(iprism.DefaultReachConfig(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver := monitor.Wrap(agent.NewLBC(agent.DefaultLBCConfig()))
+
+	fmt.Printf("lead slowdown scenario #%d: lead at %.0f m doing %.1f m/s, stops at gap %.0f m\n\n",
+		scn.ID, scn.Hyper["npc_vehicle_location"], scn.Hyper["npc_vehicle_speed"],
+		scn.Hyper["event_trigger_distance"])
+
+	out := iprism.RunEpisode(w, driver, nil)
+
+	fmt.Printf("%6s %8s %8s %8s %10s\n", "t(s)", "STI", "TTC", "CIPA", "key actor")
+	for _, s := range monitor.Samples() {
+		fmt.Printf("%6.1f %8.2f %8s %8s %10d\n",
+			s.Time, s.STI, fmtFinite(s.TTC), fmtFinite(s.DistCIPA), s.MostThreatening)
+		if s.Time > 8 {
+			fmt.Println("   ... (truncated)")
+			break
+		}
+	}
+
+	switch {
+	case out.Collision:
+		fmt.Printf("\ncollision at step %d (impact %.1f m/s)\n", out.CollisionStep, out.ImpactSpeed)
+	case out.Completed:
+		fmt.Println("\ngoal reached without collision")
+	default:
+		fmt.Println("\nepisode ended (timeout)")
+	}
+	fmt.Printf("peak combined STI: %.2f\n", monitor.PeakSTI())
+	for _, iv := range monitor.RiskyIntervals(0.3) {
+		fmt.Printf("risky interval: %.1fs – %.1fs\n", iv[0], iv[1])
+	}
+}
+
+func fmtFinite(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,107 @@
+// Package actor models road users other than (and including) the ego
+// vehicle: their kinematic state, physical footprint, time-indexed
+// trajectories X_{t:t+k}, and the constant-velocity-and-turn-rate (CVTR)
+// trajectory predictor the paper uses for X̂ during SMC training/inference.
+package actor
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+// Kind distinguishes actor categories; the Argoverse-analogue dataset uses
+// pedestrians, the NHTSA scenarios only vehicles.
+type Kind int
+
+// Actor kinds.
+const (
+	KindVehicle Kind = iota + 1
+	KindPedestrian
+	KindStatic // parked vehicles, debris
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindVehicle:
+		return "vehicle"
+	case KindPedestrian:
+		return "pedestrian"
+	case KindStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Actor is a road user with a footprint.
+type Actor struct {
+	ID      int
+	Kind    Kind
+	State   vehicle.State
+	Length  float64
+	Width   float64
+	YawRate float64 // current turn rate, used by the CVTR predictor
+}
+
+// NewVehicle returns a standard-sized vehicle actor.
+func NewVehicle(id int, state vehicle.State) *Actor {
+	return &Actor{ID: id, Kind: KindVehicle, State: state, Length: 4.7, Width: 2.0}
+}
+
+// NewPedestrian returns a pedestrian actor.
+func NewPedestrian(id int, state vehicle.State) *Actor {
+	return &Actor{ID: id, Kind: KindPedestrian, State: state, Length: 0.6, Width: 0.6}
+}
+
+// Footprint returns the actor's oriented bounding box.
+func (a *Actor) Footprint() geom.Box {
+	return geom.NewBox(a.State.Pos, a.Length, a.Width, a.State.Heading)
+}
+
+// FootprintAt returns the box the actor would occupy at the given state.
+func (a *Actor) FootprintAt(s vehicle.State) geom.Box {
+	return geom.NewBox(s.Pos, a.Length, a.Width, s.Heading)
+}
+
+// Clone returns a deep copy of the actor.
+func (a *Actor) Clone() *Actor {
+	c := *a
+	return &c
+}
+
+// Trajectory is a time-ordered sequence of states sampled at a fixed
+// interval, representing X^{(i)}_{t:t+k}. Index 0 is the state at the
+// trajectory's reference time t.
+type Trajectory struct {
+	Dt     float64
+	States []vehicle.State
+}
+
+// StateAt returns the state at slice index i, clamping to the last state for
+// indexes past the end (actors are assumed to hold their final state).
+func (tr Trajectory) StateAt(i int) vehicle.State {
+	if len(tr.States) == 0 {
+		return vehicle.State{}
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(tr.States) {
+		i = len(tr.States) - 1
+	}
+	return tr.States[i]
+}
+
+// Len returns the number of sampled states.
+func (tr Trajectory) Len() int { return len(tr.States) }
+
+// Duration returns the covered time span.
+func (tr Trajectory) Duration() float64 {
+	if len(tr.States) < 2 {
+		return 0
+	}
+	return float64(len(tr.States)-1) * tr.Dt
+}

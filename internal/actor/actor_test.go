@@ -1,0 +1,194 @@
+package actor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{KindVehicle, "vehicle"},
+		{KindPedestrian, "pedestrian"},
+		{KindStatic, "static"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestNewVehicleDefaults(t *testing.T) {
+	a := NewVehicle(3, vehicle.State{Pos: geom.V(1, 2), Speed: 5})
+	if a.ID != 3 || a.Kind != KindVehicle {
+		t.Errorf("vehicle actor = %+v", a)
+	}
+	if a.Length != 4.7 || a.Width != 2.0 {
+		t.Errorf("vehicle size = %v x %v", a.Length, a.Width)
+	}
+}
+
+func TestNewPedestrianDefaults(t *testing.T) {
+	a := NewPedestrian(1, vehicle.State{})
+	if a.Kind != KindPedestrian || a.Length != 0.6 || a.Width != 0.6 {
+		t.Errorf("pedestrian = %+v", a)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	a := NewVehicle(1, vehicle.State{Pos: geom.V(10, 3), Heading: 0.5})
+	fp := a.Footprint()
+	if fp.Center != geom.V(10, 3) || fp.Heading != 0.5 {
+		t.Errorf("footprint = %+v", fp)
+	}
+	if fp.HalfLen != 4.7/2 || fp.HalfWid != 1.0 {
+		t.Errorf("footprint extents = %+v", fp)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewVehicle(1, vehicle.State{Speed: 5})
+	c := a.Clone()
+	c.State.Speed = 10
+	c.ID = 2
+	if a.State.Speed != 5 || a.ID != 1 {
+		t.Error("Clone should not alias the original")
+	}
+}
+
+func TestTrajectoryStateAt(t *testing.T) {
+	tr := Trajectory{Dt: 0.1, States: []vehicle.State{
+		{Speed: 1}, {Speed: 2}, {Speed: 3},
+	}}
+	if got := tr.StateAt(0).Speed; got != 1 {
+		t.Errorf("StateAt(0) = %v", got)
+	}
+	if got := tr.StateAt(2).Speed; got != 3 {
+		t.Errorf("StateAt(2) = %v", got)
+	}
+	if got := tr.StateAt(99).Speed; got != 3 {
+		t.Errorf("StateAt past end should clamp, got %v", got)
+	}
+	if got := tr.StateAt(-1).Speed; got != 1 {
+		t.Errorf("StateAt(-1) should clamp to first, got %v", got)
+	}
+	if got := (Trajectory{}).StateAt(0); got != (vehicle.State{}) {
+		t.Errorf("empty trajectory StateAt = %v", got)
+	}
+}
+
+func TestTrajectoryDuration(t *testing.T) {
+	tr := Trajectory{Dt: 0.5, States: make([]vehicle.State, 7)}
+	if got := tr.Duration(); got != 3.0 {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := (Trajectory{Dt: 0.5}).Duration(); got != 0 {
+		t.Errorf("empty Duration = %v", got)
+	}
+}
+
+func TestPredictCVTRStraight(t *testing.T) {
+	a := NewVehicle(1, vehicle.State{Pos: geom.V(0, 0), Heading: 0, Speed: 10})
+	tr := PredictCVTR(a, 5, 0.5)
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	last := tr.StateAt(5)
+	if math.Abs(last.Pos.X-25) > 1e-9 || math.Abs(last.Pos.Y) > 1e-9 {
+		t.Errorf("straight CVTR end = %v, want (25, 0)", last.Pos)
+	}
+	if last.Speed != 10 {
+		t.Errorf("CVTR must hold speed, got %v", last.Speed)
+	}
+}
+
+func TestPredictCVTRTurning(t *testing.T) {
+	a := NewVehicle(1, vehicle.State{Speed: 5})
+	a.YawRate = 0.2
+	tr := PredictCVTR(a, 10, 0.1)
+	end := tr.StateAt(10)
+	if end.Heading <= 0 {
+		t.Errorf("positive yaw rate should increase heading, got %v", end.Heading)
+	}
+	wantHeading := 0.2 * 1.0
+	if math.Abs(end.Heading-wantHeading) > 1e-9 {
+		t.Errorf("heading = %v, want %v", end.Heading, wantHeading)
+	}
+	if end.Pos.Y <= 0 {
+		t.Errorf("turning left should move +y, got %v", end.Pos)
+	}
+}
+
+func TestPredictCVTRFullCircle(t *testing.T) {
+	// With constant yaw rate ω and speed v, CVTR traces a circle with radius
+	// v/ω; after time 2π/ω the actor returns near the start.
+	a := NewVehicle(1, vehicle.State{Speed: 5})
+	a.YawRate = 0.5
+	period := 2 * math.Pi / a.YawRate
+	dt := 0.01
+	steps := int(period / dt)
+	tr := PredictCVTR(a, steps, dt)
+	end := tr.StateAt(steps)
+	if end.Pos.Norm() > 0.2 {
+		t.Errorf("after full CVTR circle pos = %v, want near origin", end.Pos)
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	actors := []*Actor{
+		NewVehicle(1, vehicle.State{Speed: 1}),
+		NewVehicle(2, vehicle.State{Speed: 2}),
+	}
+	trs := PredictAll(actors, 3, 0.5)
+	if len(trs) != 2 {
+		t.Fatalf("len = %d", len(trs))
+	}
+	if trs[0].StateAt(3).Pos.X >= trs[1].StateAt(3).Pos.X {
+		t.Error("faster actor should travel farther")
+	}
+}
+
+func TestResample(t *testing.T) {
+	// Record at 0.1s for 3s (31 states), resample to 0.5s for 6 steps.
+	states := make([]vehicle.State, 31)
+	for i := range states {
+		states[i] = vehicle.State{Pos: geom.V(float64(i), 0)}
+	}
+	tr := Trajectory{Dt: 0.1, States: states}
+	rs := tr.Resample(0.5, 6)
+	if rs.Len() != 7 {
+		t.Fatalf("resampled Len = %d, want 7", rs.Len())
+	}
+	for i := 0; i <= 6; i++ {
+		want := float64(i * 5)
+		if got := rs.StateAt(i).Pos.X; got != want {
+			t.Errorf("resampled state %d x = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestResampleEmpty(t *testing.T) {
+	rs := (Trajectory{}).Resample(0.5, 6)
+	if rs.Len() != 0 || rs.Dt != 0.5 {
+		t.Errorf("resampled empty = %+v", rs)
+	}
+}
+
+func TestResamplePastEndClamps(t *testing.T) {
+	tr := Trajectory{Dt: 0.1, States: []vehicle.State{
+		{Pos: geom.V(0, 0)}, {Pos: geom.V(1, 0)},
+	}}
+	rs := tr.Resample(0.5, 4)
+	for i := 1; i <= 4; i++ {
+		if got := rs.StateAt(i).Pos.X; got != 1 {
+			t.Errorf("resample should clamp to final state, step %d = %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package actor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+// PredictCVTR forecasts an actor's trajectory with the constant-velocity-
+// and-turn-rate model used by the paper for X̂ in §IV-C: speed is held
+// constant and heading evolves at the actor's current yaw rate.
+//
+// The returned trajectory has steps+1 states sampled every dt seconds; the
+// first state is the actor's current state.
+func PredictCVTR(a *Actor, steps int, dt float64) Trajectory {
+	states := make([]vehicle.State, 0, steps+1)
+	s := a.State
+	states = append(states, s)
+	for i := 0; i < steps; i++ {
+		heading := geom.NormalizeAngle(s.Heading + a.YawRate*dt)
+		avg := geom.NormalizeAngle(s.Heading + a.YawRate*dt/2)
+		sin, cos := math.Sincos(avg)
+		s = vehicle.State{
+			Pos:     s.Pos.Add(geom.V(s.Speed*cos*dt, s.Speed*sin*dt)),
+			Heading: heading,
+			Speed:   s.Speed,
+		}
+		states = append(states, s)
+	}
+	return Trajectory{Dt: dt, States: states}
+}
+
+// PredictAll applies PredictCVTR to every actor, returning the trajectory
+// set X̂_{t:t+k} in actor order.
+func PredictAll(actors []*Actor, steps int, dt float64) []Trajectory {
+	out := make([]Trajectory, len(actors))
+	for i, a := range actors {
+		out[i] = PredictCVTR(a, steps, dt)
+	}
+	return out
+}
+
+// Resample converts a trajectory recorded at one sampling interval to
+// another by nearest-time lookup. It is used to align ground-truth
+// simulator traces (0.1 s steps) with the reach-tube slice size (0.5 s).
+func (tr Trajectory) Resample(dt float64, steps int) Trajectory {
+	if tr.Dt <= 0 || len(tr.States) == 0 {
+		return Trajectory{Dt: dt}
+	}
+	states := make([]vehicle.State, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		t := float64(i) * dt
+		idx := int(math.Round(t / tr.Dt))
+		states = append(states, tr.StateAt(idx))
+	}
+	return Trajectory{Dt: dt, States: states}
+}

@@ -1,0 +1,67 @@
+package agent
+
+import (
+	"repro/internal/actor"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// ACAConfig parameterises the TTC-based automatic collision avoidance
+// controller (the "LBC+TTC-based ACA" baseline of §IV-D).
+type ACAConfig struct {
+	// TTCThreshold triggers emergency braking when the minimum TTC over
+	// in-path actors drops below it (seconds).
+	TTCThreshold float64
+	// Horizon / Dt parameterise the in-path trajectory prediction.
+	Horizon float64
+	Dt      float64
+	// ReleaseSpeed stops overriding once the ego is this slow, so the
+	// episode can continue after the hazard passes.
+	ReleaseSpeed float64
+}
+
+// DefaultACAConfig returns the standard AEB-style configuration.
+func DefaultACAConfig() ACAConfig {
+	return ACAConfig{
+		TTCThreshold: 2.0,
+		Horizon:      3.0,
+		Dt:           0.5,
+		ReleaseSpeed: 0.5,
+	}
+}
+
+// ACA is a reactive rule-based mitigator: full braking whenever TTC to an
+// in-path actor falls below the threshold. It is the standard dedicated
+// safety controller baseline: effective against frontal slowdowns, blind to
+// out-of-path actors approaching from the side or rear.
+type ACA struct {
+	cfg ACAConfig
+}
+
+var _ sim.Mitigator = (*ACA)(nil)
+
+// NewACA constructs the controller.
+func NewACA(cfg ACAConfig) *ACA { return &ACA{cfg: cfg} }
+
+// Reset implements sim.Mitigator.
+func (c *ACA) Reset() {}
+
+// Mitigate implements sim.Mitigator.
+func (c *ACA) Mitigate(obs sim.Observation, ads vehicle.Control) (vehicle.Control, bool) {
+	scene := metrics.Scene{
+		Map:       obs.Map,
+		Ego:       obs.Ego,
+		EgoParams: obs.EgoParams,
+		Actors:    obs.Actors,
+		Horizon:   c.cfg.Horizon,
+		Dt:        c.cfg.Dt,
+	}
+	steps := int(c.cfg.Horizon / c.cfg.Dt)
+	scene.Trajs = actor.PredictAll(obs.Actors, steps, c.cfg.Dt)
+	ttc := metrics.TTC(scene)
+	if ttc < c.cfg.TTCThreshold && obs.Ego.Speed > c.cfg.ReleaseSpeed {
+		return vehicle.Control{Accel: obs.EgoParams.MaxBrake, Steer: ads.Steer}, true
+	}
+	return ads, false
+}

@@ -1,0 +1,275 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func road() *roadmap.StraightRoad {
+	return roadmap.MustStraightRoad(2, 3.5, -100, 2000)
+}
+
+func worldWith(t *testing.T, ego vehicle.State, actors []*actor.Actor, behaviors []sim.Behavior) *sim.World {
+	t.Helper()
+	w, err := sim.NewWorld(road(), ego, geom.V(1500, 1.75), 0.1, actors, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func obsFor(ego vehicle.State, actors []*actor.Actor) sim.Observation {
+	return sim.Observation{
+		Map:       road(),
+		Ego:       ego,
+		EgoParams: vehicle.DefaultParams(),
+		Goal:      geom.V(1500, 1.75),
+		Dt:        0.1,
+		Actors:    actors,
+	}
+}
+
+func TestLBCCruisesAtTargetSpeed(t *testing.T) {
+	lbc := NewLBC(DefaultLBCConfig())
+	w := worldWith(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 0}, nil, nil)
+	out := sim.Run(w, lbc, nil, sim.RunConfig{MaxSteps: 400})
+	if out.Collision {
+		t.Fatal("no collision expected on an empty road")
+	}
+	if math.Abs(w.Ego.State.Speed-DefaultLBCConfig().TargetSpeed) > 1.0 && !out.Completed {
+		t.Errorf("speed = %v, want ~%v", w.Ego.State.Speed, DefaultLBCConfig().TargetSpeed)
+	}
+	if math.Abs(w.Ego.State.Pos.Y-1.75) > 0.3 {
+		t.Errorf("lane offset = %v", w.Ego.State.Pos.Y)
+	}
+}
+
+func TestLBCBrakesForStoppedLead(t *testing.T) {
+	// A stopped lead far ahead: LBC sees it in range and stops in time.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(120, 1.75)})
+	lbc := NewLBC(DefaultLBCConfig())
+	w := worldWith(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 12},
+		[]*actor.Actor{lead}, []sim.Behavior{&sim.Stationary{}})
+	out := sim.Run(w, lbc, nil, sim.RunConfig{MaxSteps: 600})
+	if out.Collision {
+		t.Fatalf("LBC should stop for a visible stopped lead: %+v", out)
+	}
+	if w.Ego.State.Pos.X < 50 {
+		t.Errorf("ego barely moved: %v", w.Ego.State.Pos)
+	}
+}
+
+func TestLBCBlindToAdjacentLaneActor(t *testing.T) {
+	// An actor alongside in the adjacent lane must not trigger braking.
+	ghost := actor.NewVehicle(1, vehicle.State{Pos: geom.V(10, 5.25), Speed: 12})
+	lbc := NewLBC(DefaultLBCConfig())
+	lbc.Reset()
+	u := lbc.Act(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, []*actor.Actor{ghost}))
+	if u.Accel < 0 {
+		t.Errorf("LBC braked for an adjacent-lane actor: accel = %v", u.Accel)
+	}
+}
+
+func TestLBCBlindToRearActor(t *testing.T) {
+	rear := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-8, 1.75), Speed: 25})
+	lbc := NewLBC(DefaultLBCConfig())
+	lbc.Reset()
+	for i := 0; i < 10; i++ { // exceed any reaction delay
+		u := lbc.Act(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, []*actor.Actor{rear}))
+		if u.Accel < 0 {
+			t.Fatalf("LBC reacted to a rear actor: accel = %v", u.Accel)
+		}
+	}
+}
+
+func TestLBCReactionDelay(t *testing.T) {
+	cfg := DefaultLBCConfig()
+	cfg.ReactionSteps = 5
+	lbc := NewLBC(cfg)
+	lbc.Reset()
+	// Threat close ahead in lane.
+	threat := actor.NewVehicle(1, vehicle.State{Pos: geom.V(12, 1.75)})
+	obs := obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, []*actor.Actor{threat})
+	for i := 0; i < cfg.ReactionSteps; i++ {
+		if u := lbc.Act(obs); u.Accel < 0 {
+			t.Fatalf("braked during reaction window at step %d", i)
+		}
+	}
+	if u := lbc.Act(obs); u.Accel >= 0 {
+		t.Error("should brake after the reaction window")
+	}
+}
+
+func TestLBCHardBrakeWhenVeryClose(t *testing.T) {
+	cfg := DefaultLBCConfig()
+	cfg.ReactionSteps = 0
+	lbc := NewLBC(cfg)
+	lbc.Reset()
+	threat := actor.NewVehicle(1, vehicle.State{Pos: geom.V(9, 1.75)})
+	u := lbc.Act(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, []*actor.Actor{threat}))
+	if u.Accel != vehicle.DefaultParams().MaxBrake {
+		t.Errorf("accel = %v, want max brake", u.Accel)
+	}
+}
+
+func TestACAEmergencyBrakesOnLowTTC(t *testing.T) {
+	aca := NewACA(DefaultACAConfig())
+	aca.Reset()
+	// Stopped lead 12 m ahead, ego at 12 m/s: TTC ≈ 0.6 s < 1.5 s.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(12, 1.75)})
+	u, fired := aca.Mitigate(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12},
+		[]*actor.Actor{lead}), vehicle.Control{Accel: 2})
+	if !fired {
+		t.Fatal("ACA should fire at TTC < threshold")
+	}
+	if u.Accel != vehicle.DefaultParams().MaxBrake {
+		t.Errorf("accel = %v, want max brake", u.Accel)
+	}
+}
+
+func TestACAIdleWhenSafe(t *testing.T) {
+	aca := NewACA(DefaultACAConfig())
+	aca.Reset()
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(80, 1.75), Speed: 12})
+	ads := vehicle.Control{Accel: 1.0}
+	u, fired := aca.Mitigate(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12},
+		[]*actor.Actor{lead}), ads)
+	if fired || u != ads {
+		t.Errorf("ACA should pass through: fired=%v u=%+v", fired, u)
+	}
+}
+
+func TestACABlindToSideThreat(t *testing.T) {
+	aca := NewACA(DefaultACAConfig())
+	aca.Reset()
+	// Ghost cutter alongside, still lane-keeping: TTC is infinite.
+	ghost := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-2, 5.25), Speed: 20})
+	_, fired := aca.Mitigate(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12},
+		[]*actor.Actor{ghost}), vehicle.Control{})
+	if fired {
+		t.Error("ACA must be blind to a lane-keeping side actor")
+	}
+}
+
+func TestRIPDrivesOnEmptyRoad(t *testing.T) {
+	rip := NewRIP(DefaultRIPConfig())
+	w := worldWith(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 5}, nil, nil)
+	out := sim.Run(w, rip, nil, sim.RunConfig{MaxSteps: 500})
+	if out.Collision {
+		t.Fatal("RIP collided on an empty road")
+	}
+	if w.Ego.State.Pos.X < 30 && !out.Completed {
+		t.Errorf("RIP made little progress: %v", w.Ego.State.Pos)
+	}
+}
+
+func TestRIPDeterministicGivenSeed(t *testing.T) {
+	obs := obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 10},
+		[]*actor.Actor{actor.NewVehicle(1, vehicle.State{Pos: geom.V(20, 1.75), Speed: 5})})
+	a := NewRIP(DefaultRIPConfig()).Act(obs)
+	b := NewRIP(DefaultRIPConfig()).Act(obs)
+	if a != b {
+		t.Errorf("RIP not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRIPMispredictsCutIn(t *testing.T) {
+	// An actor diagonally cutting toward the ego lane: RIP's lane-following
+	// prediction projects it straight down its lane, so RIP plans as if the
+	// path were clear and does not emergency-brake.
+	cutter := actor.NewVehicle(1, vehicle.State{
+		Pos: geom.V(15, 4.8), Speed: 12, Heading: -0.3,
+	})
+	rip := NewRIP(DefaultRIPConfig())
+	u := rip.Act(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, []*actor.Actor{cutter}))
+	if u.Accel <= -3 {
+		t.Errorf("RIP hard-braked (%v) despite its benign lane-following prediction", u.Accel)
+	}
+}
+
+func TestRIPEnsembleSizeFloor(t *testing.T) {
+	cfg := DefaultRIPConfig()
+	cfg.EnsembleSize = 0
+	rip := NewRIP(cfg)
+	if len(rip.weights) != 1 {
+		t.Errorf("ensemble size floored to %d, want 1", len(rip.weights))
+	}
+}
+
+func TestVisibleActors(t *testing.T) {
+	near := actor.NewVehicle(1, vehicle.State{Pos: geom.V(10, 1.75)})
+	far := actor.NewVehicle(2, vehicle.State{Pos: geom.V(500, 1.75)})
+	obs := obsFor(vehicle.State{Pos: geom.V(0, 1.75)}, []*actor.Actor{near, far})
+	got := VisibleActors(obs, 50)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("VisibleActors = %v", got)
+	}
+}
+
+func TestLaneKeepSteerDirection(t *testing.T) {
+	p := vehicle.DefaultParams()
+	left := laneKeepSteer(vehicle.State{Pos: geom.V(0, 0)}, 3.5, p)
+	if left <= 0 {
+		t.Errorf("steer toward +y should be positive, got %v", left)
+	}
+	right := laneKeepSteer(vehicle.State{Pos: geom.V(0, 3.5)}, 0, p)
+	if right >= 0 {
+		t.Errorf("steer toward -y should be negative, got %v", right)
+	}
+}
+
+func TestACAReleaseAtLowSpeed(t *testing.T) {
+	aca := NewACA(DefaultACAConfig())
+	aca.Reset()
+	// Ego crawling next to a close lead: below ReleaseSpeed the override
+	// lifts so the episode can continue once the hazard has passed.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(6, 1.75)})
+	ads := vehicle.Control{Accel: 0.5}
+	_, fired := aca.Mitigate(obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 0.2},
+		[]*actor.Actor{lead}), ads)
+	if fired {
+		t.Error("ACA should release below the minimum speed")
+	}
+}
+
+func TestLBCConfigKnobsMatter(t *testing.T) {
+	// Shrinking the detection range makes LBC blind to a lead it would
+	// otherwise brake for.
+	threat := actor.NewVehicle(1, vehicle.State{Pos: geom.V(30, 1.75)})
+	obs := obsFor(vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, []*actor.Actor{threat})
+
+	cfg := DefaultLBCConfig()
+	cfg.ReactionSteps = 0
+	seeing := NewLBC(cfg)
+	seeing.Reset()
+	if u := seeing.Act(obs); u.Accel >= 0 {
+		t.Errorf("LBC with default range should brake, accel = %v", u.Accel)
+	}
+
+	cfg.DetectRange = 20
+	blind := NewLBC(cfg)
+	blind.Reset()
+	if u := blind.Act(obs); u.Accel < 0 {
+		t.Errorf("LBC with short range should not react, accel = %v", u.Accel)
+	}
+}
+
+func TestRIPRespectsCruiseSpeedPrior(t *testing.T) {
+	// The imitation prior penalises speeding: on an empty road RIP settles
+	// near its nominal cruise speed rather than the vehicle maximum.
+	rip := NewRIP(DefaultRIPConfig())
+	w := worldWith(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 12}, nil, nil)
+	for i := 0; i < 300; i++ {
+		w.Advance(rip.Act(w.Observe()))
+	}
+	if w.Ego.State.Speed > DefaultRIPConfig().TargetSpeed+4 {
+		t.Errorf("RIP speed = %v, want near cruise %v (no runaway acceleration)",
+			w.Ego.State.Speed, DefaultRIPConfig().TargetSpeed)
+	}
+}

@@ -1,0 +1,174 @@
+// Package agent implements the autonomous driving systems (ADSes) and
+// non-RL safety controllers of the paper's evaluation: a behavioural
+// analogue of the Learning-by-Cheating baseline (§IV-A), the TTC-based
+// automatic collision avoidance controller (§IV-D), and an ensemble
+// worst-case planner standing in for RIP-WCM.
+//
+// The neural agents of the paper are replaced by explicit behavioural
+// models that reproduce their operationally relevant properties: LBC drives
+// competently towards its goal but reacts only to frontal, in-lane threats
+// after a perception delay; RIP selects pessimistically among imitation-
+// prior manoeuvres whose likelihoods misjudge out-of-distribution cut-ins.
+package agent
+
+import (
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// LBCConfig parameterises the baseline ADS.
+type LBCConfig struct {
+	TargetSpeed float64 // cruise speed (m/s)
+	LaneY       float64 // target lane centre
+	DetectRange float64 // perception range (m)
+	FOVDeg      float64 // half-angle of the forward field of view (degrees)
+	// LaneMargin is the half-width of the "my lane" band used to decide
+	// whether a detected actor is an in-lane threat.
+	LaneMargin float64
+	// ReactionSteps is the perception-to-action latency in simulation steps.
+	ReactionSteps int
+	// ComfortBrake is the deceleration used for anticipated slowdowns;
+	// the full MaxBrake is reserved for emergencies.
+	ComfortBrake float64
+	// HardBrakeGap is the bumper gap (m) below which LBC brakes maximally.
+	HardBrakeGap float64
+	// Headway is the desired time gap (s) behind a slower lead.
+	Headway float64
+}
+
+// DefaultLBCConfig returns the configuration used across the evaluation.
+func DefaultLBCConfig() LBCConfig {
+	return LBCConfig{
+		TargetSpeed:   12,
+		LaneY:         1.75,
+		DetectRange:   35,
+		FOVDeg:        60,
+		LaneMargin:    1.6,
+		ReactionSteps: 4,
+		ComfortBrake:  -4,
+		HardBrakeGap:  6,
+		Headway:       0.9,
+	}
+}
+
+// LBC is the behavioural Learning-by-Cheating analogue. It keeps its lane
+// at the target speed and brakes for in-lane frontal threats with a
+// reaction delay — and is blind to side and rear threats, the deficit the
+// NHTSA typologies exploit.
+type LBC struct {
+	cfg LBCConfig
+
+	sawThreat int // consecutive steps a threat has been visible
+}
+
+var _ sim.Driver = (*LBC)(nil)
+
+// NewLBC constructs the baseline agent.
+func NewLBC(cfg LBCConfig) *LBC { return &LBC{cfg: cfg} }
+
+// Reset implements sim.Driver.
+func (l *LBC) Reset() { l.sawThreat = 0 }
+
+// Act implements sim.Driver.
+func (l *LBC) Act(obs sim.Observation) vehicle.Control {
+	steer := laneKeepSteer(obs.Ego, l.cfg.LaneY, obs.EgoParams)
+	threat, gap, lead := l.closestThreat(obs)
+
+	if !threat {
+		l.sawThreat = 0
+		accel := geom.Clamp(1.5*(l.cfg.TargetSpeed-obs.Ego.Speed),
+			obs.EgoParams.MaxBrake, obs.EgoParams.MaxAccel)
+		return vehicle.Control{Accel: accel, Steer: steer}
+	}
+
+	l.sawThreat++
+	if l.sawThreat <= l.cfg.ReactionSteps {
+		// Perception latency: keep the previous intent (cruise).
+		accel := geom.Clamp(1.5*(l.cfg.TargetSpeed-obs.Ego.Speed),
+			obs.EgoParams.MaxBrake, obs.EgoParams.MaxAccel)
+		return vehicle.Control{Accel: accel, Steer: steer}
+	}
+
+	closing := obs.Ego.Speed - lead
+	followGap := math.Max(l.cfg.Headway*obs.Ego.Speed, 8)
+	// Deceleration needed to equalise speeds before the gap shrinks to the
+	// hard-brake margin.
+	required := 0.0
+	if closing > 0 {
+		required = closing * closing / (2 * math.Max(gap-l.cfg.HardBrakeGap, 0.5))
+	}
+	switch {
+	case gap < l.cfg.HardBrakeGap:
+		return vehicle.Control{Accel: obs.EgoParams.MaxBrake, Steer: steer}
+	case required >= -l.cfg.ComfortBrake*0.5:
+		// An imitation learner trained on benign driving rarely brakes
+		// harder than comfort level until the situation is already dire.
+		return vehicle.Control{Accel: l.cfg.ComfortBrake, Steer: steer}
+	case gap < followGap:
+		// Close enough: track the lead's speed.
+		return vehicle.Control{Accel: geom.Clamp(1.0*(lead-obs.Ego.Speed),
+			l.cfg.ComfortBrake, obs.EgoParams.MaxAccel), Steer: steer}
+	default:
+		accel := geom.Clamp(1.5*(l.cfg.TargetSpeed-obs.Ego.Speed),
+			obs.EgoParams.MaxBrake, obs.EgoParams.MaxAccel)
+		return vehicle.Control{Accel: accel, Steer: steer}
+	}
+}
+
+// closestThreat finds the nearest visible in-lane frontal actor. Returns
+// whether one exists, the bumper gap, and the threat's forward speed.
+func (l *LBC) closestThreat(obs sim.Observation) (found bool, gap, leadSpeed float64) {
+	fov := l.cfg.FOVDeg * math.Pi / 180
+	heading := geom.V(math.Cos(obs.Ego.Heading), math.Sin(obs.Ego.Heading))
+	bestGap := math.Inf(1)
+	for _, a := range obs.Actors {
+		rel := a.State.Pos.Sub(obs.Ego.Pos)
+		dist := rel.Norm()
+		if dist > l.cfg.DetectRange {
+			continue
+		}
+		longitudinal := rel.Dot(heading)
+		if longitudinal <= 0 {
+			continue // behind: invisible to LBC's planner
+		}
+		if math.Abs(geom.AngleDiff(rel.Angle(), obs.Ego.Heading)) > fov {
+			continue // outside the forward field of view
+		}
+		if math.Abs(a.State.Pos.Y-l.cfg.LaneY) > l.cfg.LaneMargin {
+			continue // not in my lane: LBC does not anticipate cut-ins
+		}
+		g := longitudinal - obs.EgoParams.Length/2 - a.Length/2
+		if g < 0 {
+			g = 0
+		}
+		if g < bestGap {
+			bestGap = g
+			leadSpeed = a.State.Velocity().Dot(heading)
+			found = true
+		}
+	}
+	return found, bestGap, leadSpeed
+}
+
+// laneKeepSteer is the PD lane-keeping law shared by the agents.
+func laneKeepSteer(ego vehicle.State, targetY float64, params vehicle.Params) float64 {
+	latErr := targetY - ego.Pos.Y
+	headingErr := -ego.Heading
+	return geom.Clamp(0.2*latErr+1.2*headingErr, -params.MaxSteer, params.MaxSteer)
+}
+
+// VisibleActors applies a range-based perception filter; reused by the SMC
+// feature extractor so that every controller sees the same world.
+func VisibleActors(obs sim.Observation, rangeM float64) []*actor.Actor {
+	out := make([]*actor.Actor, 0, len(obs.Actors))
+	for _, a := range obs.Actors {
+		if a.State.Pos.Dist(obs.Ego.Pos) <= rangeM {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package agent
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// RingPilotConfig parameterises the roundabout driver used in the §V-C
+// generalisation study (RIP on the roundabout typology).
+type RingPilotConfig struct {
+	Radius      float64 // target circulating radius
+	TargetSpeed float64
+	// BrakeArc is the arc (radians) ahead within which a same-radius actor
+	// triggers braking.
+	BrakeArc float64
+	// RadialBand is the radial tolerance for considering an actor "in my
+	// circle". Like RIP's lane-following prediction, the pilot assumes
+	// actors hold their radius, so a cutter squeezing outward is ignored
+	// until it has already entered the band — the OOD misprediction.
+	RadialBand float64
+}
+
+// DefaultRingPilotConfig returns the evaluation configuration.
+func DefaultRingPilotConfig() RingPilotConfig {
+	return RingPilotConfig{
+		Radius:      24.8,
+		TargetSpeed: 8,
+		BrakeArc:    0.35,
+		RadialBand:  1.6,
+	}
+}
+
+// RingPilot circulates a ring road, reacting only to actors already in its
+// radial band — the ring-road analogue of the RIP agent's imitation-prior
+// planning.
+type RingPilot struct {
+	cfg RingPilotConfig
+}
+
+var _ sim.Driver = (*RingPilot)(nil)
+
+// NewRingPilot constructs the driver.
+func NewRingPilot(cfg RingPilotConfig) *RingPilot { return &RingPilot{cfg: cfg} }
+
+// Reset implements sim.Driver.
+func (p *RingPilot) Reset() {}
+
+// Act implements sim.Driver.
+func (p *RingPilot) Act(obs sim.Observation) vehicle.Control {
+	ring, ok := obs.Map.(*roadmap.RingRoad)
+	if !ok {
+		return vehicle.Control{}
+	}
+	// Track the target circle.
+	lookAhead := 0.25
+	target, targetHeading := ring.PoseAt(p.cfg.Radius, ring.AngleOf(obs.Ego.Pos)+lookAhead)
+	toTarget := target.Sub(obs.Ego.Pos)
+	headingErr := geom.AngleDiff(toTarget.Angle(), obs.Ego.Heading)
+	alignErr := geom.AngleDiff(targetHeading, obs.Ego.Heading)
+	steer := geom.Clamp(1.0*headingErr+0.3*alignErr, -obs.EgoParams.MaxSteer, obs.EgoParams.MaxSteer)
+
+	accel := geom.Clamp(1.2*(p.cfg.TargetSpeed-obs.Ego.Speed), obs.EgoParams.MaxBrake, obs.EgoParams.MaxAccel)
+	egoAngle := ring.AngleOf(obs.Ego.Pos)
+	for _, a := range obs.Actors {
+		radial := a.State.Pos.Dist(ring.Center)
+		if math.Abs(radial-p.cfg.Radius) > p.cfg.RadialBand {
+			continue // assumed to keep its own circle
+		}
+		arc := geom.AngleDiff(ring.AngleOf(a.State.Pos), egoAngle)
+		if arc > 0 && arc < p.cfg.BrakeArc {
+			accel = obs.EgoParams.MaxBrake
+			break
+		}
+	}
+	return vehicle.Control{Accel: accel, Steer: steer}
+}

@@ -1,0 +1,99 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func ringWorld(t *testing.T, actors []*actor.Actor, behaviors []sim.Behavior) (*sim.World, *roadmap.RingRoad) {
+	t.Helper()
+	ring, err := roadmap.NewRingRoad(geom.V(0, 0), 18, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, heading := ring.PoseAt(24.8, 0)
+	w, err := sim.NewWorld(ring, vehicle.State{Pos: pos, Heading: heading, Speed: 8},
+		geom.V(math.Inf(1), 0), 0.1, actors, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ring
+}
+
+func TestRingPilotCirculates(t *testing.T) {
+	w, ring := ringWorld(t, nil, nil)
+	pilot := NewRingPilot(DefaultRingPilotConfig())
+	pilot.Reset()
+	for i := 0; i < 600; i++ {
+		w.Advance(pilot.Act(w.Observe()))
+		if !ring.Drivable(w.Ego.State.Pos) {
+			t.Fatalf("pilot left the ring at step %d: %v", i, w.Ego.State.Pos)
+		}
+	}
+	// Angular progress around the ring.
+	if math.Abs(geom.AngleDiff(ring.AngleOf(w.Ego.State.Pos), 0)) < 0.5 {
+		t.Error("pilot made no angular progress")
+	}
+	if math.Abs(w.Ego.State.Speed-8) > 1.5 {
+		t.Errorf("pilot speed = %v, want ~8", w.Ego.State.Speed)
+	}
+}
+
+func TestRingPilotBrakesForSameRadiusActor(t *testing.T) {
+	_, ring := ringWorld(t, nil, nil)
+	cfg := DefaultRingPilotConfig()
+	pilot := NewRingPilot(cfg)
+	// Actor just ahead on the same radius.
+	pos, heading := ring.PoseAt(cfg.Radius, 0.2)
+	blocker := actor.NewVehicle(1, vehicle.State{Pos: pos, Heading: heading, Speed: 2})
+	egoPos, egoHeading := ring.PoseAt(cfg.Radius, 0)
+	obs := sim.Observation{
+		Map:       ring,
+		Ego:       vehicle.State{Pos: egoPos, Heading: egoHeading, Speed: 8},
+		EgoParams: vehicle.DefaultParams(),
+		Actors:    []*actor.Actor{blocker},
+	}
+	u := pilot.Act(obs)
+	if u.Accel != obs.EgoParams.MaxBrake {
+		t.Errorf("pilot should emergency-brake for an in-circle blocker, accel = %v", u.Accel)
+	}
+}
+
+func TestRingPilotIgnoresInnerCircleActor(t *testing.T) {
+	// The OOD misprediction: an actor on the inner circle — even one about
+	// to squeeze outward — is assumed to keep its radius.
+	_, ring := ringWorld(t, nil, nil)
+	cfg := DefaultRingPilotConfig()
+	pilot := NewRingPilot(cfg)
+	pos, heading := ring.PoseAt(20.5, 0.2)
+	inner := actor.NewVehicle(1, vehicle.State{Pos: pos, Heading: heading, Speed: 10})
+	egoPos, egoHeading := ring.PoseAt(cfg.Radius, 0)
+	obs := sim.Observation{
+		Map:       ring,
+		Ego:       vehicle.State{Pos: egoPos, Heading: egoHeading, Speed: 8},
+		EgoParams: vehicle.DefaultParams(),
+		Actors:    []*actor.Actor{inner},
+	}
+	u := pilot.Act(obs)
+	if u.Accel == obs.EgoParams.MaxBrake {
+		t.Error("pilot should not react to an inner-circle actor (lane-following prior)")
+	}
+}
+
+func TestRingPilotOffRingMapNoop(t *testing.T) {
+	pilot := NewRingPilot(DefaultRingPilotConfig())
+	obs := sim.Observation{
+		Map:       roadmap.MustStraightRoad(2, 3.5, 0, 100),
+		Ego:       vehicle.State{Speed: 5},
+		EgoParams: vehicle.DefaultParams(),
+	}
+	if u := pilot.Act(obs); u != (vehicle.Control{}) {
+		t.Errorf("pilot on a non-ring map should be inert, got %+v", u)
+	}
+}

@@ -1,0 +1,171 @@
+package agent
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// RIPConfig parameterises the RIP-WCM analogue (robust imitative planning
+// with the worst-case model, Filos et al. [16]).
+type RIPConfig struct {
+	TargetSpeed float64
+	LaneY       float64
+	// EnsembleSize is the number of perturbed imitation cost models.
+	EnsembleSize int
+	// Seed derives the deterministic weight perturbations.
+	Seed int64
+	// Horizon/Dt parameterise candidate rollouts.
+	Horizon float64
+	Dt      float64
+}
+
+// DefaultRIPConfig returns the evaluation configuration.
+func DefaultRIPConfig() RIPConfig {
+	return RIPConfig{
+		TargetSpeed:  12,
+		LaneY:        1.75,
+		EnsembleSize: 5,
+		Seed:         1,
+		Horizon:      2.0,
+		Dt:           0.5,
+	}
+}
+
+// RIP plans by scoring a small candidate manoeuvre set under an ensemble of
+// imitation-prior cost models and executing the candidate whose *worst-case*
+// cost is lowest (WCM aggregation).
+//
+// Two properties are carried over from the original and drive its §V-C
+// failure modes on OOD scenarios:
+//
+//  1. The imitation prior was fitted to benign driving, so deviation from
+//     nominal driving (hard braking, swerving) carries high cost — the
+//     likelihood term dominates the collision term.
+//  2. Other actors are predicted to continue *along their lane* at constant
+//     speed (the behaviour seen in training data); a cut-in trajectory is
+//     mispredicted until the actor has substantially entered the ego lane.
+type RIP struct {
+	cfg     RIPConfig
+	weights [][4]float64 // per-model: collision, proximity, deviation, progress-loss
+}
+
+var _ sim.Driver = (*RIP)(nil)
+
+// NewRIP constructs the agent with deterministic ensemble perturbations.
+func NewRIP(cfg RIPConfig) *RIP {
+	if cfg.EnsembleSize < 1 {
+		cfg.EnsembleSize = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := make([][4]float64, cfg.EnsembleSize)
+	for i := range weights {
+		// The imitation prior: deviation from nominal driving costs about as
+		// much as proximity to other vehicles, and far more than the
+		// under-weighted collision term — likelihoods misjudge risk OOD.
+		weights[i] = [4]float64{
+			1.0 + 0.4*rng.Float64(), // collision (under-weighted vs a safety planner)
+			0.6 + 0.3*rng.Float64(), // proximity
+			1.2 + 0.5*rng.Float64(), // deviation from nominal manoeuvre
+			0.8 + 0.3*rng.Float64(), // progress loss
+		}
+	}
+	return &RIP{cfg: cfg, weights: weights}
+}
+
+// Reset implements sim.Driver.
+func (r *RIP) Reset() {}
+
+// candidate manoeuvres: accelerations × lane offsets, mirroring the PKL
+// planner but with the braking intensity capped at comfort level (the
+// imitation data contains no emergency stops).
+var ripAccels = [3]float64{-3, 0, 2}
+var ripLatOffsets = [3]float64{-3.5, 0, 3.5}
+
+// Act implements sim.Driver.
+func (r *RIP) Act(obs sim.Observation) vehicle.Control {
+	n := int(math.Round(r.cfg.Horizon / r.cfg.Dt))
+	if n < 1 {
+		n = 1
+	}
+	bestWorst := math.Inf(1)
+	var bestAccel, bestLat float64
+	for _, a := range ripAccels {
+		for _, lat := range ripLatOffsets {
+			feats := r.rolloutFeatures(obs, a, lat, n)
+			worst := math.Inf(-1)
+			for _, w := range r.weights {
+				cost := w[0]*feats[0] + w[1]*feats[1] + w[2]*feats[2] + w[3]*feats[3]
+				if cost > worst {
+					worst = cost
+				}
+			}
+			if worst < bestWorst {
+				bestWorst, bestAccel, bestLat = worst, a, lat
+			}
+		}
+	}
+	targetY := obs.Ego.Pos.Y + bestLat
+	steer := laneKeepSteer(obs.Ego, targetY, obs.EgoParams)
+	// Track the cruise speed on top of the selected longitudinal profile.
+	accel := bestAccel
+	if accel == 0 {
+		accel = geom.Clamp(1.0*(r.cfg.TargetSpeed-obs.Ego.Speed), -1, obs.EgoParams.MaxAccel)
+	}
+	return vehicle.Control{Accel: accel, Steer: steer}
+}
+
+// rolloutFeatures simulates one candidate and extracts (collision,
+// proximity, deviation, progress-loss) under the lane-following constant-
+// speed prediction of other actors.
+func (r *RIP) rolloutFeatures(obs sim.Observation, accel, latOffset float64, n int) [4]float64 {
+	var f [4]float64
+	ego := obs.Ego
+	heading0 := ego.Heading
+	lateral := geom.V(-math.Sin(heading0), math.Cos(heading0))
+	target := ego.Pos.Add(lateral.Scale(latOffset))
+	minDist := math.Inf(1)
+	start := ego.Pos
+	for t := 1; t <= n; t++ {
+		latErr := target.Sub(ego.Pos).Dot(lateral)
+		headingErr := geom.AngleDiff(heading0, ego.Heading)
+		steer := geom.Clamp(0.15*latErr+0.8*headingErr, -obs.EgoParams.MaxSteer, obs.EgoParams.MaxSteer)
+		ego = obs.EgoParams.Step(ego, vehicle.Control{Accel: accel, Steer: steer}, r.cfg.Dt)
+		fp := obs.EgoParams.Footprint(ego)
+		if obs.Map != nil && !obs.Map.DrivableBox(fp) {
+			f[0] = 1 // off-road treated as a collision
+		}
+		tau := float64(t) * r.cfg.Dt
+		for _, a := range obs.Actors {
+			// Lane-following constant-velocity prediction: the actor keeps
+			// its current speed along its *lane* axis (+x on straight
+			// roads), discarding its lateral motion — the OOD misprediction.
+			pred := a.State.Pos.Add(geom.V(a.State.Speed*tau, 0))
+			ab := geom.NewBox(pred, a.Length, a.Width, 0)
+			if fp.Intersects(ab) {
+				f[0] = 1
+			}
+			if d := fp.Center.Dist(ab.Center) - fp.BoundingRadius() - ab.BoundingRadius(); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if !math.IsInf(minDist, 1) {
+		if minDist < 0 {
+			minDist = 0
+		}
+		f[1] = math.Exp(-minDist / 4)
+	}
+	// Deviation from nominal driving (the imitation likelihood surrogate):
+	// braking, lane changes, and speeds beyond the demonstrated cruise
+	// speed are all rare in the training distribution.
+	f[2] = math.Abs(latOffset)/3.5 + math.Abs(math.Min(accel, 0))/3 +
+		math.Max(0, ego.Speed-r.cfg.TargetSpeed)/4
+	ideal := math.Max(obs.Ego.Speed*r.cfg.Horizon, 1)
+	progress := ego.Pos.Sub(start).Dot(geom.V(math.Cos(heading0), math.Sin(heading0)))
+	f[3] = geom.Clamp(1-progress/ideal, 0, 1)
+	return f
+}

@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/reach"
+	"repro/internal/sti"
+	"repro/internal/vehicle"
+)
+
+func vehicleBox(s vehicle.State) geom.Box {
+	return geom.NewBox(s.Pos, 4.7, 2.0, s.Heading)
+}
+
+func smallCorpus(t *testing.T) []*Log {
+	t.Helper()
+	cfg := DefaultCorpusConfig()
+	cfg.Logs = 8
+	cfg.Steps = 80
+	logs, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logs
+}
+
+func TestGenerateCorpusValidation(t *testing.T) {
+	bad := []CorpusConfig{
+		{Logs: 0, Steps: 10, Dt: 0.1},
+		{Logs: 1, Steps: 1, Dt: 0.1},
+		{Logs: 1, Steps: 10, Dt: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := GenerateCorpus(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	logs := smallCorpus(t)
+	if len(logs) != 8 {
+		t.Fatalf("logs = %d", len(logs))
+	}
+	for i, l := range logs {
+		if l.Steps() != 80 {
+			t.Errorf("log %d steps = %d", i, l.Steps())
+		}
+		if len(l.Actors) == 0 || len(l.Meta) != len(l.Actors) {
+			t.Errorf("log %d actor bookkeeping broken", i)
+		}
+		for _, states := range l.Actors {
+			if len(states) != l.Steps() {
+				t.Errorf("log %d actor trace length mismatch", i)
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Logs, cfg.Steps = 3, 40
+	a, _ := GenerateCorpus(cfg)
+	b, _ := GenerateCorpus(cfg)
+	for i := range a {
+		if a[i].Ego[39] != b[i].Ego[39] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestCorpusIsAccidentFree(t *testing.T) {
+	// Real-world datasets are collected by compliant human drivers; the
+	// generator must not produce ego collisions.
+	logs := smallCorpus(t)
+	for li, l := range logs {
+		for t0 := 0; t0 < l.Steps(); t0++ {
+			egoBox := vehicleBox(l.Ego[t0])
+			for ai := range l.Actors {
+				a := l.ActorsAt(t0)[ai]
+				if egoBox.Intersects(a.Footprint()) {
+					t.Fatalf("log %d: ego collides with actor %d at step %d", li, a.ID, t0)
+				}
+			}
+		}
+	}
+}
+
+func TestActorsAtYawRate(t *testing.T) {
+	logs := smallCorpus(t)
+	l := logs[0]
+	a0 := l.ActorsAt(0)
+	for _, a := range a0 {
+		if a.YawRate != 0 {
+			t.Error("yaw rate at step 0 should be 0 (no history)")
+		}
+	}
+	// Later steps carry finite yaw estimates.
+	aN := l.ActorsAt(10)
+	if len(aN) != len(l.Actors) {
+		t.Fatalf("ActorsAt size = %d", len(aN))
+	}
+}
+
+func TestFutureTrajectories(t *testing.T) {
+	logs := smallCorpus(t)
+	l := logs[0]
+	trajs := l.FutureTrajectories(20)
+	if len(trajs) != len(l.Actors) {
+		t.Fatalf("trajectories = %d", len(trajs))
+	}
+	if trajs[0].Len() != l.Steps()-20 {
+		t.Errorf("future length = %d, want %d", trajs[0].Len(), l.Steps()-20)
+	}
+	if trajs[0].StateAt(0) != l.Actors[0][20] {
+		t.Error("future trajectory must start at the query step")
+	}
+}
+
+func TestCharacterizeLongTail(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Logs = 12
+	cfg.Steps = 120
+	logs, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := sti.MustNewEvaluator(reach.DefaultConfig())
+	c := Characterize(logs, eval, 10)
+	if len(c.ActorSTI) == 0 || len(c.CombinedSTI) == 0 {
+		t.Fatal("no samples")
+	}
+	actorRow := Row(c.ActorSTI)
+	if actorRow.P50 != 0 || actorRow.P75 != 0 {
+		t.Errorf("actor STI p50/p75 = %v/%v, want 0/0 (long tail)", actorRow.P50, actorRow.P75)
+	}
+	if zf := ZeroFraction(c.ActorSTI); zf < 0.7 {
+		t.Errorf("actor STI zero fraction = %v, want >= 0.7", zf)
+	}
+	combinedRow := Row(c.CombinedSTI)
+	if combinedRow.P99 > 1 || combinedRow.P50 < 0 {
+		t.Errorf("combined row out of range: %+v", combinedRow)
+	}
+	// The combined risk must dominate the per-actor risk.
+	if combinedRow.P90 < actorRow.P90 {
+		t.Errorf("combined p90 %v < actor p90 %v", combinedRow.P90, actorRow.P90)
+	}
+}
+
+func TestCharacterizeStrideFloor(t *testing.T) {
+	logs := smallCorpus(t)[:1]
+	eval := sti.MustNewEvaluator(reach.DefaultConfig())
+	c := Characterize(logs, eval, 0) // floors to 1
+	if len(c.CombinedSTI) == 0 {
+		t.Fatal("stride floor broken")
+	}
+}
+
+func TestRowAndZeroFraction(t *testing.T) {
+	row := Row([]float64{0, 0, 0, 1})
+	if row.P50 != 0 || row.P99 < 0.9 {
+		t.Errorf("Row = %+v", row)
+	}
+	if got := ZeroFraction([]float64{0, 0, 1, 1}); got != 0.5 {
+		t.Errorf("ZeroFraction = %v", got)
+	}
+	if got := ZeroFraction(nil); got != 0 {
+		t.Errorf("ZeroFraction(nil) = %v", got)
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	cases := CaseStudies()
+	if len(cases) != 4 {
+		t.Fatalf("cases = %d, want 4", len(cases))
+	}
+	eval := sti.MustNewEvaluator(reach.DefaultConfig())
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			res := c.Evaluate(eval)
+			if len(res.PerActor) != len(c.Actors) {
+				t.Fatalf("per-actor size = %d", len(res.PerActor))
+			}
+			key := res.PerActor[c.KeyActor]
+			if key <= 0 {
+				t.Errorf("key actor STI = %v, want > 0", key)
+			}
+			// The key actor is the most threatening in the scene.
+			idx, _ := res.MostThreatening()
+			if idx != c.KeyActor {
+				t.Errorf("most threatening = %d (%v), want %d", idx, res.PerActor, c.KeyActor)
+			}
+			if res.Combined < key-1e-9 {
+				t.Errorf("combined %v < key actor %v", res.Combined, key)
+			}
+		})
+	}
+}
+
+func TestCaseStudyExitingActorZeroSTI(t *testing.T) {
+	// Fig. 7(c): the actor exiting the road behind the ego has STI 0.
+	cases := CaseStudies()
+	eval := sti.MustNewEvaluator(reach.DefaultConfig())
+	for _, c := range cases {
+		if c.Name != "cluttered street" {
+			continue
+		}
+		res := c.Evaluate(eval)
+		if res.PerActor[0] != 0 {
+			t.Errorf("exiting actor STI = %v, want 0", res.PerActor[0])
+		}
+		if res.PerActor[1] <= 0 {
+			t.Errorf("entering actor STI = %v, want > 0", res.PerActor[1])
+		}
+		return
+	}
+	t.Fatal("cluttered street case missing")
+}

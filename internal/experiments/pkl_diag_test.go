@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestPKLDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	suites, opt := buildTinySuites(t)
+	all, holdout, err := FitPKLModels(suites, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("PKL-All weights:     %v", all.W)
+	t.Logf("PKL-Holdout weights: %v", holdout.W)
+	if all.W == holdout.W {
+		t.Error("PKL-All and PKL-Holdout fitted identical weights; holdout split broken")
+	}
+	for _, suite := range suites {
+		if suite.Typology == scenario.FrontAccident {
+			continue
+		}
+		acc := suite.Accidents()
+		if len(acc) == 0 {
+			continue
+		}
+		tw, err := newTraceWorld(suite.Scenarios[acc[0]], suite.Outcomes[acc[0]].Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxAll, maxHold := 0.0, 0.0
+		var tail []float64
+		for ts := 0; ts < tw.steps(); ts += opt.MetricStride {
+			sc := tw.scene(ts, opt.Reach.Horizon)
+			v := all.PKLCombined(sc)
+			tail = append(tail, v)
+			if v > maxAll {
+				maxAll = v
+			}
+			if v := holdout.PKLCombined(sc); v > maxHold {
+				maxHold = v
+			}
+		}
+		if len(tail) > 8 {
+			tail = tail[len(tail)-8:]
+		}
+		t.Logf("%-14s max PKL-All %.3f  max PKL-Holdout %.3f  tail %v", suite.Typology, maxAll, maxHold, tail)
+		if maxAll <= 0 {
+			t.Errorf("%v: PKL-All never flags an accident trace", suite.Typology)
+		}
+	}
+}

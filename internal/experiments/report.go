@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/scenario"
+)
+
+// Report runs the complete evaluation — every table and figure — and
+// writes a markdown report to w. This is the "one command reproduces the
+// paper" entry point behind cmd/iprism-report. The clock parameter stamps
+// the report header (pass time.Now from main).
+func Report(w io.Writer, opt Options, clock func() time.Time) error {
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	started := clock()
+	fmt.Fprintf(w, "# iPrism reproduction report\n\n")
+	fmt.Fprintf(w, "Generated %s · %d scenarios/typology · %d training episodes · seed %d\n\n",
+		started.Format(time.RFC3339), opt.ScenariosPerTypology, opt.TrainEpisodes, opt.Seed)
+
+	fmt.Fprintf(w, "## Table I — scenario suites and baseline accidents\n\n")
+	suites, err := BuildSuites(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| Typology | Instances | Baseline accidents | Paper (n=1000) |\n|---|---|---|---|\n")
+	paperT1 := map[scenario.Typology]string{
+		scenario.GhostCutIn: "519", scenario.LeadCutIn: "170",
+		scenario.LeadSlowdown: "118", scenario.FrontAccident: "0 (of 810)",
+		scenario.RearEnd: "770",
+	}
+	for _, r := range TableI(suites) {
+		fmt.Fprintf(w, "| %s | %d | %d | %s |\n", r.Typology, r.Instances, r.Accidents, paperT1[r.Typology])
+	}
+
+	fmt.Fprintf(w, "\n## Table II — LTFMA (seconds)\n\n")
+	t2, err := TableII(suites, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| Metric |")
+	for _, ty := range t2.Typologies {
+		fmt.Fprintf(w, " %s |", ty)
+	}
+	fmt.Fprintf(w, " Average | Paper avg |\n|---|")
+	for range t2.Typologies {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintf(w, "---|---|\n")
+	paperT2 := map[string]float64{
+		"TTC": 0.83, "Dist. CIPA": 1.38, "PKL-All": 0.75, "PKL-Holdout": 1.19, "STI": 3.69,
+	}
+	for _, name := range MetricNames {
+		fmt.Fprintf(w, "| %s |", name)
+		for _, cell := range t2.LTFMA[name] {
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintf(w, " %.2f | %.2f |\n", t2.Average[name], paperT2[name])
+	}
+
+	fmt.Fprintf(w, "\n## Tables III & IV — mitigation efficacy and timing\n\n")
+	t3, err := TableIII(suites, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| Agent |")
+	for _, ty := range t3.Typologies {
+		fmt.Fprintf(w, " %s CA%%/TCR%% |", ty)
+	}
+	fmt.Fprintf(w, "\n|---|")
+	for range t3.Typologies {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintf(w, "\n")
+	for _, name := range []string{AgentLBCiPrism, AgentLBCNoSTI, AgentLBCACA, AgentRIPiPrism} {
+		fmt.Fprintf(w, "| %s |", name)
+		for _, r := range t3.Rows[name] {
+			fmt.Fprintf(w, " %.0f / %.1f |", r.CAPct, r.TCRPct)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	fmt.Fprintf(w, "\nRear-end extension (acceleration): CA %d/%d = %.0f%% (paper 37%%)\n\n",
+		t3.RearEnd.CA, t3.RearEnd.TAS, t3.RearEnd.CAPct)
+	fmt.Fprintf(w, "| Typology | iPrism first action (s) | ACA first action (s) | Lead time (s) |\n|---|---|---|---|\n")
+	for _, row := range TableIV(t3) {
+		fmt.Fprintf(w, "| %s | %.2f | %.2f | %.2f |\n", row.Typology, row.IPrism, row.ACA, row.LeadTime)
+	}
+
+	fmt.Fprintf(w, "\n## Fig. 5 — ghost cut-in STI with and without iPrism\n\n")
+	ctrl, err := TrainGhostCutInSMC(suites, opt)
+	if err != nil {
+		return err
+	}
+	f5, err := Fig5(suites, ctrl, opt, 12)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "STI peak: LBC %.2f vs LBC+iPrism %.2f (paper: iPrism consistently lower)\n",
+		seriesPeak(f5.LBC.Mean), seriesPeak(f5.IPrism.Mean))
+
+	fmt.Fprintf(w, "\n## Fig. 6 — real-world-corpus STI distribution\n\n")
+	f6, err := Fig6(dataset.DefaultCorpusConfig(), opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| | p50 | p75 | p90 | p99 |\n|---|---|---|---|---|\n")
+	fmt.Fprintf(w, "| actor STI | %.2f | %.2f | %.2f | %.2f |\n", f6.Actor.P50, f6.Actor.P75, f6.Actor.P90, f6.Actor.P99)
+	fmt.Fprintf(w, "| combined STI | %.2f | %.2f | %.2f | %.2f |\n", f6.Combined.P50, f6.Combined.P75, f6.Combined.P90, f6.Combined.P99)
+	fmt.Fprintf(w, "\nActor STI exactly zero: %.0f%% of %d samples (paper: ~90%%).\n", f6.ActorZeroFraction*100, f6.Samples)
+
+	fmt.Fprintf(w, "\n## Fig. 7 — case studies\n\n")
+	f7, err := Fig7(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| Case | Key-actor STI | Combined |\n|---|---|---|\n")
+	for _, c := range f7 {
+		fmt.Fprintf(w, "| %s | %.2f | %.2f |\n", c.Name, c.KeySTI, c.Combined)
+	}
+
+	fmt.Fprintf(w, "\n## Roundabout generalisation\n\n")
+	rb, err := Roundabout(ctrl, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ring pilot: %d/%d collisions; with transferred iPrism: %d/%d (%.0f%% of pilot accidents mitigated; paper: 18.6%%).\n",
+		rb.RIPCollisions, rb.Instances, rb.IPrismCollisions, rb.Instances, rb.Mitigated*100)
+
+	fmt.Fprintf(w, "\n---\nTotal wall-clock: %s\n", clock().Sub(started).Round(time.Second))
+	return nil
+}
+
+func seriesPeak(xs []float64) float64 {
+	peak := 0.0
+	for _, x := range xs {
+		if x > peak {
+			peak = x
+		}
+	}
+	return peak
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportSmoke runs the one-command report generator at minimal scale
+// and checks the document structure.
+func TestReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report")
+	}
+	opt := tinyOptions()
+	opt.ScenariosPerTypology = 12
+	opt.TrainEpisodes = 8
+
+	var sb strings.Builder
+	fixed := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return fixed }
+	if err := Report(&sb, opt, clock); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# iPrism reproduction report",
+		"## Table I",
+		"## Table II",
+		"## Tables III & IV",
+		"## Fig. 5",
+		"## Fig. 6",
+		"## Fig. 7",
+		"## Roundabout generalisation",
+		"STI |",
+		"2026-07-06T12:00:00Z",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportInvalidOptions(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Workers = 0
+	var sb strings.Builder
+	if err := Report(&sb, opt, time.Now); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestActionAblationOnMissingSuite(t *testing.T) {
+	if _, err := ActionAblationOn(nil, 99, tinyOptions()); err == nil {
+		t.Error("missing suite accepted")
+	}
+}

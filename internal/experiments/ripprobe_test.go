@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func TestRIPBaselineCrashProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	opt := tinyOptions()
+	opt.ScenariosPerTypology = 40
+	for _, ty := range []scenario.Typology{scenario.GhostCutIn, scenario.LeadCutIn, scenario.LeadSlowdown} {
+		scns := scenario.GenerateValid(ty, opt.ScenariosPerTypology, opt.Seed+int64(ty)-1)
+		rip, err := runSuite(scns, opt.Workers, func() sim.Driver { return agent.NewRIP(agent.DefaultRIPConfig()) }, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbc, err := runSuite(scns, opt.Workers, func() sim.Driver { return agent.NewLBC(agent.DefaultLBCConfig()) }, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, lc := 0, 0
+		for i := range scns {
+			if rip[i].Collision {
+				rc++
+			}
+			if lbc[i].Collision {
+				lc++
+			}
+		}
+		t.Logf("%-14s RIP %d/%d   LBC %d/%d", ty, rc, len(scns), lc, len(scns))
+		// §V-C: despite targeting OOD scenarios, RIP underperforms the
+		// baseline on the NHTSA typologies.
+		if rc == 0 {
+			t.Errorf("%v: RIP crashed in no scenarios; its OOD weakness is gone", ty)
+		}
+		if ty != scenario.GhostCutIn && rc <= lc {
+			t.Errorf("%v: RIP (%d) should crash at least as often as LBC (%d)", ty, rc, lc)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// SensitivityRow reports how strongly one hyperparameter drives accidents:
+// the point-biserial correlation between the hyperparameter's value and the
+// crash indicator across the suite. §IV-B1 argues that "safety criticality
+// varies with hyperparameter values" — this quantifies it per knob.
+type SensitivityRow struct {
+	Hyperparameter string
+	Correlation    float64
+}
+
+// Sensitivity computes per-hyperparameter crash correlations for a suite.
+// Rows are sorted by absolute correlation, strongest first.
+func Sensitivity(suite Suite) ([]SensitivityRow, error) {
+	if len(suite.Scenarios) < 3 {
+		return nil, fmt.Errorf("experiments: need at least 3 scenarios, got %d", len(suite.Scenarios))
+	}
+	crashes := make([]float64, len(suite.Scenarios))
+	for i, o := range suite.Outcomes {
+		if o.Collision {
+			crashes[i] = 1
+		}
+	}
+	var rows []SensitivityRow
+	for _, name := range scenario.Hyperparameters(suite.Typology) {
+		values := make([]float64, len(suite.Scenarios))
+		for i, s := range suite.Scenarios {
+			values[i] = s.Hyper[name]
+		}
+		rows = append(rows, SensitivityRow{
+			Hyperparameter: name,
+			Correlation:    stats.Pearson(values, crashes),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return abs(rows[i].Correlation) > abs(rows[j].Correlation)
+	})
+	return rows, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

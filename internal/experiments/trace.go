@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"repro/internal/actor"
+	"repro/internal/metrics"
+	"repro/internal/roadmap"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// traceWorld reconstructs, from a recorded episode trace, everything the
+// offline risk metrics need at step t: the ego state, the actor set (with
+// yaw estimates), and each actor's ground-truth future trajectory for the
+// remainder of the episode.
+type traceWorld struct {
+	m     roadmap.Map
+	dt    float64
+	trace []sim.StepRecord
+}
+
+func newTraceWorld(scn scenario.Scenario, trace []sim.StepRecord) (*traceWorld, error) {
+	w, err := scn.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &traceWorld{m: w.Map, dt: scn.Dt, trace: trace}, nil
+}
+
+func (tw *traceWorld) steps() int { return len(tw.trace) }
+
+func (tw *traceWorld) ego(t int) vehicle.State { return tw.trace[t].Ego }
+
+// actors reconstructs the actor set at step t. Scenario NPCs are all
+// standard vehicles.
+func (tw *traceWorld) actors(t int) []*actor.Actor {
+	rec := tw.trace[t]
+	out := make([]*actor.Actor, len(rec.ActorStates))
+	for i, s := range rec.ActorStates {
+		a := actor.NewVehicle(i+1, s)
+		a.YawRate = rec.ActorYaws[i]
+		out[i] = a
+	}
+	return out
+}
+
+// futures returns the recorded ground-truth trajectories from step t on.
+func (tw *traceWorld) futures(t int) []actor.Trajectory {
+	n := len(tw.trace[t].ActorStates)
+	out := make([]actor.Trajectory, n)
+	for i := 0; i < n; i++ {
+		states := make([]vehicle.State, 0, len(tw.trace)-t)
+		for k := t; k < len(tw.trace); k++ {
+			states = append(states, tw.trace[k].ActorStates[i])
+		}
+		out[i] = actor.Trajectory{Dt: tw.dt, States: states}
+	}
+	return out
+}
+
+// scene assembles the metrics.Scene at step t with ground-truth futures.
+func (tw *traceWorld) scene(t int, horizon float64) metrics.Scene {
+	return metrics.Scene{
+		Map:       tw.m,
+		Ego:       tw.ego(t),
+		EgoParams: vehicle.DefaultParams(),
+		Actors:    tw.actors(t),
+		Trajs:     tw.futures(t),
+		Horizon:   horizon,
+		Dt:        tw.dt,
+	}
+}

@@ -1,0 +1,95 @@
+package geom
+
+import "math"
+
+// Box is an oriented rectangle (OBB): the footprint of a vehicle or other
+// physical object. Heading is the direction of the +length axis in radians.
+type Box struct {
+	Center  Vec2
+	HalfLen float64 // half extent along the heading axis
+	HalfWid float64 // half extent perpendicular to the heading axis
+	Heading float64
+}
+
+// NewBox constructs an oriented box from a centre, full length, full width
+// and heading.
+func NewBox(center Vec2, length, width, heading float64) Box {
+	return Box{Center: center, HalfLen: length / 2, HalfWid: width / 2, Heading: heading}
+}
+
+// Axes returns the box's local unit axes (longitudinal, lateral).
+func (b Box) Axes() (Vec2, Vec2) {
+	s, c := math.Sincos(b.Heading)
+	return Vec2{c, s}, Vec2{-s, c}
+}
+
+// Corners returns the four corners in counter-clockwise order.
+func (b Box) Corners() [4]Vec2 {
+	ax, ay := b.Axes()
+	dl := ax.Scale(b.HalfLen)
+	dw := ay.Scale(b.HalfWid)
+	return [4]Vec2{
+		b.Center.Add(dl).Add(dw),
+		b.Center.Sub(dl).Add(dw),
+		b.Center.Sub(dl).Sub(dw),
+		b.Center.Add(dl).Sub(dw),
+	}
+}
+
+// ContainsPoint reports whether p lies inside (or on the boundary of) b.
+func (b Box) ContainsPoint(p Vec2) bool {
+	d := p.Sub(b.Center)
+	ax, ay := b.Axes()
+	return math.Abs(d.Dot(ax)) <= b.HalfLen+1e-12 && math.Abs(d.Dot(ay)) <= b.HalfWid+1e-12
+}
+
+// Area returns the area of the box.
+func (b Box) Area() float64 { return 4 * b.HalfLen * b.HalfWid }
+
+// BoundingRadius returns the radius of the circumscribed circle, useful for
+// cheap broad-phase rejection before the exact SAT test.
+func (b Box) BoundingRadius() float64 { return math.Hypot(b.HalfLen, b.HalfWid) }
+
+// Intersects reports whether two oriented boxes overlap, using the
+// separating-axis theorem specialised for rectangles (4 candidate axes).
+func (b Box) Intersects(o Box) bool {
+	// Broad phase: bounding circles.
+	r := b.BoundingRadius() + o.BoundingRadius()
+	if b.Center.DistSq(o.Center) > r*r {
+		return false
+	}
+	bx, by := b.Axes()
+	ox, oy := o.Axes()
+	axes := [4]Vec2{bx, by, ox, oy}
+	d := o.Center.Sub(b.Center)
+	for _, axis := range axes {
+		// Projected half-extents of each box onto axis.
+		pb := b.HalfLen*math.Abs(bx.Dot(axis)) + b.HalfWid*math.Abs(by.Dot(axis))
+		po := o.HalfLen*math.Abs(ox.Dot(axis)) + o.HalfWid*math.Abs(oy.Dot(axis))
+		if math.Abs(d.Dot(axis)) > pb+po {
+			return false
+		}
+	}
+	return true
+}
+
+// Inflate returns a copy of b grown by margin on every side. A negative
+// margin shrinks the box (extents are floored at zero).
+func (b Box) Inflate(margin float64) Box {
+	b.HalfLen = math.Max(0, b.HalfLen+margin)
+	b.HalfWid = math.Max(0, b.HalfWid+margin)
+	return b
+}
+
+// AABB returns the axis-aligned bounding box of b as (min, max) corners.
+func (b Box) AABB() (Vec2, Vec2) {
+	cs := b.Corners()
+	min, max := cs[0], cs[0]
+	for _, c := range cs[1:] {
+		min.X = math.Min(min.X, c.X)
+		min.Y = math.Min(min.Y, c.Y)
+		max.X = math.Max(max.X, c.X)
+		max.Y = math.Max(max.Y, c.Y)
+	}
+	return min, max
+}

@@ -1,0 +1,71 @@
+package geom
+
+// OccupancyGrid discretises the plane into square cells and records which
+// cells have been visited. The iPrism reach-tube uses it to approximate the
+// state-space volume |T| of the set of escape routes: a tube that marks more
+// cells covers a larger portion of the drivable area.
+//
+// The zero value is not usable; construct with NewOccupancyGrid.
+type OccupancyGrid struct {
+	cellSize float64
+	cells    map[cellKey]struct{}
+}
+
+type cellKey struct{ ix, iy int32 }
+
+// NewOccupancyGrid creates a grid with the given cell edge length in metres.
+// cellSize must be positive.
+func NewOccupancyGrid(cellSize float64) *OccupancyGrid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &OccupancyGrid{cellSize: cellSize, cells: make(map[cellKey]struct{}, 256)}
+}
+
+// CellSize returns the grid resolution in metres.
+func (g *OccupancyGrid) CellSize() float64 { return g.cellSize }
+
+// Mark records the cell containing p as occupied. It reports whether the
+// cell was newly marked.
+func (g *OccupancyGrid) Mark(p Vec2) bool {
+	k := g.key(p)
+	if _, ok := g.cells[k]; ok {
+		return false
+	}
+	g.cells[k] = struct{}{}
+	return true
+}
+
+// Occupied reports whether the cell containing p has been marked.
+func (g *OccupancyGrid) Occupied(p Vec2) bool {
+	_, ok := g.cells[g.key(p)]
+	return ok
+}
+
+// Count returns the number of occupied cells.
+func (g *OccupancyGrid) Count() int { return len(g.cells) }
+
+// Area returns the total occupied area in square metres.
+func (g *OccupancyGrid) Area() float64 {
+	return float64(len(g.cells)) * g.cellSize * g.cellSize
+}
+
+// Reset clears all occupied cells while retaining allocated capacity.
+func (g *OccupancyGrid) Reset() { clear(g.cells) }
+
+func (g *OccupancyGrid) key(p Vec2) cellKey {
+	return cellKey{
+		ix: int32(floorDiv(p.X, g.cellSize)),
+		iy: int32(floorDiv(p.Y, g.cellSize)),
+	}
+}
+
+func floorDiv(x, cell float64) float64 {
+	q := x / cell
+	// Truncation differs from floor for negatives; adjust.
+	t := float64(int64(q))
+	if q < 0 && q != t {
+		t--
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package geom
+
+import "sort"
+
+// Polygon is a simple polygon described by its vertices in order.
+type Polygon []Vec2
+
+// Area returns the unsigned area of the polygon (shoelace formula).
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range p {
+		j := (i + 1) % len(p)
+		sum += p[i].Cross(p[j])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// ContainsPoint reports whether pt is inside the polygon using the winding
+// ray-crossing test. Points exactly on an edge may be reported either way.
+func (p Polygon) ContainsPoint(pt Vec2) bool {
+	inside := false
+	n := len(p)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := p[i], p[j]
+		if (pi.Y > pt.Y) != (pj.Y > pt.Y) {
+			xCross := (pj.X-pi.X)*(pt.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if pt.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Centroid returns the arithmetic mean of the polygon's vertices.
+func (p Polygon) Centroid() Vec2 {
+	var c Vec2
+	if len(p) == 0 {
+		return c
+	}
+	for _, v := range p {
+		c = c.Add(v)
+	}
+	return c.Scale(1 / float64(len(p)))
+}
+
+// ConvexHull returns the convex hull of the given points in counter-clockwise
+// order (Andrew's monotone chain). The input is not modified.
+func ConvexHull(points []Vec2) Polygon {
+	if len(points) < 3 {
+		out := make(Polygon, len(points))
+		copy(out, points)
+		return out
+	}
+	pts := make([]Vec2, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	var lower, upper []Vec2
+	for _, p := range pts {
+		for len(lower) >= 2 && lower[len(lower)-1].Sub(lower[len(lower)-2]).Cross(p.Sub(lower[len(lower)-2])) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		p := pts[i]
+		for len(upper) >= 2 && upper[len(upper)-1].Sub(upper[len(upper)-2]).Cross(p.Sub(upper[len(upper)-2])) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return Polygon(hull)
+}
+
+// SegmentsIntersect reports whether closed segments [a1,a2] and [b1,b2]
+// intersect (including touching endpoints and collinear overlap).
+func SegmentsIntersect(a1, a2, b1, b2 Vec2) bool {
+	d1 := orient(b1, b2, a1)
+	d2 := orient(b1, b2, a2)
+	d3 := orient(a1, a2, b1)
+	d4 := orient(a1, a2, b2)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(b1, b2, a1)) ||
+		(d2 == 0 && onSegment(b1, b2, a2)) ||
+		(d3 == 0 && onSegment(a1, a2, b1)) ||
+		(d4 == 0 && onSegment(a1, a2, b2))
+}
+
+func orient(a, b, c Vec2) float64 { return b.Sub(a).Cross(c.Sub(a)) }
+
+func onSegment(a, b, p Vec2) bool {
+	return p.X >= minF(a.X, b.X) && p.X <= maxF(a.X, b.X) &&
+		p.Y >= minF(a.Y, b.Y) && p.Y <= maxF(a.Y, b.Y)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPolygonArea(t *testing.T) {
+	tests := []struct {
+		name string
+		give Polygon
+		want float64
+	}{
+		{"empty", Polygon{}, 0},
+		{"degenerate", Polygon{V(0, 0), V(1, 1)}, 0},
+		{"unit square ccw", Polygon{V(0, 0), V(1, 0), V(1, 1), V(0, 1)}, 1},
+		{"unit square cw", Polygon{V(0, 0), V(0, 1), V(1, 1), V(1, 0)}, 1},
+		{"triangle", Polygon{V(0, 0), V(4, 0), V(0, 3)}, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Area(); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Area = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	square := Polygon{V(0, 0), V(2, 0), V(2, 2), V(0, 2)}
+	if !square.ContainsPoint(V(1, 1)) {
+		t.Error("centre should be inside")
+	}
+	if square.ContainsPoint(V(3, 1)) {
+		t.Error("outside point reported inside")
+	}
+	if square.ContainsPoint(V(-0.1, 1)) {
+		t.Error("outside-left point reported inside")
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	square := Polygon{V(0, 0), V(2, 0), V(2, 2), V(0, 2)}
+	if got := square.Centroid(); !vecAlmostEq(got, V(1, 1), 1e-12) {
+		t.Errorf("Centroid = %v", got)
+	}
+	if got := (Polygon{}).Centroid(); got != (Vec2{}) {
+		t.Errorf("empty Centroid = %v", got)
+	}
+}
+
+func TestConvexHull(t *testing.T) {
+	pts := []Vec2{
+		{0, 0}, {2, 0}, {2, 2}, {0, 2},
+		{1, 1}, {0.5, 0.5}, {1.5, 0.2}, // interior points
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(hull), hull)
+	}
+	if got := hull.Area(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("hull area = %v, want 4", got)
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("hull of nil = %v", got)
+	}
+	one := []Vec2{{1, 2}}
+	if got := ConvexHull(one); len(got) != 1 || got[0] != one[0] {
+		t.Errorf("hull of one point = %v", got)
+	}
+}
+
+// Property: all input points lie inside (or on the boundary of) their convex
+// hull, and the hull is convex (all cross products of consecutive edges have
+// the same sign).
+func TestConvexHullProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 3 + rng.Intn(40)
+		pts := make([]Vec2, n)
+		for i := range pts {
+			pts[i] = V(rng.Float64()*20-10, rng.Float64()*20-10)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue // collinear degenerate input
+		}
+		// Convexity.
+		for i := range hull {
+			a := hull[i]
+			b := hull[(i+1)%len(hull)]
+			c := hull[(i+2)%len(hull)]
+			if b.Sub(a).Cross(c.Sub(b)) < -1e-9 {
+				t.Fatalf("iter %d: hull not convex at %d: %v", iter, i, hull)
+			}
+		}
+		// Containment: every input point within hull (allow boundary slop by
+		// inflating test with tiny epsilon via area comparison).
+		for _, p := range pts {
+			if !hullContains(hull, p, 1e-9) {
+				t.Fatalf("iter %d: point %v outside hull %v", iter, p, hull)
+			}
+		}
+	}
+}
+
+func hullContains(hull Polygon, p Vec2, eps float64) bool {
+	for i := range hull {
+		a := hull[i]
+		b := hull[(i+1)%len(hull)]
+		if b.Sub(a).Cross(p.Sub(a)) < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name           string
+		a1, a2, b1, b2 Vec2
+		want           bool
+	}{
+		{"crossing", V(0, 0), V(2, 2), V(0, 2), V(2, 0), true},
+		{"parallel apart", V(0, 0), V(2, 0), V(0, 1), V(2, 1), false},
+		{"touching endpoint", V(0, 0), V(1, 1), V(1, 1), V(2, 0), true},
+		{"collinear overlapping", V(0, 0), V(2, 0), V(1, 0), V(3, 0), true},
+		{"collinear disjoint", V(0, 0), V(1, 0), V(2, 0), V(3, 0), false},
+		{"T shape", V(0, 0), V(2, 0), V(1, 0), V(1, 2), true},
+		{"near miss", V(0, 0), V(2, 0), V(1, 0.01), V(1, 2), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SegmentsIntersect(tt.a1, tt.a2, tt.b1, tt.b2); got != tt.want {
+				t.Errorf("SegmentsIntersect = %v, want %v", got, tt.want)
+			}
+			if got := SegmentsIntersect(tt.b1, tt.b2, tt.a1, tt.a2); got != tt.want {
+				t.Errorf("SegmentsIntersect (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGridMarkCount(t *testing.T) {
+	g := NewOccupancyGrid(1)
+	if !g.Mark(V(0.5, 0.5)) {
+		t.Error("first mark should be new")
+	}
+	if g.Mark(V(0.9, 0.1)) {
+		t.Error("same-cell mark should not be new")
+	}
+	if !g.Mark(V(1.5, 0.5)) {
+		t.Error("adjacent cell should be new")
+	}
+	if got := g.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := g.Area(); got != 2 {
+		t.Errorf("Area = %v, want 2", got)
+	}
+	if !g.Occupied(V(0.2, 0.7)) {
+		t.Error("cell should be occupied")
+	}
+	g.Reset()
+	if g.Count() != 0 {
+		t.Error("Reset should clear cells")
+	}
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	g := NewOccupancyGrid(1)
+	g.Mark(V(-0.5, -0.5))
+	g.Mark(V(0.5, 0.5))
+	if g.Count() != 2 {
+		t.Errorf("cells at ±0.5 must differ; Count = %d", g.Count())
+	}
+	// -0.5 and -0.9 share the [-1, 0) cell.
+	if g.Mark(V(-0.9, -0.9)) {
+		t.Error("(-0.9,-0.9) should share the (-1..0) cell with (-0.5,-0.5)")
+	}
+}
+
+func TestGridInvalidCellSize(t *testing.T) {
+	g := NewOccupancyGrid(-1)
+	if g.CellSize() != 1 {
+		t.Errorf("invalid cell size should default to 1, got %v", g.CellSize())
+	}
+}
+
+func TestGridAreaScalesWithCellSize(t *testing.T) {
+	g := NewOccupancyGrid(0.5)
+	g.Mark(V(0.1, 0.1))
+	if got := g.Area(); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("Area = %v, want 0.25", got)
+	}
+}
+
+func TestGridDenseCoverage(t *testing.T) {
+	g := NewOccupancyGrid(1)
+	for x := 0.0; x < 10; x += 0.25 {
+		for y := 0.0; y < 10; y += 0.25 {
+			g.Mark(V(x, y))
+		}
+	}
+	if got := g.Count(); got != 100 {
+		t.Errorf("dense 10x10 coverage = %d cells, want 100", got)
+	}
+}
+
+func TestFloorDivMatchesMathFloor(t *testing.T) {
+	for _, x := range []float64{-5.5, -1, -0.1, 0, 0.1, 1, 2.9, 1e5} {
+		for _, c := range []float64{0.5, 1, 2.5} {
+			want := math.Floor(x / c)
+			if got := floorDiv(x, c); got != want {
+				t.Errorf("floorDiv(%v,%v) = %v, want %v", x, c, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec2, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2)
+	b := V(3, -4)
+	if got := a.Add(b); got != V(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*3+2*(-4) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := b.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := b.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v", got)
+	}
+	if got := a.Dist(V(1, 2)); got != 0 {
+		t.Errorf("Dist to self = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(3, 4).Unit()
+	if !vecAlmostEq(u, V(0.6, 0.8), 1e-12) {
+		t.Errorf("Unit = %v", u)
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("Unit of zero vector = %v, want zero", got)
+	}
+}
+
+func TestVecRotate(t *testing.T) {
+	r := V(1, 0).Rotate(math.Pi / 2)
+	if !vecAlmostEq(r, V(0, 1), 1e-12) {
+		t.Errorf("Rotate 90° = %v", r)
+	}
+	r = V(1, 0).Rotate(math.Pi)
+	if !vecAlmostEq(r, V(-1, 0), 1e-12) {
+		t.Errorf("Rotate 180° = %v", r)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	if got := V(0, 1).Angle(); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("Angle = %v", got)
+	}
+	if got := V(-1, 0).Angle(); !almostEq(got, math.Pi, 1e-12) {
+		t.Errorf("Angle = %v", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, -10)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, -5) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct {
+		give, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.give); !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !almostEq(got, 0.2, 1e-12) {
+		t.Errorf("AngleDiff = %v", got)
+	}
+	// Wrap-around: 179° vs -179° differ by 2°, not 358°.
+	a, b := math.Pi-0.01, -math.Pi+0.01
+	if got := AngleDiff(a, b); !almostEq(got, -0.02, 1e-9) {
+		t.Errorf("AngleDiff wrap = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp above = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+// Property: rotation preserves vector length.
+func TestRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, angle float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		v := V(x, y)
+		r := v.Rotate(math.Mod(angle, 2*math.Pi))
+		return almostEq(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeAngle output always lies in (-π, π] and preserves the
+// angle modulo 2π.
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e9)
+		n := NormalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi+1e-12 {
+			return false
+		}
+		// sin/cos must be unchanged.
+		return almostEq(math.Sin(a), math.Sin(n), 1e-6) && almostEq(math.Cos(a), math.Cos(n), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a.Dot(b) == b.Dot(a) and a.Cross(b) == -b.Cross(a).
+func TestDotCrossSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a, b := V(math.Mod(ax, 1e3), math.Mod(ay, 1e3)), V(math.Mod(bx, 1e3), math.Mod(by, 1e3))
+		return a.Dot(b) == b.Dot(a) && a.Cross(b) == -b.Cross(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

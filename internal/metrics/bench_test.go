@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+func benchScene() Scene {
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(25, 1.75), Speed: 6}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(5, 5.25), Speed: 11}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(-20, 1.75), Speed: 16}),
+	}
+	s := Scene{
+		Map:       roadmap.MustStraightRoad(2, 3.5, -100, 1000),
+		Ego:       vehicle.State{Pos: geom.V(0, 1.75), Speed: 12},
+		EgoParams: vehicle.DefaultParams(),
+		Actors:    actors,
+		Horizon:   3,
+		Dt:        0.5,
+	}
+	s.Trajs = actor.PredictAll(actors, s.steps(), s.Dt)
+	return s
+}
+
+func BenchmarkTTC(b *testing.B) {
+	s := benchScene()
+	for i := 0; i < b.N; i++ {
+		TTC(s)
+	}
+}
+
+func BenchmarkPKLCombined(b *testing.B) {
+	s := benchScene()
+	m := DefaultPKLModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PKLCombined(s)
+	}
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzLTFMA(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 1}, 3, 0.1)
+	f.Add([]byte{}, 0, 0.5)
+	f.Add([]byte{0, 0, 0}, 10, 0.1)
+	f.Fuzz(func(t *testing.T, raw []byte, accident int, dt float64) {
+		if math.IsNaN(dt) || math.IsInf(dt, 0) || dt < 0 || dt > 1e3 {
+			t.Skip()
+		}
+		if accident < 0 || len(raw) > 10_000 {
+			t.Skip()
+		}
+		risk := make([]bool, len(raw))
+		for i, b := range raw {
+			risk[i] = b%2 == 1
+		}
+		got := LTFMA(risk, accident, dt)
+		if got < 0 {
+			t.Fatalf("LTFMA negative: %v", got)
+		}
+		if got > float64(len(risk))*dt+1e-9 {
+			t.Fatalf("LTFMA %v exceeds the whole trace %v", got, float64(len(risk))*dt)
+		}
+	})
+}
+
+func FuzzKLNonNegative(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g float64) {
+		weights := []float64{a, b, c, d, e, g}
+		var p, q [NumCandidates]float64
+		sp, sq := 0.0, 0.0
+		for i := 0; i < NumCandidates; i++ {
+			wp := math.Abs(weights[i%len(weights)])
+			wq := math.Abs(weights[(i+3)%len(weights)])
+			if math.IsNaN(wp) || math.IsInf(wp, 0) || math.IsNaN(wq) || math.IsInf(wq, 0) {
+				t.Skip()
+			}
+			p[i], q[i] = wp+1e-6, wq+1e-6
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := 0; i < NumCandidates; i++ {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		if got := kl(p, q); got < 0 || math.IsNaN(got) {
+			t.Fatalf("KL(p,q) = %v, want >= 0", got)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import "math"
+
+// LTFMA (Lead-Time-For-Mitigating-Accident, §V-A) counts the consecutive
+// time steps with nonzero risk immediately preceding the accident and
+// converts them to seconds. A metric that flags risk early and *keeps*
+// flagging it until the accident earns a long lead time; a metric that
+// flickers or fires late earns a short one.
+//
+// risk[i] must be the binarised risk signal at step i (true = risk flagged)
+// covering steps 0..accidentStep. Steps after accidentStep are ignored.
+func LTFMA(risk []bool, accidentStep int, dt float64) float64 {
+	if accidentStep >= len(risk) {
+		accidentStep = len(risk) - 1
+	}
+	count := 0
+	for i := accidentStep; i >= 0; i-- {
+		if !risk[i] {
+			break
+		}
+		count++
+	}
+	return float64(count) * dt
+}
+
+// Thresholds binarise the raw metric values into the risk indicators used
+// by LTFMA. Defaults follow common forward-collision-warning practice: TTC
+// below 3 s, in-path gap below 15 m, any positive STI, PKL above a small
+// divergence floor.
+type Thresholds struct {
+	TTC      float64 // risk when TTC < TTC threshold
+	DistCIPA float64 // risk when gap < distance threshold
+	STI      float64 // risk when STI > this
+	PKL      float64 // risk when PKL > this
+}
+
+// DefaultThresholds returns the thresholds used in the evaluation.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		TTC:      3.0,
+		DistCIPA: 15.0,
+		STI:      0.05,
+		PKL:      0.10,
+	}
+}
+
+// TTCRisk binarises a TTC value.
+func (t Thresholds) TTCRisk(ttc float64) bool {
+	return !math.IsInf(ttc, 1) && ttc < t.TTC
+}
+
+// DistCIPARisk binarises a Dist. CIPA value.
+func (t Thresholds) DistCIPARisk(d float64) bool {
+	return !math.IsInf(d, 1) && d < t.DistCIPA
+}
+
+// STIRisk binarises an STI value.
+func (t Thresholds) STIRisk(sti float64) bool { return sti > t.STI }
+
+// PKLRisk binarises a PKL value.
+func (t Thresholds) PKLRisk(pkl float64) bool { return pkl > t.PKL }
+
+// BoolSeries applies a predicate to a raw metric trace.
+func BoolSeries(values []float64, risky func(float64) bool) []bool {
+	out := make([]bool, len(values))
+	for i, v := range values {
+		out[i] = risky(v)
+	}
+	return out
+}

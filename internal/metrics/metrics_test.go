@@ -1,0 +1,301 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+func testScene(ego vehicle.State, actors []*actor.Actor) Scene {
+	s := Scene{
+		Map:       roadmap.MustStraightRoad(2, 3.5, -100, 1000),
+		Ego:       ego,
+		EgoParams: vehicle.DefaultParams(),
+		Actors:    actors,
+		Horizon:   3.0,
+		Dt:        0.5,
+	}
+	s.Trajs = actor.PredictAll(actors, s.steps(), s.Dt)
+	return s
+}
+
+func egoAt(x, y, speed float64) vehicle.State {
+	return vehicle.State{Pos: geom.V(x, y), Speed: speed}
+}
+
+func TestTTCNoActors(t *testing.T) {
+	s := testScene(egoAt(0, 1.75, 10), nil)
+	if got := TTC(s); !math.IsInf(got, 1) {
+		t.Errorf("TTC with no actors = %v, want +Inf", got)
+	}
+	if got := DistCIPA(s); !math.IsInf(got, 1) {
+		t.Errorf("DistCIPA with no actors = %v, want +Inf", got)
+	}
+}
+
+func TestTTCLeadVehicle(t *testing.T) {
+	// Lead vehicle 34.7 m ahead centre-to-centre (30 m gap) in the same
+	// lane, 5 m/s slower: TTC = 30 / 5 = 6 s.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(34.7, 1.75), Speed: 5})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{lead})
+	got := TTC(s)
+	if math.Abs(got-6) > 0.1 {
+		t.Errorf("TTC = %v, want ~6", got)
+	}
+	if gap := DistCIPA(s); math.Abs(gap-30) > 1e-9 {
+		t.Errorf("DistCIPA = %v, want 30", gap)
+	}
+}
+
+func TestTTCIgnoresFasterLead(t *testing.T) {
+	// A lead pulling away is in-path but not closing: TTC = +Inf.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(20, 1.75), Speed: 15})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{lead})
+	if got := TTC(s); !math.IsInf(got, 1) {
+		t.Errorf("TTC of receding lead = %v, want +Inf", got)
+	}
+	// But Dist. CIPA still reports the gap.
+	if got := DistCIPA(s); math.IsInf(got, 1) {
+		t.Errorf("DistCIPA of receding lead = %v, want finite", got)
+	}
+}
+
+func TestTTCBlindToAdjacentLane(t *testing.T) {
+	// An actor cruising in the adjacent lane, parallel to the ego: paths
+	// never cross, so TTC and Dist. CIPA are blind to it — the ghost cut-in
+	// blindness of Table II.
+	ghost := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-10, 5.25), Speed: 18})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{ghost})
+	if got := TTC(s); !math.IsInf(got, 1) {
+		t.Errorf("TTC of parallel adjacent actor = %v, want +Inf", got)
+	}
+	if got := DistCIPA(s); !math.IsInf(got, 1) {
+		t.Errorf("DistCIPA of parallel adjacent actor = %v, want +Inf", got)
+	}
+}
+
+func TestTTCBlindToRearActor(t *testing.T) {
+	// Rear-end typology: an actor closing from directly behind is never
+	// "in path" for forward-looking metrics.
+	rear := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-15, 1.75), Speed: 20})
+	s := testScene(egoAt(0, 1.75, 8), []*actor.Actor{rear})
+	if got := TTC(s); !math.IsInf(got, 1) {
+		t.Errorf("TTC of rear actor = %v, want +Inf", got)
+	}
+}
+
+func TestTTCSeesCuttingInActor(t *testing.T) {
+	// Once the adjacent actor begins yawing into the ego lane, its CVTR
+	// prediction crosses the ego path and TTC becomes finite.
+	cutter := actor.NewVehicle(1, vehicle.State{
+		Pos: geom.V(12, 5.25), Speed: 8, Heading: -0.35,
+	})
+	cutter.YawRate = 0 // heading already towards ego lane
+	s := testScene(egoAt(0, 1.75, 12), []*actor.Actor{cutter})
+	if got := TTC(s); math.IsInf(got, 1) {
+		t.Error("TTC should see an actor whose prediction crosses the ego path")
+	}
+}
+
+func TestInPathActorsMultiple(t *testing.T) {
+	near := actor.NewVehicle(1, vehicle.State{Pos: geom.V(15, 1.75), Speed: 5})
+	far := actor.NewVehicle(2, vehicle.State{Pos: geom.V(40, 1.75), Speed: 5})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{near, far})
+	ips := InPathActors(s)
+	if len(ips) != 2 {
+		t.Fatalf("in-path count = %d, want 2", len(ips))
+	}
+	if got := DistCIPA(s); math.Abs(got-(15-4.7)) > 1e-9 {
+		t.Errorf("DistCIPA = %v, want %v (nearest)", got, 15-4.7)
+	}
+}
+
+func TestInPathGapNonNegative(t *testing.T) {
+	overlapping := actor.NewVehicle(1, vehicle.State{Pos: geom.V(4, 1.75), Speed: 0})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{overlapping})
+	for _, ip := range InPathActors(s) {
+		if ip.Dist < 0 {
+			t.Errorf("gap = %v, want >= 0", ip.Dist)
+		}
+	}
+}
+
+func TestLTFMA(t *testing.T) {
+	tests := []struct {
+		name     string
+		risk     []bool
+		accident int
+		want     float64
+	}{
+		{"never risky", []bool{false, false, false}, 2, 0},
+		{"risky throughout", []bool{true, true, true}, 2, 0.3},
+		{"risk starts midway", []bool{false, true, true}, 2, 0.2},
+		{"flicker resets count", []bool{true, false, true}, 2, 0.1},
+		{"accident index past end clamps", []bool{true, true}, 5, 0.2},
+		{"risk after accident ignored", []bool{false, true, false, true}, 1, 0.1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LTFMA(tt.risk, tt.accident, 0.1); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("LTFMA = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if !th.TTCRisk(1.0) || th.TTCRisk(5.0) || th.TTCRisk(math.Inf(1)) {
+		t.Error("TTCRisk misbehaves")
+	}
+	if !th.DistCIPARisk(5) || th.DistCIPARisk(50) || th.DistCIPARisk(math.Inf(1)) {
+		t.Error("DistCIPARisk misbehaves")
+	}
+	if !th.STIRisk(0.2) || th.STIRisk(0.0) {
+		t.Error("STIRisk misbehaves")
+	}
+	if !th.PKLRisk(0.5) || th.PKLRisk(0.01) {
+		t.Error("PKLRisk misbehaves")
+	}
+}
+
+func TestBoolSeries(t *testing.T) {
+	th := DefaultThresholds()
+	got := BoolSeries([]float64{0.5, 5.0}, th.TTCRisk)
+	if !got[0] || got[1] {
+		t.Errorf("BoolSeries = %v", got)
+	}
+}
+
+func TestPKLDistributionSumsToOne(t *testing.T) {
+	m := DefaultPKLModel()
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(15, 1.75), Speed: 2})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{lead})
+	p := m.Distribution(CandidateFeatures(s, -1, false))
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability out of range: %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+}
+
+func TestPKLZeroWithoutActors(t *testing.T) {
+	m := DefaultPKLModel()
+	s := testScene(egoAt(0, 1.75, 10), nil)
+	if got := m.PKLCombined(s); got != 0 {
+		t.Errorf("PKLCombined with no actors = %v, want 0", got)
+	}
+	if got := m.PKL(s, 0); got != 0 {
+		t.Errorf("PKL with bad index = %v, want 0", got)
+	}
+}
+
+func TestPKLPositiveForBlockingActor(t *testing.T) {
+	m := DefaultPKLModel()
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(12, 1.75), Speed: 0})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{lead})
+	if got := m.PKL(s, 0); got <= 0 {
+		t.Errorf("PKL of blocking actor = %v, want > 0", got)
+	}
+	if got := m.PKLCombined(s); got <= 0 {
+		t.Errorf("PKLCombined = %v, want > 0", got)
+	}
+}
+
+func TestPKLSmallForIrrelevantActor(t *testing.T) {
+	m := DefaultPKLModel()
+	far := actor.NewVehicle(1, vehicle.State{Pos: geom.V(500, 5.25), Speed: 10})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{far})
+	blocking := actor.NewVehicle(1, vehicle.State{Pos: geom.V(12, 1.75), Speed: 0})
+	s2 := testScene(egoAt(0, 1.75, 10), []*actor.Actor{blocking})
+	if m.PKL(s, 0) >= m.PKL(s2, 0) {
+		t.Errorf("distant actor PKL %v should be < blocking actor PKL %v",
+			m.PKL(s, 0), m.PKL(s2, 0))
+	}
+}
+
+func TestPKLFitImprovesLikelihood(t *testing.T) {
+	// Build synthetic demonstrations: the demonstrator always picks the
+	// candidate with the lowest collision+proximity features.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 1})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{lead})
+	f := CandidateFeatures(s, -1, false)
+	best := 0
+	bestScore := math.Inf(1)
+	for c := 0; c < NumCandidates; c++ {
+		score := 4*f[c][0] + f[c][1]
+		if score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	samples := []PKLSample{{Features: f, Choice: best}}
+
+	m := &PKLModel{Tau: 1}
+	before := -math.Log(m.Distribution(f)[best])
+	nll, err := m.Fit(samples, 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nll >= before {
+		t.Errorf("fit NLL %v should improve on initial %v", nll, before)
+	}
+}
+
+func TestPKLFitErrors(t *testing.T) {
+	m := DefaultPKLModel()
+	if _, err := m.Fit(nil, 10, 0.1); err == nil {
+		t.Error("Fit with no samples should error")
+	}
+	bad := []PKLSample{{Choice: 99}}
+	if _, err := m.Fit(bad, 10, 0.1); err == nil {
+		t.Error("Fit with out-of-range choice should error")
+	}
+}
+
+func TestPKLDivergentModelsDiffer(t *testing.T) {
+	// Two models with different weights disagree on the same scene: the
+	// mechanism behind PKL-All vs PKL-Holdout sensitivity.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 2})
+	s := testScene(egoAt(0, 1.75, 10), []*actor.Actor{lead})
+	a := &PKLModel{W: [NumPlanFeatures]float64{5, 2, 0.5, 0.2, 2, 0.2}, Tau: 1}
+	b := &PKLModel{W: [NumPlanFeatures]float64{0.5, 0.1, 2, 2, 2, 2}, Tau: 1}
+	if math.Abs(a.PKL(s, 0)-b.PKL(s, 0)) < 1e-6 {
+		t.Error("different weight vectors should yield different PKL")
+	}
+}
+
+func TestSceneStepsDegenerate(t *testing.T) {
+	s := Scene{Horizon: 0, Dt: 0.5}
+	if got := s.steps(); got != 0 {
+		t.Errorf("steps = %d, want 0", got)
+	}
+	s = Scene{Horizon: 3, Dt: 0}
+	if got := s.steps(); got != 0 {
+		t.Errorf("steps = %d, want 0", got)
+	}
+}
+
+func TestKLProperties(t *testing.T) {
+	var p, q [NumCandidates]float64
+	for i := range p {
+		p[i] = 1.0 / NumCandidates
+		q[i] = 1.0 / NumCandidates
+	}
+	if got := kl(p, q); got != 0 {
+		t.Errorf("KL of identical distributions = %v, want 0", got)
+	}
+	q[0], q[1] = 0.9, q[1]-0.9+1.0/NumCandidates
+	// Renormalise roughly; KL must be positive for different distributions.
+	if got := kl(p, q); got <= 0 {
+		t.Errorf("KL of different distributions = %v, want > 0", got)
+	}
+}

@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+// PKL (planner KL-divergence, Philion et al., reference [14]) measures how
+// much an actor influences the ego's planning distribution: the KL
+// divergence between the plan distribution computed without the actor and
+// the distribution with it. A learned cost model scores a fixed set of
+// candidate manoeuvres; the plan distribution is a softmax over costs.
+//
+// The cost model's weights are *fitted* to driving demonstrations, which is
+// the property Table II probes with the PKL-All vs PKL-Holdout variants:
+// a PKL model fitted without cut-in demonstrations misjudges cut-in risk.
+
+// Candidate manoeuvres: 3 longitudinal × 3 lateral profiles.
+const (
+	numLong       = 3
+	numLat        = 3
+	NumCandidates = numLong * numLat
+	// NumPlanFeatures is the dimension of the per-candidate feature vector.
+	NumPlanFeatures = 6
+)
+
+// PlanFeatures holds one feature vector per candidate manoeuvre.
+type PlanFeatures [NumCandidates][NumPlanFeatures]float64
+
+// CandidateFeatures rolls each candidate manoeuvre forward with the bicycle
+// model and extracts its features against the scene's actors. The skip
+// argument removes one actor (the PKL counterfactual); pass -1 to keep all
+// and len(Actors) >= 0. skipAll removes every actor.
+func CandidateFeatures(s Scene, skip int, skipAll bool) PlanFeatures {
+	var out PlanFeatures
+	n := s.steps()
+	if n == 0 {
+		return out
+	}
+	longAccels := [numLong]float64{s.EgoParams.MaxBrake / 2, 0, s.EgoParams.MaxAccel / 2}
+	latOffsets := [numLat]float64{-3.5, 0, 3.5}
+
+	c := 0
+	for _, a := range longAccels {
+		for _, lat := range latOffsets {
+			out[c] = rollout(s, a, lat, n, skip, skipAll)
+			c++
+		}
+	}
+	return out
+}
+
+// rollout simulates one candidate manoeuvre and extracts features:
+//
+//	f0: collision with any (kept) actor (0/1)
+//	f1: proximity = exp(-minDist/5)
+//	f2: negative progress (1 - forward displacement / ideal)
+//	f3: lateral-change magnitude (|lat| / lane width)
+//	f4: off-road fraction of the rollout
+//	f5: terminal slowdown (1 - v_end / max(v0, ε))
+func rollout(s Scene, accel, latOffset float64, n, skip int, skipAll bool) [NumPlanFeatures]float64 {
+	var f [NumPlanFeatures]float64
+	ego := s.Ego
+	heading0 := ego.Heading
+	lateral := geom.V(-math.Sin(heading0), math.Cos(heading0))
+	targetPos := ego.Pos.Add(lateral.Scale(latOffset))
+	// Steering gain toward the target lateral offset in the ego frame.
+	minDist := math.Inf(1)
+	offRoad := 0
+	collided := false
+	start := ego.Pos
+	for t := 1; t <= n; t++ {
+		// Lateral error in the initial-heading frame: only the component of
+		// (target − pos) perpendicular to the initial heading matters.
+		latErr := targetPos.Sub(ego.Pos).Dot(lateral)
+		headingErr := geom.AngleDiff(heading0, ego.Heading)
+		steer := geom.Clamp(0.15*latErr+0.8*headingErr, -s.EgoParams.MaxSteer, s.EgoParams.MaxSteer)
+		ego = s.EgoParams.Step(ego, vehicle.Control{Accel: accel, Steer: steer}, s.Dt)
+		fp := s.EgoParams.Footprint(ego)
+		if s.Map != nil && !s.Map.DrivableBox(fp) {
+			offRoad++
+		}
+		if skipAll {
+			continue
+		}
+		for i, a := range s.Actors {
+			if i == skip {
+				continue
+			}
+			ab := a.FootprintAt(s.Trajs[i].StateAt(t))
+			if fp.Intersects(ab) {
+				collided = true
+			}
+			if d := fp.Center.Dist(ab.Center) - fp.BoundingRadius() - ab.BoundingRadius(); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if collided {
+		f[0] = 1
+	}
+	if !math.IsInf(minDist, 1) {
+		if minDist < 0 {
+			minDist = 0
+		}
+		f[1] = math.Exp(-minDist / 5)
+	}
+	ideal := s.Ego.Speed*s.Horizon + 0.5*math.Abs(accel)*s.Horizon*s.Horizon
+	if ideal > 1 {
+		progress := ego.Pos.Sub(start).Dot(geom.V(math.Cos(heading0), math.Sin(heading0)))
+		f[2] = geom.Clamp(1-progress/ideal, 0, 1)
+	}
+	f[3] = math.Abs(latOffset) / 3.5
+	f[4] = float64(offRoad) / float64(n)
+	if v0 := math.Max(s.Ego.Speed, 1); v0 > 0 {
+		f[5] = geom.Clamp(1-ego.Speed/v0, 0, 1)
+	}
+	return f
+}
+
+// PKLModel is the learned softmax cost model p(c) ∝ exp(-w·f_c / τ).
+type PKLModel struct {
+	W   [NumPlanFeatures]float64
+	Tau float64
+}
+
+// DefaultPKLModel returns an untrained model with hand-set weights that
+// penalise collisions and proximity; used as the optimisation starting
+// point and in tests.
+func DefaultPKLModel() *PKLModel {
+	return &PKLModel{
+		W:   [NumPlanFeatures]float64{4, 1, 0.5, 0.3, 2, 0.3},
+		Tau: 1.0,
+	}
+}
+
+// Distribution returns the plan distribution for the given features.
+func (m *PKLModel) Distribution(f PlanFeatures) [NumCandidates]float64 {
+	var logits [NumCandidates]float64
+	maxLogit := math.Inf(-1)
+	tau := m.Tau
+	if tau <= 0 {
+		tau = 1
+	}
+	for c := 0; c < NumCandidates; c++ {
+		cost := 0.0
+		for k := 0; k < NumPlanFeatures; k++ {
+			cost += m.W[k] * f[c][k]
+		}
+		logits[c] = -cost / tau
+		if logits[c] > maxLogit {
+			maxLogit = logits[c]
+		}
+	}
+	sum := 0.0
+	var p [NumCandidates]float64
+	for c := 0; c < NumCandidates; c++ {
+		p[c] = math.Exp(logits[c] - maxLogit)
+		sum += p[c]
+	}
+	for c := 0; c < NumCandidates; c++ {
+		p[c] /= sum
+	}
+	return p
+}
+
+// PKL returns the planner KL-divergence attributable to actor index i:
+// KL(p^{/i} ‖ p). Larger values mean the actor influences the plan more.
+func (m *PKLModel) PKL(s Scene, i int) float64 {
+	if i < 0 || i >= len(s.Actors) {
+		return 0
+	}
+	with := m.Distribution(CandidateFeatures(s, -1, false))
+	without := m.Distribution(CandidateFeatures(s, i, false))
+	return kl(without, with)
+}
+
+// PKLCombined returns the KL divergence from removing every actor:
+// KL(p^∅ ‖ p), the trace plotted in Fig. 4(f)–(j).
+func (m *PKLModel) PKLCombined(s Scene) float64 {
+	if len(s.Actors) == 0 {
+		return 0
+	}
+	with := m.Distribution(CandidateFeatures(s, -1, false))
+	without := m.Distribution(CandidateFeatures(s, -1, true))
+	return kl(without, with)
+}
+
+func kl(p, q [NumCandidates]float64) float64 {
+	const eps = 1e-12
+	sum := 0.0
+	for c := 0; c < NumCandidates; c++ {
+		if p[c] <= eps {
+			continue
+		}
+		sum += p[c] * math.Log(p[c]/math.Max(q[c], eps))
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	return sum
+}
+
+// PKLSample is one demonstration for fitting the cost model: the candidate
+// features of a scene and the index of the manoeuvre the demonstrator (the
+// baseline ADS) actually chose.
+type PKLSample struct {
+	Features PlanFeatures
+	Choice   int
+}
+
+// Fit trains the model's weights by maximum likelihood (multinomial
+// logistic regression via batch gradient descent). It returns the final
+// average negative log-likelihood.
+func (m *PKLModel) Fit(samples []PKLSample, epochs int, lr float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("metrics: no samples to fit PKL model")
+	}
+	for _, s := range samples {
+		if s.Choice < 0 || s.Choice >= NumCandidates {
+			return 0, fmt.Errorf("metrics: sample choice %d out of range", s.Choice)
+		}
+	}
+	tau := m.Tau
+	if tau <= 0 {
+		tau = 1
+		m.Tau = 1
+	}
+	nll := 0.0
+	for e := 0; e < epochs; e++ {
+		var grad [NumPlanFeatures]float64
+		nll = 0
+		for _, s := range samples {
+			p := m.Distribution(s.Features)
+			nll -= math.Log(math.Max(p[s.Choice], 1e-12))
+			// ∂NLL/∂w_k = (f_choice,k − Σ_c p_c f_c,k) / τ
+			for k := 0; k < NumPlanFeatures; k++ {
+				expect := 0.0
+				for c := 0; c < NumCandidates; c++ {
+					expect += p[c] * s.Features[c][k]
+				}
+				grad[k] += (s.Features[s.Choice][k] - expect) / tau
+			}
+		}
+		n := float64(len(samples))
+		for k := 0; k < NumPlanFeatures; k++ {
+			m.W[k] -= lr * grad[k] / n
+		}
+		nll /= n
+	}
+	return nll, nil
+}

@@ -1,0 +1,129 @@
+// Package metrics implements the risk metrics iPrism is compared against in
+// §IV-C / Table II — time-to-collision (TTC), distance to the closest
+// in-path actor (Dist. CIPA), and planner KL-divergence (PKL) — plus the
+// Lead-Time-For-Mitigating-Accident (LTFMA) heuristic of §V-A that scores
+// how early a metric warns before an accident.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// Scene is the common input to every risk metric: the ego state and the
+// (predicted or ground-truth) trajectories of all other actors. Trajs[i]
+// must correspond to Actors[i] and be sampled at Dt.
+type Scene struct {
+	Map       roadmap.Map
+	Ego       vehicle.State
+	EgoParams vehicle.Params
+	Actors    []*actor.Actor
+	Trajs     []actor.Trajectory
+	Horizon   float64 // look-ahead in seconds used by the PKL planner
+	Dt        float64 // trajectory sampling interval
+
+	// InPathRange is the length in metres of the forward corridor used to
+	// decide whether an actor is "in path" (footnote 6). Zero selects the
+	// 100 m default typical of forward-collision-warning systems.
+	InPathRange float64
+}
+
+// steps returns the number of Dt steps covering the horizon.
+func (s Scene) steps() int {
+	if s.Dt <= 0 || s.Horizon <= 0 {
+		return 0
+	}
+	return int(math.Round(s.Horizon / s.Dt))
+}
+
+// corridor returns the ego's forward corridor: a single oriented box from
+// the ego's rear bumper to InPathRange metres ahead, one ego width wide.
+// An actor is "in path" when its predicted trajectory enters this corridor.
+func (s Scene) corridor() geom.Box {
+	length := s.InPathRange
+	if length <= 0 {
+		length = 100
+	}
+	total := length + s.EgoParams.Length
+	sin, cos := math.Sincos(s.Ego.Heading)
+	center := s.Ego.Pos.Add(geom.V(cos, sin).Scale(length / 2))
+	return geom.NewBox(center, total, s.EgoParams.Width, s.Ego.Heading)
+}
+
+// InPath holds the kinematic relation of an in-path actor to the ego.
+type InPath struct {
+	Index   int     // index into Scene.Actors
+	Dist    float64 // bumper-to-bumper longitudinal gap (m), >= 0
+	Closing float64 // closing speed (m/s), > 0 when the gap shrinks
+}
+
+// InPathActors returns, for every actor ahead of the ego whose predicted
+// trajectory intersects the ego's path (footnote 6 of the paper), its gap
+// and closing speed. Actors behind the ego are excluded: TTC and Dist. CIPA
+// are forward-looking by construction, which is exactly the blindness the
+// paper's rear-end typology exposes.
+func InPathActors(s Scene) []InPath {
+	corridor := s.corridor()
+	heading := geom.V(math.Cos(s.Ego.Heading), math.Sin(s.Ego.Heading))
+	var out []InPath
+	for i, a := range s.Actors {
+		rel := a.State.Pos.Sub(s.Ego.Pos)
+		longitudinal := rel.Dot(heading)
+		if longitudinal <= 0 {
+			continue // behind the ego
+		}
+		if !pathIntersectsCorridor(corridor, a, s.Trajs[i], s.steps()) {
+			continue
+		}
+		gap := longitudinal - s.EgoParams.Length/2 - a.Length/2
+		if gap < 0 {
+			gap = 0
+		}
+		closing := s.Ego.Velocity().Sub(a.State.Velocity()).Dot(rel.Unit())
+		out = append(out, InPath{Index: i, Dist: gap, Closing: closing})
+	}
+	return out
+}
+
+// pathIntersectsCorridor reports whether any footprint of the actor's
+// predicted trajectory enters the ego's forward corridor — a timing-agnostic
+// "paths cross" test matching the paper's definition of in-path actors.
+func pathIntersectsCorridor(corridor geom.Box, a *actor.Actor, tr actor.Trajectory, steps int) bool {
+	for t := 0; t <= steps; t++ {
+		if a.FootprintAt(tr.StateAt(t)).Intersects(corridor) {
+			return true
+		}
+	}
+	return false
+}
+
+// TTC returns the minimum time-to-collision over in-path actors:
+// TTC = d / s_r (§IV-C). It returns +Inf when no in-path actor is closing.
+func TTC(s Scene) float64 {
+	min := math.Inf(1)
+	for _, ip := range InPathActors(s) {
+		if ip.Closing <= 1e-9 {
+			continue
+		}
+		if ttc := ip.Dist / ip.Closing; ttc < min {
+			min = ttc
+		}
+	}
+	return min
+}
+
+// DistCIPA returns the distance to the closest in-path actor, or +Inf when
+// there is none.
+func DistCIPA(s Scene) float64 {
+	min := math.Inf(1)
+	for _, ip := range InPathActors(s) {
+		if ip.Dist < min {
+			min = ip.Dist
+		}
+	}
+	return min
+}

@@ -1,0 +1,74 @@
+package reach
+
+import (
+	"repro/internal/actor"
+	"repro/internal/geom"
+)
+
+// Obstacles holds the predicted footprints of every actor at every time
+// slice of a reach-tube computation, organised per actor so that the
+// counterfactual queries of STI (remove one actor, remove all) are cheap.
+type Obstacles struct {
+	// boxes[i][s] is actor i's footprint during slice s.
+	boxes     [][]geom.Box
+	numSlices int
+}
+
+// BuildObstacles resamples each actor's trajectory at the reach-tube slice
+// interval and precomputes footprints. trajs[i] must correspond to
+// actors[i]; trajectories sampled at a different interval are resampled by
+// nearest-time lookup.
+func BuildObstacles(actors []*actor.Actor, trajs []actor.Trajectory, cfg Config) *Obstacles {
+	n := cfg.NumSlices()
+	o := &Obstacles{
+		boxes:     make([][]geom.Box, len(actors)),
+		numSlices: n,
+	}
+	for i, a := range actors {
+		tr := trajs[i]
+		if tr.Dt != cfg.SliceDt {
+			tr = tr.Resample(cfg.SliceDt, n)
+		}
+		bs := make([]geom.Box, n+1)
+		for s := 0; s <= n; s++ {
+			bs[s] = a.FootprintAt(tr.StateAt(s))
+		}
+		o.boxes[i] = bs
+	}
+	return o
+}
+
+// NumActors returns the number of actors in the set.
+func (o *Obstacles) NumActors() int { return len(o.boxes) }
+
+// Collide returns a CollisionFunc that tests against every actor.
+func (o *Obstacles) Collide() CollisionFunc { return o.collideSkipping(-1) }
+
+// CollideWithout returns a CollisionFunc for the counterfactual world with
+// actor index i removed (the paper's X^{/i}).
+func (o *Obstacles) CollideWithout(i int) CollisionFunc { return o.collideSkipping(i) }
+
+func (o *Obstacles) collideSkipping(skip int) CollisionFunc {
+	return func(b geom.Box, slice int) bool {
+		if slice > o.numSlices {
+			slice = o.numSlices
+		}
+		for i, bs := range o.boxes {
+			if i == skip {
+				continue
+			}
+			if b.Intersects(bs[slice]) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// BoxAt returns actor i's footprint at slice s (clamped to the horizon).
+func (o *Obstacles) BoxAt(i, s int) geom.Box {
+	if s > o.numSlices {
+		s = o.numSlices
+	}
+	return o.boxes[i][s]
+}

@@ -1,0 +1,257 @@
+// Package reach implements Algorithm 1 of the iPrism paper: computing the
+// ego vehicle's escape routes T_{t:t+k} as a reach-tube. Starting from the
+// ego state, the kinematic bicycle model is propagated forward through time
+// slices of Δt seconds under a set of control inputs; states that collide
+// with (predicted) actor trajectories or leave the drivable area are pruned.
+// The tube's state-space volume |T| — the area of the occupancy cells its
+// surviving states traverse — quantifies the escape routes available.
+package reach
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// CollisionFunc reports whether the footprint b collides with any obstacle
+// during time slice index slice (slice 0 is the current instant).
+type CollisionFunc func(b geom.Box, slice int) bool
+
+// Config holds the reach-tube parameters. The defaults mirror the paper's
+// setup: horizon k = 3 s, slices Δt = 0.5 s, boundary-control enumeration
+// {0, a_max} × {φ_min, 0, φ_max} (paper optimisation 2), ε-deduplication of
+// near-identical states (optimisation 1).
+type Config struct {
+	Horizon float64 // k: look-ahead in seconds
+	SliceDt float64 // Δt: slice length in seconds
+
+	// Samples is the number of extra uniformly spread control samples per
+	// state per slice in addition to the boundary set. 0 with BoundaryOnly
+	// reproduces the paper's optimised configuration.
+	Samples      int
+	BoundaryOnly bool
+
+	// Deduplication thresholds (optimisation 1): a new state is ignored if a
+	// previously visited state in the same slice lies within these distances.
+	PosEps     float64
+	HeadingEps float64
+	SpeedEps   float64
+
+	// CellSize is the occupancy-grid resolution used to measure |T|.
+	CellSize float64
+
+	// MaxStates caps the number of states expanded per slice as a safety
+	// valve against pathological configurations.
+	MaxStates int
+
+	// SubSteps subdivides each Δt slice when integrating the bicycle model
+	// and checking collisions, preventing fast vehicles from tunnelling
+	// through obstacles between slice endpoints.
+	SubSteps int
+
+	// RecordPoints retains the position of every expanded state in
+	// Tube.Points — used by the SVG renderer to draw the reach-tube.
+	RecordPoints bool
+
+	Params vehicle.Params
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Horizon:      3.0,
+		SliceDt:      0.5,
+		Samples:      0,
+		BoundaryOnly: true,
+		PosEps:       0.5,
+		HeadingEps:   0.1,
+		SpeedEps:     1.0,
+		CellSize:     1.0,
+		MaxStates:    4096,
+		SubSteps:     5,
+		Params:       vehicle.DefaultParams(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Horizon <= 0:
+		return fmt.Errorf("reach: horizon must be positive, got %v", c.Horizon)
+	case c.SliceDt <= 0 || c.SliceDt > c.Horizon:
+		return fmt.Errorf("reach: slice dt %v must be in (0, horizon=%v]", c.SliceDt, c.Horizon)
+	case c.PosEps <= 0 || c.HeadingEps <= 0 || c.SpeedEps <= 0:
+		return fmt.Errorf("reach: dedup epsilons must be positive")
+	case c.CellSize <= 0:
+		return fmt.Errorf("reach: cell size must be positive, got %v", c.CellSize)
+	case c.MaxStates < 1:
+		return fmt.Errorf("reach: max states must be at least 1, got %d", c.MaxStates)
+	case c.SubSteps < 1:
+		return fmt.Errorf("reach: sub steps must be at least 1, got %d", c.SubSteps)
+	}
+	return c.Params.Validate()
+}
+
+// NumSlices returns the number of Δt slices covering the horizon.
+func (c Config) NumSlices() int {
+	return int(math.Round(c.Horizon / c.SliceDt))
+}
+
+// Tube is the result of a reach-tube computation.
+type Tube struct {
+	// Volume is the occupied area (m²) of the cells traversed by surviving
+	// trajectories — the paper's |T|.
+	Volume float64
+	// States is the total number of distinct states expanded.
+	States int
+	// SliceStates[i] is the surviving frontier size after slice i; a zero
+	// entry means no escape route extends past that slice (safety hazard).
+	SliceStates []int
+	// Points holds every expanded state position when
+	// Config.RecordPoints is set; empty otherwise.
+	Points []geom.Vec2
+}
+
+// Depth returns the number of slices with at least one surviving state.
+func (t Tube) Depth() int {
+	n := 0
+	for _, s := range t.SliceStates {
+		if s == 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// controls returns the control set applied at every expansion: always the
+// boundary set {0, a_max} × {φ_min, 0, φ_max} (ensuring the tube boundary is
+// covered, per the paper), plus an optional uniform lattice of extra samples.
+func (c Config) controls() []vehicle.Control {
+	p := c.Params
+	out := make([]vehicle.Control, 0, 6+c.Samples)
+	for _, a := range [...]float64{0, p.MaxAccel} {
+		for _, phi := range [...]float64{-p.MaxSteer, 0, p.MaxSteer} {
+			out = append(out, vehicle.Control{Accel: a, Steer: phi})
+		}
+	}
+	if c.BoundaryOnly || c.Samples <= 0 {
+		return out
+	}
+	// Deterministic stratified lattice over the full control rectangle
+	// [a_min, a_max] × [-φ_max, φ_max]; determinism keeps every experiment
+	// reproducible without threading RNGs through the hot path.
+	na := int(math.Ceil(math.Sqrt(float64(c.Samples))))
+	nphi := (c.Samples + na - 1) / na
+	for i := 0; i < na; i++ {
+		for j := 0; j < nphi; j++ {
+			fa := (float64(i) + 0.5) / float64(na)
+			fp := (float64(j) + 0.5) / float64(nphi)
+			out = append(out, vehicle.Control{
+				Accel: p.MaxBrake + fa*(p.MaxAccel-p.MaxBrake),
+				Steer: -p.MaxSteer + fp*2*p.MaxSteer,
+			})
+		}
+	}
+	return out
+}
+
+type stateKey struct {
+	ix, iy, ih, iv int32
+}
+
+func (c Config) key(s vehicle.State) stateKey {
+	return stateKey{
+		ix: int32(math.Floor(s.Pos.X / c.PosEps)),
+		iy: int32(math.Floor(s.Pos.Y / c.PosEps)),
+		ih: int32(math.Floor(s.Heading / c.HeadingEps)),
+		iv: int32(math.Floor(s.Speed / c.SpeedEps)),
+	}
+}
+
+// Compute runs Algorithm 1: it returns the reach-tube of the ego vehicle on
+// map m, with collisions judged by collide (which may be nil for an empty
+// world — the T^∅ counterfactual).
+func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config) Tube {
+	numSlices := cfg.NumSlices()
+	grid := geom.NewOccupancyGrid(cfg.CellSize)
+	tube := Tube{SliceStates: make([]int, numSlices)}
+
+	egoFp := cfg.Params.Footprint(ego)
+	if !m.DrivableBox(egoFp) || (collide != nil && collide(egoFp, 0)) {
+		// The ego is already off-road or in contact: no escape routes.
+		return tube
+	}
+
+	controls := cfg.controls()
+	frontier := []vehicle.State{ego}
+	visited := make(map[stateKey]struct{}, 256)
+	next := make([]vehicle.State, 0, 64)
+
+	for slice := 0; slice < numSlices; slice++ {
+		clear(visited)
+		next = next[:0]
+	expand:
+		for _, s := range frontier {
+			for _, u := range controls {
+				s2, ok := cfg.propagate(m, collide, s, u, slice)
+				if !ok {
+					continue
+				}
+				k := cfg.key(s2)
+				if _, seen := visited[k]; seen {
+					continue
+				}
+				visited[k] = struct{}{}
+				grid.Mark(s2.Pos)
+				if cfg.RecordPoints {
+					tube.Points = append(tube.Points, s2.Pos)
+				}
+				next = append(next, s2)
+				if len(next) >= cfg.MaxStates {
+					break expand
+				}
+			}
+		}
+		tube.SliceStates[slice] = len(next)
+		tube.States += len(next)
+		if len(next) == 0 {
+			break
+		}
+		frontier, next = next, frontier[:0]
+	}
+	tube.Volume = grid.Area()
+	return tube
+}
+
+// propagate integrates one Δt slice in sub-increments, rejecting the
+// transition if any intermediate footprint leaves the map or collides.
+// Intermediate collisions are tested against both bounding slice indices of
+// the (moving) obstacles, a conservative sweep approximation. The number of
+// sub-steps adapts to the state's speed — enough that no sub-step covers
+// more than ~half a vehicle length, capped at SubSteps — so slow states
+// stay cheap and fast states cannot tunnel.
+func (c Config) propagate(m roadmap.Map, collide CollisionFunc, s vehicle.State, u vehicle.Control, slice int) (vehicle.State, bool) {
+	sub := int(math.Ceil(s.Speed * c.SliceDt / (c.Params.Length / 2)))
+	if sub < 1 {
+		sub = 1
+	}
+	if sub > c.SubSteps {
+		sub = c.SubSteps
+	}
+	dt := c.SliceDt / float64(sub)
+	for j := 1; j <= sub; j++ {
+		s = c.Params.Step(s, u, dt)
+		fp := c.Params.Footprint(s)
+		if !m.DrivableBox(fp) {
+			return s, false
+		}
+		if collide != nil && (collide(fp, slice) || collide(fp, slice+1)) {
+			return s, false
+		}
+	}
+	return s, true
+}

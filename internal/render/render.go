@@ -1,0 +1,176 @@
+// Package render draws street scenes as SVG in the style of the paper's
+// Fig. 7: the road surface in grey, the ego vehicle in yellow with its
+// reach-tube shaded green, and the other actors coloured from green (no
+// risk) to red (the scene's most threatening actor) by their STI.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/reach"
+	"repro/internal/roadmap"
+	"repro/internal/sti"
+	"repro/internal/vehicle"
+)
+
+// Scene bundles everything one frame needs.
+type Scene struct {
+	Map    roadmap.Map
+	Ego    vehicle.State
+	Actors []*actor.Actor
+	// Risk holds the STI evaluation used to colour actors and annotate the
+	// frame; zero-valued fields are drawn neutrally.
+	Risk sti.Result
+	// Tube, when non-nil, is drawn as the ego's escape routes. Compute it
+	// with reach.Config.RecordPoints set.
+	Tube *reach.Tube
+	// Title is drawn in the frame's corner.
+	Title string
+}
+
+// Options control the rendering.
+type Options struct {
+	// Scale is pixels per metre (default 6).
+	Scale float64
+	// Margin is drawn around the map bounds in metres (default 5).
+	Margin float64
+	// Window, when positive, clips the longitudinal extent to ±Window
+	// metres around the ego instead of drawing the whole map.
+	Window float64
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 6
+	}
+	return o.Scale
+}
+
+func (o Options) margin() float64 {
+	if o.Margin <= 0 {
+		return 5
+	}
+	return o.Margin
+}
+
+// SVG renders the scene to an SVG document.
+func SVG(s Scene, opt Options) string {
+	min, max := s.Map.Bounds()
+	if w := opt.Window; w > 0 {
+		if lo := s.Ego.Pos.X - w; lo > min.X {
+			min.X = lo
+		}
+		if hi := s.Ego.Pos.X + w; hi < max.X {
+			max.X = hi
+		}
+	}
+	m := opt.margin()
+	min = min.Sub(geom.V(m, m))
+	max = max.Add(geom.V(m, m))
+	px := opt.scale()
+	w := (max.X - min.X) * px
+	h := (max.Y - min.Y) * px
+
+	// SVG y grows downwards; world y grows upwards. Flip.
+	toX := func(x float64) float64 { return (x - min.X) * px }
+	toY := func(y float64) float64 { return h - (y-min.Y)*px }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="#f4f1ea"/>` + "\n")
+
+	drawMap(&b, s.Map, toX, toY, px)
+	if s.Tube != nil {
+		drawTube(&b, s.Tube, toX, toY, px)
+	}
+	drawActors(&b, s, toX, toY, px)
+	drawBox(&b, geom.NewBox(s.Ego.Pos, 4.7, 2.0, s.Ego.Heading), "#f5c518", "#4d3d00", toX, toY)
+
+	if s.Title != "" {
+		fmt.Fprintf(&b, `<text x="10" y="20" font-family="sans-serif" font-size="14" fill="#333">%s</text>`+"\n", escape(s.Title))
+	}
+	if s.Risk.Combined > 0 {
+		fmt.Fprintf(&b, `<text x="10" y="38" font-family="sans-serif" font-size="12" fill="#333">combined STI %.2f</text>`+"\n", s.Risk.Combined)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func drawMap(b *strings.Builder, m roadmap.Map, toX, toY func(float64) float64, px float64) {
+	switch road := m.(type) {
+	case *roadmap.StraightRoad:
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#b9b9b9"/>`+"\n",
+			toX(road.XMin), toY(road.Width()), (road.XMax-road.XMin)*px, road.Width()*px)
+		for lane := 1; lane < road.NumLanes; lane++ {
+			y := toY(float64(lane) * road.LaneWidth)
+			fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ffffff" stroke-width="1" stroke-dasharray="8 8"/>`+"\n",
+				toX(road.XMin), y, toX(road.XMax), y)
+		}
+	case *roadmap.RingRoad:
+		cx, cy := toX(road.Center.X), toY(road.Center.Y)
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#b9b9b9"/>`+"\n", cx, cy, road.OuterR*px)
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#f4f1ea"/>`+"\n", cx, cy, road.InnerR*px)
+	}
+}
+
+func drawTube(b *strings.Builder, tube *reach.Tube, toX, toY func(float64) float64, px float64) {
+	size := px * 1.0
+	for _, p := range tube.Points {
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#61c06a" fill-opacity="0.35"/>`+"\n",
+			toX(p.X)-size/2, toY(p.Y)-size/2, size, size)
+	}
+}
+
+func drawActors(b *strings.Builder, s Scene, toX, toY func(float64) float64, px float64) {
+	maxSTI := 0.0
+	for _, v := range s.Risk.PerActor {
+		if v > maxSTI {
+			maxSTI = v
+		}
+	}
+	for i, a := range s.Actors {
+		risk := 0.0
+		if i < len(s.Risk.PerActor) && maxSTI > 0 {
+			risk = s.Risk.PerActor[i] / maxSTI
+		}
+		fill := riskColor(risk)
+		drawBox(b, a.Footprint(), fill, "#333333", toX, toY)
+		if i < len(s.Risk.PerActor) {
+			fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="#222" text-anchor="middle">%.2f</text>`+"\n",
+				toX(a.State.Pos.X), toY(a.State.Pos.Y)-8, s.Risk.PerActor[i])
+		}
+	}
+}
+
+func drawBox(b *strings.Builder, box geom.Box, fill, stroke string, toX, toY func(float64) float64) {
+	cs := box.Corners()
+	var pts []string
+	for _, c := range cs {
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(c.X), toY(c.Y)))
+	}
+	fmt.Fprintf(b, `<polygon points="%s" fill="%s" stroke="%s" stroke-width="1"/>`+"\n",
+		strings.Join(pts, " "), fill, stroke)
+}
+
+// riskColor interpolates green → amber → red over [0, 1].
+func riskColor(t float64) string {
+	t = geom.Clamp(t, 0, 1)
+	var r, g float64
+	if t < 0.5 {
+		r = 2 * t * 255
+		g = 200
+	} else {
+		r = 255
+		g = 200 * (1 - t) * 2
+	}
+	return fmt.Sprintf("#%02x%02x40", int(math.Round(r)), int(math.Round(g)))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,39 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDDQNTrainStep measures one Observe (replay push + batch
+// gradient step) at the SMC's network size.
+func BenchmarkDDQNTrainStep(b *testing.B) {
+	cfg := DefaultDDQNConfig()
+	cfg.WarmUp = 1
+	d, err := NewDDQN(24, 3, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	state := make([]float64, 24)
+	for i := range state {
+		state[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(Transition{State: state, Action: i % 3, Reward: 1, Next: state, Done: i%7 == 0})
+	}
+}
+
+// BenchmarkMLPForward measures one Q-network inference.
+func BenchmarkMLPForward(b *testing.B) {
+	m := MustNewMLP([]int{24, 64, 64, 3}, 1)
+	x := make([]float64, 24)
+	for i := range x {
+		x[i] = float64(i) / 24
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}

@@ -1,0 +1,158 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DDQNConfig parameterises the Double-DQN trainer.
+type DDQNConfig struct {
+	Hidden        []int   // hidden layer sizes
+	Gamma         float64 // discount factor
+	LR            float64 // Adam learning rate
+	BatchSize     int
+	ReplayCap     int
+	WarmUp        int     // transitions before training starts
+	TargetSync    int     // training steps between target-network syncs
+	EpsStart      float64 // initial exploration rate
+	EpsEnd        float64 // final exploration rate
+	EpsDecaySteps int     // linear decay horizon in environment steps
+	Seed          int64
+}
+
+// DefaultDDQNConfig returns the configuration used for SMC training.
+func DefaultDDQNConfig() DDQNConfig {
+	return DDQNConfig{
+		Hidden:        []int{64, 64},
+		Gamma:         0.95,
+		LR:            1e-3,
+		BatchSize:     32,
+		ReplayCap:     20000,
+		WarmUp:        200,
+		TargetSync:    250,
+		EpsStart:      1.0,
+		EpsEnd:        0.05,
+		EpsDecaySteps: 5000,
+		Seed:          1,
+	}
+}
+
+// DDQN is a Double-DQN learner: the online network selects the best next
+// action, the target network evaluates it — decoupling selection from
+// evaluation to curb Q-value over-estimation (van Hasselt et al. [47]).
+type DDQN struct {
+	cfg     DDQNConfig
+	online  *MLP
+	target  *MLP
+	replay  *Replay
+	rng     *rand.Rand
+	actions int
+
+	envSteps   int
+	trainSteps int
+}
+
+// NewDDQN builds a learner for the given state/action dimensions.
+func NewDDQN(stateDim, actions int, cfg DDQNConfig) (*DDQN, error) {
+	if stateDim < 1 || actions < 2 {
+		return nil, fmt.Errorf("rl: invalid dimensions state=%d actions=%d", stateDim, actions)
+	}
+	sizes := append(append([]int{stateDim}, cfg.Hidden...), actions)
+	online, err := NewMLP(sizes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DDQN{
+		cfg:     cfg,
+		online:  online,
+		target:  online.Clone(),
+		replay:  NewReplay(cfg.ReplayCap),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		actions: actions,
+	}, nil
+}
+
+// Epsilon returns the current exploration rate.
+func (d *DDQN) Epsilon() float64 {
+	if d.cfg.EpsDecaySteps <= 0 {
+		return d.cfg.EpsEnd
+	}
+	frac := float64(d.envSteps) / float64(d.cfg.EpsDecaySteps)
+	if frac > 1 {
+		frac = 1
+	}
+	return d.cfg.EpsStart + (d.cfg.EpsEnd-d.cfg.EpsStart)*frac
+}
+
+// SelectAction picks an ε-greedy action during training (explore=true) or
+// the greedy action at inference (explore=false).
+func (d *DDQN) SelectAction(state []float64, explore bool) int {
+	if explore && d.rng.Float64() < d.Epsilon() {
+		return d.rng.Intn(d.actions)
+	}
+	return argmax(d.online.Forward(state))
+}
+
+// Q returns the online network's Q-values for a state.
+func (d *DDQN) Q(state []float64) []float64 { return d.online.Forward(state) }
+
+// Observe records a transition and runs one training step once warm.
+// It returns the training loss (0 when no step ran).
+func (d *DDQN) Observe(t Transition) float64 {
+	d.replay.Add(t)
+	d.envSteps++
+	if d.replay.Len() < d.cfg.WarmUp {
+		return 0
+	}
+	return d.trainStep()
+}
+
+func (d *DDQN) trainStep() float64 {
+	batch := d.replay.Sample(d.rng, d.cfg.BatchSize)
+	inputs := make([][]float64, len(batch))
+	actions := make([]int, len(batch))
+	targets := make([]float64, len(batch))
+	for i, tr := range batch {
+		inputs[i] = tr.State
+		actions[i] = tr.Action
+		y := tr.Reward
+		if !tr.Done {
+			// Double-DQN target: online net selects, target net evaluates.
+			best := argmax(d.online.Forward(tr.Next))
+			y += d.cfg.Gamma * d.target.Forward(tr.Next)[best]
+		}
+		targets[i] = y
+	}
+	loss := d.online.TrainTargets(inputs, actions, targets, d.cfg.LR)
+	d.trainSteps++
+	if d.cfg.TargetSync > 0 && d.trainSteps%d.cfg.TargetSync == 0 {
+		d.target.CopyWeightsFrom(d.online)
+	}
+	return loss
+}
+
+// Policy freezes the current online network into an inference-only policy.
+func (d *DDQN) Policy() *Policy {
+	return &Policy{net: d.online.Clone()}
+}
+
+// Policy is a frozen greedy policy over a trained Q-network.
+type Policy struct {
+	net *MLP
+}
+
+// Act returns the greedy action for a state.
+func (p *Policy) Act(state []float64) int { return argmax(p.net.Forward(state)) }
+
+// Q returns the Q-values for a state.
+func (p *Policy) Q(state []float64) []float64 { return p.net.Forward(state) }
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

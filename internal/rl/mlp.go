@@ -1,0 +1,219 @@
+// Package rl implements the reinforcement-learning machinery behind
+// iPrism's Safety-hazard Mitigation Controller: a from-scratch multilayer
+// perceptron with Adam, an experience-replay buffer, and the Double-DQN
+// training algorithm of van Hasselt et al. [47].
+//
+// The paper's SMC uses a CNN over camera frames as the Q-network backbone;
+// this reproduction substitutes a ground-truth feature vector (see package
+// smc), so an MLP suffices as the function approximator. The D-DQN logic —
+// ε-greedy exploration, target network, decoupled action selection and
+// evaluation — is reproduced faithfully.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected network with ReLU hidden activations and a
+// linear output layer, trained with Adam.
+type MLP struct {
+	sizes   []int
+	weights [][]float64 // weights[l][j*in+i]: layer l, unit j, input i
+	biases  [][]float64
+
+	// Adam moments.
+	mW, vW [][]float64
+	mB, vB [][]float64
+	adamT  int
+}
+
+// NewMLP constructs a network with the given layer sizes (input first,
+// output last) and He-initialised weights drawn from the seeded source.
+func NewMLP(sizes []int, seed int64) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("rl: need at least input and output layers, got %v", sizes)
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("rl: invalid layer size in %v", sizes)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(sizes) - 1
+	m := &MLP{
+		sizes:   append([]int(nil), sizes...),
+		weights: make([][]float64, n),
+		biases:  make([][]float64, n),
+		mW:      make([][]float64, n),
+		vW:      make([][]float64, n),
+		mB:      make([][]float64, n),
+		vB:      make([][]float64, n),
+	}
+	for l := 0; l < n; l++ {
+		in, out := sizes[l], sizes[l+1]
+		m.weights[l] = make([]float64, in*out)
+		m.biases[l] = make([]float64, out)
+		m.mW[l] = make([]float64, in*out)
+		m.vW[l] = make([]float64, in*out)
+		m.mB[l] = make([]float64, out)
+		m.vB[l] = make([]float64, out)
+		scale := math.Sqrt(2.0 / float64(in))
+		for i := range m.weights[l] {
+			m.weights[l][i] = rng.NormFloat64() * scale
+		}
+	}
+	return m, nil
+}
+
+// MustNewMLP is NewMLP for known-good layer specifications.
+func MustNewMLP(sizes []int, seed int64) *MLP {
+	m, err := NewMLP(sizes, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// InputDim returns the input dimension.
+func (m *MLP) InputDim() int { return m.sizes[0] }
+
+// OutputDim returns the output dimension.
+func (m *MLP) OutputDim() int { return m.sizes[len(m.sizes)-1] }
+
+// Forward runs inference, returning a freshly allocated output vector.
+func (m *MLP) Forward(x []float64) []float64 {
+	acts := m.forwardActs(x)
+	out := acts[len(acts)-1]
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// forwardActs returns the activation of every layer (input included).
+func (m *MLP) forwardActs(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.sizes))
+	acts[0] = x
+	for l := 0; l < len(m.weights); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		a := make([]float64, out)
+		w := m.weights[l]
+		prev := acts[l]
+		for j := 0; j < out; j++ {
+			sum := m.biases[l][j]
+			row := w[j*in : (j+1)*in]
+			for i, v := range prev {
+				sum += row[i] * v
+			}
+			if l < len(m.weights)-1 && sum < 0 {
+				sum = 0 // ReLU on hidden layers
+			}
+			a[j] = sum
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// TrainTargets performs one Adam step of semi-gradient regression: for each
+// sample, only the output unit actions[s] is regressed towards targets[s]
+// (the DQN loss). It returns the mean squared error over the batch.
+func (m *MLP) TrainTargets(inputs [][]float64, actions []int, targets []float64, lr float64) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	n := len(m.weights)
+	gradW := make([][]float64, n)
+	gradB := make([][]float64, n)
+	for l := 0; l < n; l++ {
+		gradW[l] = make([]float64, len(m.weights[l]))
+		gradB[l] = make([]float64, len(m.biases[l]))
+	}
+	loss := 0.0
+	for s, x := range inputs {
+		acts := m.forwardActs(x)
+		out := acts[len(acts)-1]
+		a := actions[s]
+		err := out[a] - targets[s]
+		loss += err * err
+		// Output-layer delta: only the selected unit has gradient.
+		delta := make([]float64, m.OutputDim())
+		delta[a] = 2 * err / float64(len(inputs))
+		for l := n - 1; l >= 0; l-- {
+			in := m.sizes[l]
+			prev := acts[l]
+			var nextDelta []float64
+			if l > 0 {
+				nextDelta = make([]float64, in)
+			}
+			w := m.weights[l]
+			for j, d := range delta {
+				if d == 0 {
+					continue
+				}
+				gradB[l][j] += d
+				row := w[j*in : (j+1)*in]
+				grow := gradW[l][j*in : (j+1)*in]
+				for i, v := range prev {
+					grow[i] += d * v
+					if l > 0 {
+						nextDelta[i] += d * row[i]
+					}
+				}
+			}
+			if l > 0 {
+				// ReLU derivative of the hidden activation.
+				for i, v := range acts[l] {
+					if v <= 0 {
+						nextDelta[i] = 0
+					}
+				}
+				delta = nextDelta
+			}
+		}
+	}
+	m.adamStep(gradW, gradB, lr)
+	return loss / float64(len(inputs))
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (m *MLP) adamStep(gradW, gradB [][]float64, lr float64) {
+	m.adamT++
+	c1 := 1 - math.Pow(adamBeta1, float64(m.adamT))
+	c2 := 1 - math.Pow(adamBeta2, float64(m.adamT))
+	for l := range m.weights {
+		for i, g := range gradW[l] {
+			m.mW[l][i] = adamBeta1*m.mW[l][i] + (1-adamBeta1)*g
+			m.vW[l][i] = adamBeta2*m.vW[l][i] + (1-adamBeta2)*g*g
+			m.weights[l][i] -= lr * (m.mW[l][i] / c1) / (math.Sqrt(m.vW[l][i]/c2) + adamEps)
+		}
+		for i, g := range gradB[l] {
+			m.mB[l][i] = adamBeta1*m.mB[l][i] + (1-adamBeta1)*g
+			m.vB[l][i] = adamBeta2*m.vB[l][i] + (1-adamBeta2)*g*g
+			m.biases[l][i] -= lr * (m.mB[l][i] / c1) / (math.Sqrt(m.vB[l][i]/c2) + adamEps)
+		}
+	}
+}
+
+// Clone returns a deep copy of the network (weights only; fresh optimiser
+// state), used for the D-DQN target network.
+func (m *MLP) Clone() *MLP {
+	c := MustNewMLP(m.sizes, 0)
+	c.CopyWeightsFrom(m)
+	return c
+}
+
+// CopyWeightsFrom overwrites this network's weights with src's (the target-
+// network sync step). Layer shapes must match.
+func (m *MLP) CopyWeightsFrom(src *MLP) {
+	for l := range m.weights {
+		copy(m.weights[l], src.weights[l])
+		copy(m.biases[l], src.biases[l])
+	}
+}

@@ -1,0 +1,81 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// mlpFile is the on-disk representation of a trained network.
+type mlpFile struct {
+	Sizes   []int       `json:"sizes"`
+	Weights [][]float64 `json:"weights"`
+	Biases  [][]float64 `json:"biases"`
+}
+
+// MarshalJSON implements json.Marshaler: weights only, no optimiser state.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mlpFile{Sizes: m.sizes, Weights: m.weights, Biases: m.biases})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var f mlpFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("rl: decode network: %w", err)
+	}
+	restored, err := NewMLP(f.Sizes, 0)
+	if err != nil {
+		return err
+	}
+	if len(f.Weights) != len(restored.weights) || len(f.Biases) != len(restored.biases) {
+		return fmt.Errorf("rl: layer count mismatch: %d weights for %v", len(f.Weights), f.Sizes)
+	}
+	for l := range restored.weights {
+		if len(f.Weights[l]) != len(restored.weights[l]) || len(f.Biases[l]) != len(restored.biases[l]) {
+			return fmt.Errorf("rl: layer %d shape mismatch", l)
+		}
+		copy(restored.weights[l], f.Weights[l])
+		copy(restored.biases[l], f.Biases[l])
+	}
+	*m = *restored
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler for a frozen policy.
+func (p *Policy) MarshalJSON() ([]byte, error) { return p.net.MarshalJSON() }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var net MLP
+	if err := net.UnmarshalJSON(data); err != nil {
+		return err
+	}
+	p.net = &net
+	return nil
+}
+
+// SavePolicy writes a policy's weights to path as JSON.
+func SavePolicy(p *Policy, path string) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("rl: encode policy: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("rl: write policy: %w", err)
+	}
+	return nil
+}
+
+// LoadPolicy reads a policy saved by SavePolicy.
+func LoadPolicy(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rl: read policy: %w", err)
+	}
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,54 @@
+package rl
+
+import "math/rand"
+
+// Transition is one experience tuple (S_t, a_t, r_t, S_{t+1}, done).
+type Transition struct {
+	State  []float64
+	Action int
+	Reward float64
+	Next   []float64
+	Done   bool
+}
+
+// Replay is a fixed-capacity ring buffer of transitions with uniform
+// sampling.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay creates a buffer holding up to capacity transitions.
+func NewReplay(capacity int) *Replay {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, 0, capacity)}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Sample draws n transitions uniformly with replacement.
+func (r *Replay) Sample(rng *rand.Rand, n int) []Transition {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(len(r.buf))]
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package roadmap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewStraightRoadValidation(t *testing.T) {
+	tests := []struct {
+		name       string
+		lanes      int
+		width      float64
+		xMin, xMax float64
+		wantErr    bool
+	}{
+		{"valid", 3, 3.5, 0, 500, false},
+		{"zero lanes", 0, 3.5, 0, 500, true},
+		{"negative width", 2, -1, 0, 500, true},
+		{"empty extent", 2, 3.5, 100, 100, true},
+		{"inverted extent", 2, 3.5, 100, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewStraightRoad(tt.lanes, tt.width, tt.xMin, tt.xMax)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustStraightRoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustStraightRoad should panic on invalid input")
+		}
+	}()
+	MustStraightRoad(0, 3.5, 0, 100)
+}
+
+func TestStraightRoadDrivable(t *testing.T) {
+	r := MustStraightRoad(2, 3.5, 0, 200)
+	tests := []struct {
+		p    geom.Vec2
+		want bool
+	}{
+		{geom.V(100, 3.5), true},
+		{geom.V(100, 0), true},
+		{geom.V(100, 7), true},
+		{geom.V(100, 7.1), false},
+		{geom.V(100, -0.1), false},
+		{geom.V(-1, 3.5), false},
+		{geom.V(201, 3.5), false},
+	}
+	for _, tt := range tests {
+		if got := r.Drivable(tt.p); got != tt.want {
+			t.Errorf("Drivable(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestStraightRoadDrivableBox(t *testing.T) {
+	r := MustStraightRoad(2, 3.5, 0, 200)
+	inside := geom.NewBox(geom.V(50, 3.5), 4.7, 2.0, 0)
+	if !r.DrivableBox(inside) {
+		t.Error("box inside road reported off-road")
+	}
+	offEdge := geom.NewBox(geom.V(50, 6.5), 4.7, 2.0, 0)
+	if r.DrivableBox(offEdge) {
+		t.Error("box crossing road edge reported drivable")
+	}
+	// Longitudinal overhang past the modelled segment end is allowed.
+	atEnd := geom.NewBox(geom.V(199, 3.5), 4.7, 2.0, 0)
+	if !r.DrivableBox(atEnd) {
+		t.Error("box overhanging segment end should remain drivable")
+	}
+}
+
+func TestStraightRoadLanes(t *testing.T) {
+	r := MustStraightRoad(3, 3.5, 0, 100)
+	if got := r.Width(); got != 10.5 {
+		t.Errorf("Width = %v", got)
+	}
+	if got := r.LaneCenter(0); got != 1.75 {
+		t.Errorf("LaneCenter(0) = %v", got)
+	}
+	if got := r.LaneCenter(2); got != 8.75 {
+		t.Errorf("LaneCenter(2) = %v", got)
+	}
+	for _, tt := range []struct {
+		y      float64
+		lane   int
+		onRoad bool
+	}{
+		{1.75, 0, true},
+		{3.6, 1, true},
+		{10.5, 2, true}, // top edge maps into last lane
+		{-0.5, 0, false},
+		{11, 0, false},
+	} {
+		lane, ok := r.LaneAt(tt.y)
+		if ok != tt.onRoad || (ok && lane != tt.lane) {
+			t.Errorf("LaneAt(%v) = (%d, %v), want (%d, %v)", tt.y, lane, ok, tt.lane, tt.onRoad)
+		}
+	}
+}
+
+func TestStraightRoadBounds(t *testing.T) {
+	r := MustStraightRoad(2, 3.5, -10, 100)
+	min, max := r.Bounds()
+	if min != geom.V(-10, 0) || max != geom.V(100, 7) {
+		t.Errorf("Bounds = %v %v", min, max)
+	}
+}
+
+func TestNewRingRoadValidation(t *testing.T) {
+	if _, err := NewRingRoad(geom.V(0, 0), 20, 27); err != nil {
+		t.Errorf("valid ring rejected: %v", err)
+	}
+	if _, err := NewRingRoad(geom.V(0, 0), -1, 10); err == nil {
+		t.Error("negative inner radius accepted")
+	}
+	if _, err := NewRingRoad(geom.V(0, 0), 10, 10); err == nil {
+		t.Error("zero-width ring accepted")
+	}
+}
+
+func TestRingRoadDrivable(t *testing.T) {
+	r, err := NewRingRoad(geom.V(0, 0), 20, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Drivable(geom.V(23.5, 0)) {
+		t.Error("mid-ring point should be drivable")
+	}
+	if r.Drivable(geom.V(0, 0)) {
+		t.Error("centre island should not be drivable")
+	}
+	if r.Drivable(geom.V(30, 0)) {
+		t.Error("outside ring should not be drivable")
+	}
+}
+
+func TestRingRoadDrivableBox(t *testing.T) {
+	r, _ := NewRingRoad(geom.V(0, 0), 20, 27)
+	pos, heading := r.PoseAt(r.MidRadius(), 0)
+	if !r.DrivableBox(geom.NewBox(pos, 4.7, 2.0, heading)) {
+		t.Error("vehicle on centreline should be drivable")
+	}
+	if r.DrivableBox(geom.NewBox(geom.V(20, 0), 4.7, 4.0, math.Pi/2)) {
+		t.Error("vehicle straddling inner edge should not be drivable")
+	}
+}
+
+func TestRingRoadPoseAt(t *testing.T) {
+	r, _ := NewRingRoad(geom.V(5, 5), 20, 27)
+	pos, heading := r.PoseAt(23.5, 0)
+	if !vecAlmostEq(pos, geom.V(28.5, 5), 1e-9) {
+		t.Errorf("PoseAt pos = %v", pos)
+	}
+	if math.Abs(heading-math.Pi/2) > 1e-9 {
+		t.Errorf("PoseAt heading = %v, want π/2 (ccw tangent)", heading)
+	}
+	if got := r.AngleOf(pos); math.Abs(got) > 1e-9 {
+		t.Errorf("AngleOf = %v, want 0", got)
+	}
+}
+
+func TestRingRoadBounds(t *testing.T) {
+	r, _ := NewRingRoad(geom.V(1, 2), 20, 27)
+	min, max := r.Bounds()
+	if min != geom.V(-26, -25) || max != geom.V(28, 29) {
+		t.Errorf("Bounds = %v %v", min, max)
+	}
+}
+
+// Driving along the tangent of the ring keeps the vehicle on the ring.
+func TestRingRoadTangentTravelStaysDrivable(t *testing.T) {
+	r, _ := NewRingRoad(geom.V(0, 0), 20, 27)
+	for angle := 0.0; angle < 2*math.Pi; angle += 0.1 {
+		pos, _ := r.PoseAt(r.MidRadius(), angle)
+		if !r.Drivable(pos) {
+			t.Fatalf("centreline at angle %v not drivable: %v", angle, pos)
+		}
+	}
+}
+
+func vecAlmostEq(a, b geom.Vec2, tol float64) bool {
+	return math.Abs(a.X-b.X) <= tol && math.Abs(a.Y-b.Y) <= tol
+}

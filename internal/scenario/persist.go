@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// scenarioFile is the JSON representation of one scenario instance. The
+// paper publishes its 4810 scenarios as a reusable benchmark; SaveSuite /
+// LoadSuite provide the same artefact for this reproduction.
+type scenarioFile struct {
+	Typology string             `json:"typology"`
+	ID       int                `json:"id"`
+	Hyper    map[string]float64 `json:"hyperparameters"`
+	Dt       float64            `json:"dtSeconds"`
+	MaxSteps int                `json:"maxSteps"`
+	GoalX    float64            `json:"goalX"`
+}
+
+type suiteFile struct {
+	Scenarios []scenarioFile `json:"scenarios"`
+}
+
+var typologyByName = func() map[string]Typology {
+	out := make(map[string]Typology, len(Typologies)+1)
+	for _, ty := range append(append([]Typology(nil), Typologies...), RoundaboutCutIn) {
+		out[ty.String()] = ty
+	}
+	return out
+}()
+
+// SaveSuite writes scenario instances to path as JSON.
+func SaveSuite(scns []Scenario, path string) error {
+	f := suiteFile{Scenarios: make([]scenarioFile, len(scns))}
+	for i, s := range scns {
+		f.Scenarios[i] = scenarioFile{
+			Typology: s.Typology.String(),
+			ID:       s.ID,
+			Hyper:    s.Hyper,
+			Dt:       s.Dt,
+			MaxSteps: s.MaxSteps,
+			GoalX:    s.GoalX,
+		}
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encode suite: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("scenario: write suite: %w", err)
+	}
+	return nil
+}
+
+// LoadSuite reads a suite saved by SaveSuite.
+func LoadSuite(path string) ([]Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read suite: %w", err)
+	}
+	var f suiteFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("scenario: decode suite: %w", err)
+	}
+	out := make([]Scenario, len(f.Scenarios))
+	for i, sf := range f.Scenarios {
+		ty, ok := typologyByName[sf.Typology]
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown typology %q in %s", sf.Typology, path)
+		}
+		out[i] = Scenario{
+			Typology: ty,
+			ID:       sf.ID,
+			Hyper:    sf.Hyper,
+			Dt:       sf.Dt,
+			MaxSteps: sf.MaxSteps,
+			GoalX:    sf.GoalX,
+		}
+		if err := out[i].ValidateSpec(); err != nil {
+			return nil, fmt.Errorf("scenario: instance %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// ValidateSpec checks that a (possibly deserialised) scenario has the
+// hyperparameters its typology requires and sane timing.
+func (s Scenario) ValidateSpec() error {
+	if s.Dt <= 0 {
+		return fmt.Errorf("dt %v must be positive", s.Dt)
+	}
+	if s.MaxSteps < 1 {
+		return fmt.Errorf("max steps %d must be positive", s.MaxSteps)
+	}
+	names := Hyperparameters(s.Typology)
+	if names == nil {
+		return fmt.Errorf("unknown typology %d", int(s.Typology))
+	}
+	for _, name := range names {
+		if _, ok := s.Hyper[name]; !ok {
+			return fmt.Errorf("missing hyperparameter %q for %v", name, s.Typology)
+		}
+	}
+	return nil
+}

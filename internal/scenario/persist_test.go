@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSuiteSaveLoadRoundTrip(t *testing.T) {
+	scns := Generate(GhostCutIn, 5, 3)
+	scns = append(scns, Generate(RearEnd, 5, 4)...)
+	path := filepath.Join(t.TempDir(), "suite.json")
+	if err := SaveSuite(scns, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSuite(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(scns) {
+		t.Fatalf("loaded %d, want %d", len(loaded), len(scns))
+	}
+	for i := range scns {
+		if loaded[i].Typology != scns[i].Typology || loaded[i].ID != scns[i].ID {
+			t.Fatalf("instance %d identity mismatch", i)
+		}
+		for k, v := range scns[i].Hyper {
+			if loaded[i].Hyper[k] != v {
+				t.Fatalf("instance %d hyper %q = %v, want %v", i, k, loaded[i].Hyper[k], v)
+			}
+		}
+		// Round-tripped instances must build identical worlds.
+		w1, err := scns[i].Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := loaded[i].Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w1.Actors[0].State != w2.Actors[0].State {
+			t.Fatalf("instance %d builds differ", i)
+		}
+	}
+}
+
+func TestLoadSuiteErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadSuite(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuite(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	unknown := filepath.Join(dir, "unknown.json")
+	if err := os.WriteFile(unknown, []byte(`{"scenarios":[{"typology":"warp drive","dtSeconds":0.1,"maxSteps":10}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuite(unknown); err == nil {
+		t.Error("unknown typology accepted")
+	}
+	missingHyper := filepath.Join(dir, "nohyper.json")
+	if err := os.WriteFile(missingHyper, []byte(`{"scenarios":[{"typology":"rear-end","dtSeconds":0.1,"maxSteps":10,"hyperparameters":{}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuite(missingHyper); err == nil {
+		t.Error("missing hyperparameters accepted")
+	}
+}
+
+func TestValidateSpec(t *testing.T) {
+	s := Generate(LeadSlowdown, 1, 1)[0]
+	if err := s.ValidateSpec(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := s
+	bad.Dt = 0
+	if err := bad.ValidateSpec(); err == nil {
+		t.Error("zero dt accepted")
+	}
+	bad = s
+	bad.MaxSteps = 0
+	if err := bad.ValidateSpec(); err == nil {
+		t.Error("zero max steps accepted")
+	}
+	bad = s
+	bad.Typology = Typology(99)
+	if err := bad.ValidateSpec(); err == nil {
+		t.Error("unknown typology accepted")
+	}
+}

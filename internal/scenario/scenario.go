@@ -1,0 +1,338 @@
+// Package scenario generates the safety-critical driving scenarios of the
+// paper's evaluation (§IV-B1): five multi-actor typologies derived from the
+// NHTSA pre-crash scenario typology report — ghost cut-in, lead cut-in,
+// lead slowdown, front accident, rear-end — plus the roundabout cut-in
+// extension used in the RIP generalisation study (§V-C).
+//
+// A typology is a high-level description; a scenario instance fixes its
+// hyperparameters (Table I). Instances are sampled uniformly at random from
+// per-typology ranges under a deterministic seed, so every suite is
+// reproducible.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// Typology enumerates the scenario families.
+type Typology int
+
+// The five NHTSA-derived typologies and the roundabout extension.
+const (
+	GhostCutIn Typology = iota + 1
+	LeadCutIn
+	LeadSlowdown
+	FrontAccident
+	RearEnd
+	RoundaboutCutIn
+)
+
+// Typologies lists the five NHTSA typologies in Table I order.
+var Typologies = []Typology{GhostCutIn, LeadCutIn, LeadSlowdown, FrontAccident, RearEnd}
+
+// String implements fmt.Stringer.
+func (t Typology) String() string {
+	switch t {
+	case GhostCutIn:
+		return "ghost cut-in"
+	case LeadCutIn:
+		return "lead cut-in"
+	case LeadSlowdown:
+		return "lead slowdown"
+	case FrontAccident:
+		return "front accident"
+	case RearEnd:
+		return "rear-end"
+	case RoundaboutCutIn:
+		return "roundabout cut-in"
+	default:
+		return fmt.Sprintf("Typology(%d)", int(t))
+	}
+}
+
+// Road geometry shared by the straight-road typologies.
+const (
+	laneWidth = 3.5
+	egoLaneY  = laneWidth / 2     // 1.75
+	sideLaneY = 3 * laneWidth / 2 // 5.25
+	egoSpeed  = 12.0
+)
+
+// Scenario is one concrete instance: a typology plus hyperparameter values.
+// Build constructs a fresh simulation world (behaviour state is per-run).
+type Scenario struct {
+	Typology Typology
+	ID       int
+	Hyper    map[string]float64
+	Dt       float64
+	MaxSteps int
+	GoalX    float64
+}
+
+// Hyperparameters returns the hyperparameter names for a typology, matching
+// Table I.
+func Hyperparameters(t Typology) []string {
+	switch t {
+	case GhostCutIn:
+		return []string{"distance_same_lane", "distance_lane_change", "speed_lane_change"}
+	case LeadCutIn:
+		return []string{"event_trigger_distance", "distance_lane_change", "speed_lane_change"}
+	case LeadSlowdown:
+		return []string{"npc_vehicle_location", "npc_vehicle_speed", "event_trigger_distance"}
+	case FrontAccident:
+		return []string{"distance_lane_change", "distance_same_lane", "event_trigger_distance"}
+	case RearEnd:
+		return []string{"npc_vehicle_1_speed", "npc_vehicle_2_speed", "npc_vehicle_1_location"}
+	case RoundaboutCutIn:
+		return []string{"trigger_arc", "speed_lane_change", "distance_same_lane"}
+	default:
+		return nil
+	}
+}
+
+// ranges returns the uniform sampling interval for each hyperparameter.
+func ranges(t Typology) map[string][2]float64 {
+	switch t {
+	case GhostCutIn:
+		return map[string][2]float64{
+			// How far behind the ego the cutter starts in the side lane.
+			"distance_same_lane": {20, 45},
+			// How far ahead of the ego it is when it swerves in; the smallest
+			// values are side-swipes that braking cannot dodge.
+			"distance_lane_change": {0.5, 13},
+			// Its speed during and after the cut-in (brake-check range).
+			"speed_lane_change": {3, 12},
+		}
+	case LeadCutIn:
+		return map[string][2]float64{
+			// Ego-to-cutter gap that triggers the merge.
+			"event_trigger_distance": {12, 50},
+			// How far ahead of the ego the cutter starts in the side lane.
+			"distance_lane_change": {45, 80},
+			// Its (slow) speed during the merge.
+			"speed_lane_change": {3, 10},
+		}
+	case LeadSlowdown:
+		return map[string][2]float64{
+			// Initial gap to the lead.
+			"npc_vehicle_location": {8, 50},
+			// Lead cruise speed.
+			"npc_vehicle_speed": {5, 12},
+			// Ego-to-lead gap that triggers the hard stop.
+			"event_trigger_distance": {8, 40},
+		}
+	case FrontAccident:
+		return map[string][2]float64{
+			// Longitudinal position at which the merger swerves.
+			"distance_lane_change": {60, 120},
+			// Initial gap between the two NPCs.
+			"distance_same_lane": {0, 14},
+			// Initial distance of the NPC pair ahead of the ego.
+			"event_trigger_distance": {45, 90},
+		}
+	case RearEnd:
+		return map[string][2]float64{
+			// Rammer speed approaching from behind.
+			"npc_vehicle_1_speed": {8, 26},
+			// Lead speed; slow leads pin the ego down (unavoidable band),
+			// faster leads leave acceleration as a viable escape.
+			"npc_vehicle_2_speed": {6, 20},
+			// Rammer start distance behind the ego.
+			"npc_vehicle_1_location": {20, 80},
+		}
+	case RoundaboutCutIn:
+		return map[string][2]float64{
+			// Arc gap (radians) behind the ego at which the cut fires.
+			"trigger_arc": {0.15, 0.5},
+			// Cutter speed.
+			"speed_lane_change": {7, 12},
+			// Cutter start arc behind the ego.
+			"distance_same_lane": {0.6, 1.5},
+		}
+	default:
+		return nil
+	}
+}
+
+// Generate samples n scenario instances of the typology under the seed.
+func Generate(t Typology, n int, seed int64) []Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	rs := ranges(t)
+	names := Hyperparameters(t)
+	out := make([]Scenario, n)
+	for i := range out {
+		h := make(map[string]float64, len(names))
+		for _, name := range names {
+			r := rs[name]
+			h[name] = r[0] + rng.Float64()*(r[1]-r[0])
+		}
+		out[i] = Scenario{
+			Typology: t,
+			ID:       i,
+			Hyper:    h,
+			Dt:       0.1,
+			MaxSteps: 400,
+			GoalX:    300,
+		}
+	}
+	return out
+}
+
+// Build constructs a fresh world for the scenario. Each call returns
+// independent actors and behaviour state, so a scenario can be replayed
+// under different agents.
+func (s Scenario) Build() (*sim.World, error) {
+	switch s.Typology {
+	case GhostCutIn:
+		return s.buildGhostCutIn()
+	case LeadCutIn:
+		return s.buildLeadCutIn()
+	case LeadSlowdown:
+		return s.buildLeadSlowdown()
+	case FrontAccident:
+		return s.buildFrontAccident()
+	case RearEnd:
+		return s.buildRearEnd()
+	case RoundaboutCutIn:
+		return s.buildRoundabout()
+	default:
+		return nil, fmt.Errorf("scenario: unknown typology %d", int(s.Typology))
+	}
+}
+
+func straightRoad() *roadmap.StraightRoad {
+	return roadmap.MustStraightRoad(2, laneWidth, -200, 1000)
+}
+
+func egoStart() vehicle.State {
+	return vehicle.State{Pos: geom.V(0, egoLaneY), Speed: egoSpeed}
+}
+
+func (s Scenario) world(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, behaviors []sim.Behavior) (*sim.World, error) {
+	return sim.NewWorld(m, ego, geom.V(s.GoalX, egoLaneY), s.Dt, actors, behaviors)
+}
+
+// buildGhostCutIn: the cutter starts behind the ego in the side lane,
+// overtakes at speed, and swerves into the ego lane once slightly ahead —
+// a side threat invisible to frontal metrics until it is too late.
+func (s Scenario) buildGhostCutIn() (*sim.World, error) {
+	startBehind := s.Hyper["distance_same_lane"]
+	cutAhead := s.Hyper["distance_lane_change"]
+	cutSpeed := s.Hyper["speed_lane_change"]
+	// Modest overtaking margin: the cutter rides alongside before swerving,
+	// so it is still fast (and close) when the manoeuvre starts.
+	approach := egoSpeed + 4
+
+	cutter := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-startBehind, sideLaneY), Speed: approach})
+	b := &sim.CutIn{
+		FromY: sideLaneY, ToY: egoLaneY,
+		CruiseSpeed: approach, CutSpeed: cutSpeed,
+		TriggerDX: cutAhead, TriggerWhenAhead: true,
+	}
+	return s.world(straightRoad(), egoStart(), []*actor.Actor{cutter}, []sim.Behavior{b})
+}
+
+// buildLeadCutIn: the cutter waits ahead in the side lane and merges slowly
+// into the ego lane as the ego approaches.
+func (s Scenario) buildLeadCutIn() (*sim.World, error) {
+	trigger := s.Hyper["event_trigger_distance"]
+	startAhead := s.Hyper["distance_lane_change"]
+	cutSpeed := s.Hyper["speed_lane_change"]
+
+	cutter := actor.NewVehicle(1, vehicle.State{Pos: geom.V(startAhead, sideLaneY), Speed: cutSpeed})
+	b := &sim.CutIn{
+		FromY: sideLaneY, ToY: egoLaneY,
+		CruiseSpeed: cutSpeed, CutSpeed: cutSpeed,
+		TriggerDX: trigger, TriggerWhenAhead: false,
+	}
+	return s.world(straightRoad(), egoStart(), []*actor.Actor{cutter}, []sim.Behavior{b})
+}
+
+// buildLeadSlowdown: a lead in the ego lane brakes to a stop once the ego
+// closes within the trigger gap.
+func (s Scenario) buildLeadSlowdown() (*sim.World, error) {
+	location := s.Hyper["npc_vehicle_location"]
+	speed := s.Hyper["npc_vehicle_speed"]
+	trigger := s.Hyper["event_trigger_distance"]
+
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(location, egoLaneY), Speed: speed})
+	b := &sim.Slowdown{TargetY: egoLaneY, CruiseSpeed: speed, TriggerDX: trigger, Decel: 8}
+	return s.world(straightRoad(), egoStart(), []*actor.Actor{lead}, []sim.Behavior{b})
+}
+
+// buildFrontAccident: two NPCs ahead of the ego in different lanes; the
+// side-lane NPC merges into the ego-lane NPC, wrecking both ahead of the
+// ego.
+func (s Scenario) buildFrontAccident() (*sim.World, error) {
+	mergeX := s.Hyper["distance_lane_change"]
+	gap := s.Hyper["distance_same_lane"]
+	ahead := s.Hyper["event_trigger_distance"]
+
+	speed := 11.0
+	inLane := actor.NewVehicle(1, vehicle.State{Pos: geom.V(ahead, egoLaneY), Speed: speed})
+	merger := actor.NewVehicle(2, vehicle.State{Pos: geom.V(ahead+gap-4, sideLaneY), Speed: speed})
+	bs := []sim.Behavior{
+		&sim.Cruise{TargetY: egoLaneY, TargetSpeed: speed},
+		&sim.Merger{FromY: sideLaneY, ToY: egoLaneY, TargetSpeed: speed, TriggerX: mergeX},
+	}
+	return s.world(straightRoad(), egoStart(), []*actor.Actor{inLane, merger}, bs)
+}
+
+// buildRearEnd: a slow lead pins the ego down while a fast follower tracks
+// the ego's lane from behind and rams it — the typology braking cannot fix.
+func (s Scenario) buildRearEnd() (*sim.World, error) {
+	ramSpeed := s.Hyper["npc_vehicle_1_speed"]
+	leadSpeed := s.Hyper["npc_vehicle_2_speed"]
+	ramBehind := s.Hyper["npc_vehicle_1_location"]
+
+	// The lead starts with enough headroom that acceleration is a viable
+	// escape for moderately fast rammers — the §V-C extension's premise.
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(60, egoLaneY), Speed: leadSpeed})
+	rammer := actor.NewVehicle(2, vehicle.State{Pos: geom.V(-ramBehind, egoLaneY), Speed: ramSpeed})
+	// A side-lane convoy blocks the lateral escape, per the typology
+	// description ("multiple actors ... in multiple lanes").
+	side := actor.NewVehicle(3, vehicle.State{Pos: geom.V(5, sideLaneY), Speed: leadSpeed})
+	bs := []sim.Behavior{
+		&sim.Cruise{TargetY: egoLaneY, TargetSpeed: leadSpeed},
+		&sim.Follower{TargetSpeed: ramSpeed, TrackEgoLane: true},
+		&sim.Cruise{TargetY: sideLaneY, TargetSpeed: leadSpeed},
+	}
+	return s.world(straightRoad(), egoStart(), []*actor.Actor{lead, rammer, side}, bs)
+}
+
+// buildRoundabout: ego circulates a ring road; a faster actor approaches on
+// the inner radius and squeezes outward into the ego's path.
+func (s Scenario) buildRoundabout() (*sim.World, error) {
+	ring, err := roadmap.NewRingRoad(geom.V(0, 0), 18, 27)
+	if err != nil {
+		return nil, err
+	}
+	triggerArc := s.Hyper["trigger_arc"]
+	cutSpeed := s.Hyper["speed_lane_change"]
+	startArc := s.Hyper["distance_same_lane"]
+
+	egoRadius := 24.8
+	innerRadius := 20.5
+	egoPos, egoHeading := ring.PoseAt(egoRadius, 0)
+	ego := vehicle.State{Pos: egoPos, Heading: egoHeading, Speed: 8}
+
+	cutPos, cutHeading := ring.PoseAt(innerRadius, -startArc)
+	cutter := actor.NewVehicle(1, vehicle.State{Pos: cutPos, Heading: cutHeading, Speed: cutSpeed + 3})
+	b := &sim.RingCruise{
+		Radius: innerRadius, TargetSpeed: cutSpeed + 3,
+		CutRadius: egoRadius, TriggerArc: triggerArc, CutIn: true,
+	}
+	w, err := sim.NewWorld(ring, ego, geom.V(math.Inf(1), 0), s.Dt, []*actor.Actor{cutter}, []sim.Behavior{b})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}

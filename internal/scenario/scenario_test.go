@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func TestTypologyString(t *testing.T) {
+	tests := []struct {
+		give Typology
+		want string
+	}{
+		{GhostCutIn, "ghost cut-in"},
+		{LeadCutIn, "lead cut-in"},
+		{LeadSlowdown, "lead slowdown"},
+		{FrontAccident, "front accident"},
+		{RearEnd, "rear-end"},
+		{RoundaboutCutIn, "roundabout cut-in"},
+		{Typology(42), "Typology(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestHyperparametersMatchTableI(t *testing.T) {
+	want := map[Typology][]string{
+		GhostCutIn:    {"distance_same_lane", "distance_lane_change", "speed_lane_change"},
+		LeadCutIn:     {"event_trigger_distance", "distance_lane_change", "speed_lane_change"},
+		LeadSlowdown:  {"npc_vehicle_location", "npc_vehicle_speed", "event_trigger_distance"},
+		FrontAccident: {"distance_lane_change", "distance_same_lane", "event_trigger_distance"},
+		RearEnd:       {"npc_vehicle_1_speed", "npc_vehicle_2_speed", "npc_vehicle_1_location"},
+	}
+	for ty, names := range want {
+		got := Hyperparameters(ty)
+		if len(got) != len(names) {
+			t.Fatalf("%v: %v", ty, got)
+		}
+		for i := range names {
+			if got[i] != names[i] {
+				t.Errorf("%v hyper %d = %q, want %q", ty, i, got[i], names[i])
+			}
+		}
+	}
+	if Hyperparameters(Typology(0)) != nil {
+		t.Error("unknown typology should have no hyperparameters")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GhostCutIn, 10, 42)
+	b := Generate(GhostCutIn, 10, 42)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		for k, v := range a[i].Hyper {
+			if b[i].Hyper[k] != v {
+				t.Fatalf("instance %d hyper %q differs: %v vs %v", i, k, v, b[i].Hyper[k])
+			}
+		}
+	}
+	c := Generate(GhostCutIn, 10, 43)
+	same := true
+	for k, v := range a[0].Hyper {
+		if c[0].Hyper[k] != v {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different instances")
+	}
+}
+
+func TestGenerateRespectsRanges(t *testing.T) {
+	for _, ty := range append(Typologies, RoundaboutCutIn) {
+		rs := ranges(ty)
+		for _, s := range Generate(ty, 50, 7) {
+			for name, r := range rs {
+				v, ok := s.Hyper[name]
+				if !ok {
+					t.Fatalf("%v missing hyper %q", ty, name)
+				}
+				if v < r[0] || v > r[1] {
+					t.Errorf("%v hyper %q = %v outside [%v, %v]", ty, name, v, r[0], r[1])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildAllTypologies(t *testing.T) {
+	for _, ty := range append(Typologies, RoundaboutCutIn) {
+		t.Run(ty.String(), func(t *testing.T) {
+			for _, s := range Generate(ty, 5, 11) {
+				w, err := s.Build()
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if len(w.Actors) == 0 {
+					t.Error("no actors")
+				}
+				if len(w.Actors) != len(w.Behaviors) {
+					t.Error("actors/behaviors mismatch")
+				}
+				// The world must be steppable.
+				w.Advance(vehicle.Control{})
+			}
+		})
+	}
+}
+
+func TestBuildUnknownTypology(t *testing.T) {
+	s := Scenario{Typology: Typology(99)}
+	if _, err := s.Build(); err == nil {
+		t.Error("unknown typology should error")
+	}
+}
+
+func TestBuildIsIndependentPerCall(t *testing.T) {
+	s := Generate(GhostCutIn, 1, 3)[0]
+	w1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating one world must not affect the other.
+	w1.Actors[0].State.Speed = 0
+	if w2.Actors[0].State.Speed == 0 {
+		t.Error("worlds share actor state")
+	}
+}
+
+func TestFrontAccidentValidation(t *testing.T) {
+	suite := GenerateValid(FrontAccident, 60, 42)
+	if len(suite) == 0 {
+		t.Fatal("no valid front-accident scenarios")
+	}
+	frac := float64(len(suite)) / 60
+	if frac < 0.3 || frac > 0.99 {
+		t.Errorf("valid fraction = %.2f, want a nontrivial filter (paper kept 81%%)", frac)
+	}
+	// Every kept instance really produces an NPC crash.
+	for _, s := range suite[:3] {
+		if !s.Valid() {
+			t.Error("kept instance fails validation on recheck")
+		}
+	}
+}
+
+func TestGenerateValidPassesThroughOtherTypologies(t *testing.T) {
+	if got := len(GenerateValid(GhostCutIn, 10, 1)); got != 10 {
+		t.Errorf("GenerateValid(ghost) = %d, want 10", got)
+	}
+}
+
+// Calibration check: the LBC baseline must crash on a substantial fraction
+// of ghost cut-in and rear-end scenarios, a moderate fraction of lead
+// cut-in and lead slowdown scenarios, and never in front-accident scenarios
+// — Table I's qualitative shape.
+func TestBaselineCrashRateShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	const n = 60
+	rates := make(map[Typology]float64, len(Typologies))
+	for _, ty := range Typologies {
+		suite := GenerateValid(ty, n, 2024)
+		crashes := 0
+		for _, s := range suite {
+			w, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := sim.Run(w, agent.NewLBC(agent.DefaultLBCConfig()), nil,
+				sim.RunConfig{MaxSteps: s.MaxSteps})
+			if out.Collision {
+				crashes++
+			}
+		}
+		rates[ty] = float64(crashes) / float64(len(suite))
+		t.Logf("%-15s crash rate = %.2f (%d/%d)", ty, rates[ty], crashes, len(suite))
+	}
+	if rates[FrontAccident] != 0 {
+		t.Errorf("front accident crash rate = %.2f, want 0 (paper: 0/810)", rates[FrontAccident])
+	}
+	if rates[GhostCutIn] < 0.25 || rates[GhostCutIn] > 0.8 {
+		t.Errorf("ghost cut-in crash rate = %.2f, want ~0.52", rates[GhostCutIn])
+	}
+	if rates[RearEnd] < 0.5 || rates[RearEnd] > 0.95 {
+		t.Errorf("rear-end crash rate = %.2f, want ~0.77", rates[RearEnd])
+	}
+	if rates[LeadCutIn] < 0.05 || rates[LeadCutIn] > 0.45 {
+		t.Errorf("lead cut-in crash rate = %.2f, want ~0.17", rates[LeadCutIn])
+	}
+	if rates[LeadSlowdown] < 0.03 || rates[LeadSlowdown] > 0.4 {
+		t.Errorf("lead slowdown crash rate = %.2f, want ~0.12", rates[LeadSlowdown])
+	}
+	if !(rates[RearEnd] > rates[GhostCutIn] && rates[GhostCutIn] > rates[LeadCutIn]) {
+		t.Errorf("crash-rate ordering violated: %+v", rates)
+	}
+	if math.IsNaN(rates[GhostCutIn]) {
+		t.Error("NaN rate")
+	}
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// passiveDriver coasts to a stop without steering: used to validate
+// front-accident instances (the NPC–NPC crash must happen regardless of the
+// ego's behaviour).
+type passiveDriver struct{}
+
+func (passiveDriver) Reset() {}
+func (passiveDriver) Act(obs sim.Observation) vehicle.Control {
+	return vehicle.Control{Accel: -2}
+}
+
+// Valid reports whether a scenario instance is usable. For the
+// front-accident typology this requires that the two NPCs actually collide
+// when the ego stays passive (the paper discarded 190/1000 instances on
+// this criterion); every other typology is valid by construction.
+func (s Scenario) Valid() bool {
+	if s.Typology != FrontAccident {
+		return true
+	}
+	w, err := s.Build()
+	if err != nil {
+		return false
+	}
+	out := sim.Run(w, passiveDriver{}, nil, sim.RunConfig{
+		MaxSteps:       s.MaxSteps,
+		StopOnNPCCrash: true,
+	})
+	return out.NPCCollision
+}
+
+// GenerateValid samples n instances and keeps only the valid ones,
+// mirroring the paper's front-accident filtering (1000 sampled, 810 kept).
+func GenerateValid(t Typology, n int, seed int64) []Scenario {
+	all := Generate(t, n, seed)
+	if t != FrontAccident {
+		return all
+	}
+	valid := make([]Scenario, 0, n)
+	for _, s := range all {
+		if s.Valid() {
+			valid = append(valid, s)
+		}
+	}
+	return valid
+}

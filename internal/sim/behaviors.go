@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+// laneKeepControl is the shared steering law for straight-road NPCs: a PD
+// controller on lateral offset and heading error towards a target lane
+// centre, plus a proportional speed controller.
+func laneKeepControl(self *actor.Actor, targetY, targetSpeed float64, params vehicle.Params) vehicle.Control {
+	latErr := targetY - self.State.Pos.Y
+	headingErr := -self.State.Heading // road axis is +x
+	steer := geom.Clamp(0.2*latErr+1.2*headingErr, -params.MaxSteer, params.MaxSteer)
+	accel := geom.Clamp(1.5*(targetSpeed-self.State.Speed), params.MaxBrake, params.MaxAccel)
+	return vehicle.Control{Accel: accel, Steer: steer}
+}
+
+// Cruise drives at a constant target speed in a fixed lane.
+type Cruise struct {
+	TargetY     float64
+	TargetSpeed float64
+}
+
+var _ Behavior = (*Cruise)(nil)
+
+// Reset implements Behavior.
+func (c *Cruise) Reset() {}
+
+// Control implements Behavior.
+func (c *Cruise) Control(w *World, self *actor.Actor) vehicle.Control {
+	return laneKeepControl(self, c.TargetY, c.TargetSpeed, w.NPCParams)
+}
+
+// Stationary never moves (parked vehicles, wrecks, standing pedestrians).
+type Stationary struct{}
+
+var _ Behavior = (*Stationary)(nil)
+
+// Reset implements Behavior.
+func (s *Stationary) Reset() {}
+
+// Control implements Behavior.
+func (s *Stationary) Control(*World, *actor.Actor) vehicle.Control {
+	return vehicle.Control{Accel: -8}
+}
+
+// CutIn drives in its own lane until a longitudinal trigger relative to the
+// ego fires, then merges into the target lane. Both the ghost cut-in and
+// lead cut-in typologies are instances with different trigger geometry.
+type CutIn struct {
+	// FromY / ToY are the lane centres before and after the manoeuvre.
+	FromY, ToY float64
+	// CruiseSpeed before the trigger; CutSpeed during/after the manoeuvre.
+	CruiseSpeed, CutSpeed float64
+	// TriggerDX fires the manoeuvre when (self.x − ego.x) ≥ TriggerDX for a
+	// ghost cut-in (catching up from behind) or ≤ TriggerDX for a lead
+	// cut-in (ego approaching); see TriggerWhenAhead.
+	TriggerDX float64
+	// TriggerWhenAhead selects the comparison direction: true means the
+	// trigger fires once the actor is at least TriggerDX ahead of the ego
+	// (ghost cut-in); false fires once the gap to the ego shrinks below
+	// TriggerDX (lead cut-in).
+	TriggerWhenAhead bool
+
+	triggered bool
+}
+
+var _ Behavior = (*CutIn)(nil)
+
+// Reset implements Behavior.
+func (c *CutIn) Reset() { c.triggered = false }
+
+// Triggered reports whether the manoeuvre has started.
+func (c *CutIn) Triggered() bool { return c.triggered }
+
+// Control implements Behavior.
+func (c *CutIn) Control(w *World, self *actor.Actor) vehicle.Control {
+	dx := self.State.Pos.X - w.Ego.State.Pos.X
+	if !c.triggered {
+		if c.TriggerWhenAhead && dx >= c.TriggerDX {
+			c.triggered = true
+		}
+		if !c.TriggerWhenAhead && dx <= c.TriggerDX && dx >= 0 {
+			c.triggered = true
+		}
+	}
+	if !c.triggered {
+		return laneKeepControl(self, c.FromY, c.CruiseSpeed, w.NPCParams)
+	}
+	return laneKeepControl(self, c.ToY, c.CutSpeed, w.NPCParams)
+}
+
+// Slowdown cruises in the ego lane and brakes to a stop once the ego closes
+// within TriggerDX metres behind it (lead-slowdown typology).
+type Slowdown struct {
+	TargetY     float64
+	CruiseSpeed float64
+	TriggerDX   float64
+	Decel       float64 // positive magnitude of the braking rate
+
+	triggered bool
+}
+
+var _ Behavior = (*Slowdown)(nil)
+
+// Reset implements Behavior.
+func (s *Slowdown) Reset() { s.triggered = false }
+
+// Triggered reports whether braking has started.
+func (s *Slowdown) Triggered() bool { return s.triggered }
+
+// Control implements Behavior.
+func (s *Slowdown) Control(w *World, self *actor.Actor) vehicle.Control {
+	gap := self.State.Pos.X - w.Ego.State.Pos.X
+	if !s.triggered && gap >= 0 && gap <= s.TriggerDX {
+		s.triggered = true
+	}
+	if !s.triggered {
+		return laneKeepControl(self, s.TargetY, s.CruiseSpeed, w.NPCParams)
+	}
+	u := laneKeepControl(self, s.TargetY, 0, w.NPCParams)
+	u.Accel = -math.Abs(s.Decel)
+	return u
+}
+
+// Follower tails the ego in the ego's lane at a target speed, ramming it
+// from behind if the ego is slower (rear-end typology). It follows the
+// ego's lateral position so braking alone cannot dodge it.
+type Follower struct {
+	TargetSpeed float64
+	// TrackEgoLane makes the follower steer towards the ego's current y.
+	TrackEgoLane bool
+	LaneY        float64
+}
+
+var _ Behavior = (*Follower)(nil)
+
+// Reset implements Behavior.
+func (f *Follower) Reset() {}
+
+// Control implements Behavior.
+func (f *Follower) Control(w *World, self *actor.Actor) vehicle.Control {
+	targetY := f.LaneY
+	if f.TrackEgoLane {
+		targetY = w.Ego.State.Pos.Y
+	}
+	return laneKeepControl(self, targetY, f.TargetSpeed, w.NPCParams)
+}
+
+// Merger changes from its current lane into a target lane after travelling
+// TriggerX metres, without regard for other traffic — the behaviour that
+// produces the NPC–NPC crash of the front-accident typology.
+type Merger struct {
+	FromY, ToY  float64
+	TargetSpeed float64
+	TriggerX    float64
+
+	triggered bool
+}
+
+var _ Behavior = (*Merger)(nil)
+
+// Reset implements Behavior.
+func (m *Merger) Reset() { m.triggered = false }
+
+// Control implements Behavior.
+func (m *Merger) Control(w *World, self *actor.Actor) vehicle.Control {
+	if !m.triggered && self.State.Pos.X >= m.TriggerX {
+		m.triggered = true
+	}
+	y := m.FromY
+	if m.triggered {
+		y = m.ToY
+	}
+	return laneKeepControl(self, y, m.TargetSpeed, w.NPCParams)
+}
+
+// RingCruise follows the centreline of a ring road at a target speed —
+// used by the roundabout extension scenarios.
+type RingCruise struct {
+	Radius      float64
+	TargetSpeed float64
+	// CutIn, when set, switches the target radius once the actor is within
+	// TriggerArc radians behind the ego, squeezing the ego against the ring
+	// edge (roundabout ghost cut-in analogue).
+	CutRadius  float64
+	TriggerArc float64
+	CutIn      bool
+
+	triggered bool
+}
+
+var _ Behavior = (*RingCruise)(nil)
+
+// Reset implements Behavior.
+func (r *RingCruise) Reset() { r.triggered = false }
+
+// Control implements Behavior.
+func (r *RingCruise) Control(w *World, self *actor.Actor) vehicle.Control {
+	ring, ok := w.Map.(interface {
+		AngleOf(geom.Vec2) float64
+		PoseAt(float64, float64) (geom.Vec2, float64)
+	})
+	if !ok {
+		return vehicle.Control{}
+	}
+	radius := r.Radius
+	if r.CutIn {
+		diff := geom.AngleDiff(ring.AngleOf(w.Ego.State.Pos), ring.AngleOf(self.State.Pos))
+		if !r.triggered && diff >= 0 && diff < r.TriggerArc {
+			r.triggered = true
+		}
+		if r.triggered {
+			radius = r.CutRadius
+		}
+	}
+	// Aim at a point slightly ahead on the target circle.
+	lookAhead := 0.3 // radians of arc
+	target, targetHeading := ring.PoseAt(radius, ring.AngleOf(self.State.Pos)+lookAhead)
+	toTarget := target.Sub(self.State.Pos)
+	headingErr := geom.AngleDiff(toTarget.Angle(), self.State.Heading)
+	alignErr := geom.AngleDiff(targetHeading, self.State.Heading)
+	steer := geom.Clamp(1.0*headingErr+0.3*alignErr, -0.6, 0.6)
+	accel := geom.Clamp(1.5*(r.TargetSpeed-self.State.Speed), -8, 4)
+	return vehicle.Control{Accel: accel, Steer: steer}
+}

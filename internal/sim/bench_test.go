@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// BenchmarkWorldStep measures one simulator tick with five scripted NPCs.
+func BenchmarkWorldStep(b *testing.B) {
+	road := roadmap.MustStraightRoad(2, 3.5, -200, 5000)
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(30, 1.75), Speed: 10}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(-20, 1.75), Speed: 14}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(10, 5.25), Speed: 12}),
+		actor.NewVehicle(4, vehicle.State{Pos: geom.V(60, 5.25), Speed: 9}),
+		actor.NewVehicle(5, vehicle.State{Pos: geom.V(-50, 5.25), Speed: 11}),
+	}
+	behaviors := []Behavior{
+		&Cruise{TargetY: 1.75, TargetSpeed: 10},
+		&IDM{TargetY: 1.75, DesiredSpeed: 14},
+		&Cruise{TargetY: 5.25, TargetSpeed: 12},
+		&Slowdown{TargetY: 5.25, CruiseSpeed: 9, TriggerDX: 20, Decel: 6},
+		&Follower{TargetSpeed: 11, TrackEgoLane: true},
+	}
+	w, err := NewWorld(road, vehicle.State{Pos: geom.V(0, 1.75), Speed: 12},
+		geom.V(1e9, 0), 0.1, actors, behaviors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Advance(vehicle.Control{Accel: 0.1})
+	}
+}

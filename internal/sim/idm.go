@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+// IDM implements the Intelligent Driver Model (Treiber et al.) for
+// realistic car-following NPCs: free-flow acceleration towards a desired
+// speed with a smooth interaction term that maintains a safe dynamic gap to
+// the nearest leader (ego included). It is the traffic model used by the
+// synthetic real-world corpus, where compliant, human-like following
+// matters for the STI distribution.
+type IDM struct {
+	TargetY      float64 // lane centre to keep
+	DesiredSpeed float64 // v0 (m/s)
+	TimeHeadway  float64 // T (s); default 1.5
+	MinGap       float64 // s0 (m); default 2
+	MaxAccel     float64 // a (m/s²); default 1.5
+	ComfortDecel float64 // b (m/s²); default 2
+	Exponent     float64 // δ; default 4
+}
+
+var _ Behavior = (*IDM)(nil)
+
+// Reset implements Behavior.
+func (m *IDM) Reset() {}
+
+func (m *IDM) params() (T, s0, a, b, delta float64) {
+	T, s0, a, b, delta = m.TimeHeadway, m.MinGap, m.MaxAccel, m.ComfortDecel, m.Exponent
+	if T <= 0 {
+		T = 1.5
+	}
+	if s0 <= 0 {
+		s0 = 2
+	}
+	if a <= 0 {
+		a = 1.5
+	}
+	if b <= 0 {
+		b = 2
+	}
+	if delta <= 0 {
+		delta = 4
+	}
+	return
+}
+
+// Control implements Behavior.
+func (m *IDM) Control(w *World, self *actor.Actor) vehicle.Control {
+	T, s0, a, b, delta := m.params()
+	v := self.State.Speed
+	v0 := math.Max(m.DesiredSpeed, 0.1)
+
+	// Find the nearest leader in the same lane band (the ego counts too).
+	gap, leadSpeed, found := m.leader(w, self)
+	accel := a * (1 - math.Pow(v/v0, delta))
+	if found {
+		dv := v - leadSpeed
+		sStar := s0 + math.Max(0, v*T+v*dv/(2*math.Sqrt(a*b)))
+		accel -= a * (sStar / math.Max(gap, 0.5)) * (sStar / math.Max(gap, 0.5))
+	}
+	accel = geom.Clamp(accel, w.NPCParams.MaxBrake, w.NPCParams.MaxAccel)
+
+	latErr := m.TargetY - self.State.Pos.Y
+	headingErr := -self.State.Heading
+	steer := geom.Clamp(0.2*latErr+1.2*headingErr, -w.NPCParams.MaxSteer, w.NPCParams.MaxSteer)
+	return vehicle.Control{Accel: accel, Steer: steer}
+}
+
+// leader returns the bumper gap and speed of the nearest vehicle ahead in
+// the same lane band.
+func (m *IDM) leader(w *World, self *actor.Actor) (gap, speed float64, found bool) {
+	best := math.Inf(1)
+	consider := func(pos geom.Vec2, v float64, length float64) {
+		dx := pos.X - self.State.Pos.X
+		if dx <= 0 {
+			return
+		}
+		if math.Abs(pos.Y-self.State.Pos.Y) > 2.0 {
+			return
+		}
+		g := dx - length/2 - self.Length/2
+		if g < best {
+			best = g
+			speed = v
+			found = true
+		}
+	}
+	consider(w.Ego.State.Pos, w.Ego.State.Speed, w.EgoParams.Length)
+	for _, other := range w.Actors {
+		if other == self {
+			continue
+		}
+		consider(other.State.Pos, other.State.Speed, other.Length)
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return math.Max(best, 0), speed, true
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+func TestIDMFreeFlowReachesDesiredSpeed(t *testing.T) {
+	car := actor.NewVehicle(1, vehicle.State{Pos: geom.V(0, 1.75), Speed: 0})
+	w := newWorld(t, vehicle.State{Pos: geom.V(-500, 5.25)},
+		[]*actor.Actor{car}, []Behavior{&IDM{TargetY: 1.75, DesiredSpeed: 14}})
+	for i := 0; i < 600; i++ {
+		w.Advance(vehicle.Control{Accel: -8})
+	}
+	if math.Abs(car.State.Speed-14) > 1.0 {
+		t.Errorf("free-flow speed = %v, want ~14", car.State.Speed)
+	}
+}
+
+func TestIDMFollowsLeaderWithoutCollision(t *testing.T) {
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(40, 1.75), Speed: 6})
+	follower := actor.NewVehicle(2, vehicle.State{Pos: geom.V(0, 1.75), Speed: 14})
+	w := newWorld(t, vehicle.State{Pos: geom.V(-500, 5.25)},
+		[]*actor.Actor{lead, follower},
+		[]Behavior{
+			&Cruise{TargetY: 1.75, TargetSpeed: 6},
+			&IDM{TargetY: 1.75, DesiredSpeed: 16},
+		})
+	for i := 0; i < 800; i++ {
+		ev := w.Advance(vehicle.Control{Accel: -8})
+		if ev.NPCCollision {
+			t.Fatalf("IDM follower rear-ended its leader at step %d", i)
+		}
+	}
+	// Converged to the leader's speed with a positive gap.
+	if math.Abs(follower.State.Speed-6) > 1.5 {
+		t.Errorf("follower speed = %v, want ~6", follower.State.Speed)
+	}
+	gap := lead.State.Pos.X - follower.State.Pos.X - 4.7
+	if gap < 2 {
+		t.Errorf("steady-state gap = %v, want >= min gap", gap)
+	}
+}
+
+func TestIDMRespectsEgoAsLeader(t *testing.T) {
+	follower := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-30, 1.75), Speed: 14})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 6},
+		[]*actor.Actor{follower}, []Behavior{&IDM{TargetY: 1.75, DesiredSpeed: 16}})
+	collided := false
+	for i := 0; i < 600; i++ {
+		obs := w.Observe()
+		ev := w.Advance(laneKeepControl(&actor.Actor{State: obs.Ego}, 1.75, 6, obs.EgoParams))
+		if ev.EgoCollision {
+			collided = true
+			break
+		}
+	}
+	if collided {
+		t.Fatal("IDM follower must not ram the ego")
+	}
+	if math.Abs(follower.State.Speed-6) > 1.5 {
+		t.Errorf("follower speed = %v, want ~ego speed 6", follower.State.Speed)
+	}
+}
+
+func TestIDMStopsForStationaryLeader(t *testing.T) {
+	blocked := actor.NewVehicle(1, vehicle.State{Pos: geom.V(60, 1.75)})
+	follower := actor.NewVehicle(2, vehicle.State{Pos: geom.V(0, 1.75), Speed: 12})
+	w := newWorld(t, vehicle.State{Pos: geom.V(-500, 5.25)},
+		[]*actor.Actor{blocked, follower},
+		[]Behavior{&Stationary{}, &IDM{TargetY: 1.75, DesiredSpeed: 14}})
+	for i := 0; i < 800; i++ {
+		if ev := w.Advance(vehicle.Control{Accel: -8}); ev.NPCCollision {
+			t.Fatalf("IDM follower hit the stationary vehicle at step %d", i)
+		}
+	}
+	if follower.State.Speed > 0.5 {
+		t.Errorf("follower should have stopped, speed = %v", follower.State.Speed)
+	}
+}
+
+func TestIDMDefaultParameters(t *testing.T) {
+	m := &IDM{}
+	T, s0, a, b, delta := m.params()
+	if T != 1.5 || s0 != 2 || a != 1.5 || b != 2 || delta != 4 {
+		t.Errorf("defaults = %v %v %v %v %v", T, s0, a, b, delta)
+	}
+}

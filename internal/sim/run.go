@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"repro/internal/vehicle"
+)
+
+// StepRecord captures one simulation step for offline metric evaluation
+// (Table II traces, Fig. 4/5 series).
+type StepRecord struct {
+	Time        float64
+	Ego         vehicle.State
+	EgoControl  vehicle.Control
+	Mitigated   bool
+	ActorStates []vehicle.State
+	ActorYaws   []float64
+	Crashed     []bool
+}
+
+// Outcome summarises an episode.
+type Outcome struct {
+	Collision      bool
+	CollisionStep  int
+	CollisionActor int
+	// ImpactSpeed is the ego–actor relative speed at contact (m/s), valid
+	// when Collision is set.
+	ImpactSpeed  float64
+	NPCCollision bool
+	NPCCrashStep int
+	Completed    bool // ego reached the goal
+	Steps        int
+	// FirstMitigationStep is the step of the first mitigation action, or -1
+	// if the mitigator never fired (Table IV).
+	FirstMitigationStep int
+	Trace               []StepRecord
+}
+
+// FirstMitigationTime returns the wall-clock time of the first mitigation
+// action, or -1 when none occurred.
+func (o Outcome) FirstMitigationTime(dt float64) float64 {
+	if o.FirstMitigationStep < 0 {
+		return -1
+	}
+	return float64(o.FirstMitigationStep) * dt
+}
+
+// RunConfig controls an episode.
+type RunConfig struct {
+	MaxSteps    int
+	RecordTrace bool
+	// StopOnNPCCrash ends the episode when two NPCs collide (not used by
+	// the evaluation; the front-accident typology keeps running so the ego
+	// must react to the wreckage).
+	StopOnNPCCrash bool
+	// StepHook, when non-nil, runs after every world step with the post-step
+	// world and the events; used by RL training to compute rewards.
+	StepHook func(w *World, ev Events)
+}
+
+// Run drives one episode: each step the Driver acts on the observation, the
+// Mitigator (if any) may overwrite the action, and the world advances.
+// The episode ends on ego collision, goal completion, or MaxSteps.
+func Run(w *World, driver Driver, mit Mitigator, cfg RunConfig) Outcome {
+	driver.Reset()
+	if mit != nil {
+		mit.Reset()
+	}
+	for _, b := range w.Behaviors {
+		b.Reset()
+	}
+	out := Outcome{FirstMitigationStep: -1, CollisionStep: -1, NPCCrashStep: -1}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 600
+	}
+	for step := 0; step < maxSteps; step++ {
+		obs := w.Observe()
+		u := driver.Act(obs)
+		mitigated := false
+		if mit != nil {
+			u, mitigated = mit.Mitigate(obs, u)
+			if mitigated && out.FirstMitigationStep < 0 {
+				out.FirstMitigationStep = step
+			}
+		}
+		ev := w.Advance(u)
+		if cfg.RecordTrace {
+			out.Trace = append(out.Trace, record(w, obs.Time, u, mitigated))
+		}
+		if cfg.StepHook != nil {
+			cfg.StepHook(w, ev)
+		}
+		out.Steps = step + 1
+		if ev.NPCCollision && out.NPCCrashStep < 0 {
+			out.NPCCollision = true
+			out.NPCCrashStep = step
+			if cfg.StopOnNPCCrash {
+				return out
+			}
+		}
+		if ev.EgoCollision {
+			out.Collision = true
+			out.CollisionStep = step
+			out.CollisionActor = ev.EgoCollisionActor
+			out.ImpactSpeed = ev.EgoImpactSpeed
+			return out
+		}
+		if reachedGoal(w) {
+			out.Completed = true
+			return out
+		}
+	}
+	return out
+}
+
+func reachedGoal(w *World) bool {
+	// Goal semantics: progress past the goal's x (straight roads run +x).
+	return w.Ego.State.Pos.X >= w.Goal.X
+}
+
+func record(w *World, time float64, u vehicle.Control, mitigated bool) StepRecord {
+	rec := StepRecord{
+		Time:        time,
+		Ego:         w.Ego.State,
+		EgoControl:  u,
+		Mitigated:   mitigated,
+		ActorStates: make([]vehicle.State, len(w.Actors)),
+		ActorYaws:   make([]float64, len(w.Actors)),
+		Crashed:     make([]bool, len(w.Actors)),
+	}
+	for i, a := range w.Actors {
+		rec.ActorStates[i] = a.State
+		rec.ActorYaws[i] = a.YawRate
+	}
+	copy(rec.Crashed, w.Crashed)
+	return rec
+}

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+func road() *roadmap.StraightRoad {
+	return roadmap.MustStraightRoad(2, 3.5, -100, 2000)
+}
+
+// testDriver is a trivial lane-keeping, constant-speed ADS for tests.
+type testDriver struct {
+	targetY float64
+	speed   float64
+}
+
+func (d *testDriver) Reset() {}
+func (d *testDriver) Act(obs Observation) vehicle.Control {
+	return laneKeepControl(&actor.Actor{State: obs.Ego}, d.targetY, d.speed, obs.EgoParams)
+}
+
+// brakeMitigator brakes whenever any actor is within the given range.
+type brakeMitigator struct{ rangeM float64 }
+
+func (m *brakeMitigator) Reset() {}
+func (m *brakeMitigator) Mitigate(obs Observation, ads vehicle.Control) (vehicle.Control, bool) {
+	for _, a := range obs.Actors {
+		if a.State.Pos.Dist(obs.Ego.Pos) < m.rangeM {
+			return vehicle.Control{Accel: obs.EgoParams.MaxBrake, Steer: ads.Steer}, true
+		}
+	}
+	return ads, false
+}
+
+func newWorld(t *testing.T, ego vehicle.State, actors []*actor.Actor, behaviors []Behavior) *World {
+	t.Helper()
+	w, err := NewWorld(road(), ego, geom.V(1000, 1.75), 0.1, actors, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(road(), vehicle.State{}, geom.V(100, 0), 0, nil, nil); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := NewWorld(road(), vehicle.State{}, geom.V(100, 0), 0.1,
+		[]*actor.Actor{actor.NewVehicle(1, vehicle.State{})}, nil); err == nil {
+		t.Error("mismatched actors/behaviors accepted")
+	}
+}
+
+func TestAdvanceMovesEgo(t *testing.T) {
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, nil, nil)
+	ev := w.Advance(vehicle.Control{})
+	if ev.EgoCollision || ev.NPCCollision {
+		t.Errorf("unexpected events: %+v", ev)
+	}
+	if w.Ego.State.Pos.X <= 0 {
+		t.Error("ego did not move")
+	}
+	if w.Step != 1 {
+		t.Errorf("step = %d", w.Step)
+	}
+}
+
+func TestAdvanceDetectsEgoCollision(t *testing.T) {
+	blocker := actor.NewVehicle(7, vehicle.State{Pos: geom.V(3, 1.75)})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 10},
+		[]*actor.Actor{blocker}, []Behavior{&Stationary{}})
+	ev := w.Advance(vehicle.Control{})
+	if !ev.EgoCollision {
+		t.Fatal("collision not detected")
+	}
+	if ev.EgoCollisionActor != 7 {
+		t.Errorf("collision actor = %d, want 7", ev.EgoCollisionActor)
+	}
+}
+
+func TestAdvanceUpdatesYawRate(t *testing.T) {
+	turning := actor.NewVehicle(1, vehicle.State{Pos: geom.V(50, 1.0), Speed: 10})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 0},
+		[]*actor.Actor{turning}, []Behavior{&Cruise{TargetY: 5.25, TargetSpeed: 10}})
+	w.Advance(vehicle.Control{})
+	if turning.YawRate <= 0 {
+		t.Errorf("actor steering left should have positive yaw rate, got %v", turning.YawRate)
+	}
+}
+
+func TestCruiseBehaviorConvergesToLane(t *testing.T) {
+	c := actor.NewVehicle(1, vehicle.State{Pos: geom.V(0, 1.0), Speed: 8})
+	w := newWorld(t, vehicle.State{Pos: geom.V(-50, 1.75), Speed: 0},
+		[]*actor.Actor{c}, []Behavior{&Cruise{TargetY: 5.25, TargetSpeed: 12}})
+	for i := 0; i < 300; i++ {
+		w.Advance(vehicle.Control{})
+	}
+	if math.Abs(c.State.Pos.Y-5.25) > 0.3 {
+		t.Errorf("cruise lateral = %v, want ~5.25", c.State.Pos.Y)
+	}
+	if math.Abs(c.State.Speed-12) > 0.5 {
+		t.Errorf("cruise speed = %v, want ~12", c.State.Speed)
+	}
+}
+
+func TestStationaryStaysPut(t *testing.T) {
+	s := actor.NewVehicle(1, vehicle.State{Pos: geom.V(30, 1.75), Speed: 5})
+	w := newWorld(t, vehicle.State{Pos: geom.V(-50, 1.75)},
+		[]*actor.Actor{s}, []Behavior{&Stationary{}})
+	for i := 0; i < 50; i++ {
+		w.Advance(vehicle.Control{})
+	}
+	if s.State.Speed != 0 {
+		t.Errorf("stationary actor speed = %v", s.State.Speed)
+	}
+}
+
+func TestCutInGhostTrigger(t *testing.T) {
+	// Ghost cut-in: actor starts behind the ego in the adjacent lane,
+	// overtakes, and cuts in once sufficiently ahead.
+	cutter := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-30, 5.25), Speed: 20})
+	behavior := &CutIn{
+		FromY: 5.25, ToY: 1.75,
+		CruiseSpeed: 20, CutSpeed: 18,
+		TriggerDX: 5, TriggerWhenAhead: true,
+	}
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 10},
+		[]*actor.Actor{cutter}, []Behavior{behavior})
+	ego := &testDriver{targetY: 1.75, speed: 10}
+	for i := 0; i < 400 && !behavior.Triggered(); i++ {
+		w.Advance(ego.Act(w.Observe()))
+	}
+	if !behavior.Triggered() {
+		t.Fatal("ghost cut-in never triggered")
+	}
+	if cutter.State.Pos.X <= w.Ego.State.Pos.X {
+		t.Error("cutter should be ahead of ego at trigger")
+	}
+	// After the trigger it converges to the ego lane.
+	for i := 0; i < 300; i++ {
+		w.Advance(ego.Act(w.Observe()))
+	}
+	if math.Abs(cutter.State.Pos.Y-1.75) > 0.5 {
+		t.Errorf("cutter lateral = %v, want ~1.75", cutter.State.Pos.Y)
+	}
+}
+
+func TestCutInLeadTrigger(t *testing.T) {
+	// Lead cut-in: actor ahead in the adjacent lane cuts in as the ego
+	// approaches within the trigger distance.
+	cutter := actor.NewVehicle(1, vehicle.State{Pos: geom.V(60, 5.25), Speed: 5})
+	behavior := &CutIn{
+		FromY: 5.25, ToY: 1.75,
+		CruiseSpeed: 5, CutSpeed: 5,
+		TriggerDX: 25, TriggerWhenAhead: false,
+	}
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 15},
+		[]*actor.Actor{cutter}, []Behavior{behavior})
+	for i := 0; i < 100 && !behavior.Triggered(); i++ {
+		w.Advance(vehicle.Control{})
+	}
+	if !behavior.Triggered() {
+		t.Fatal("lead cut-in never triggered")
+	}
+	gap := cutter.State.Pos.X - w.Ego.State.Pos.X
+	if gap > 26 {
+		t.Errorf("triggered at gap %v, want <= ~25", gap)
+	}
+}
+
+func TestSlowdownBehavior(t *testing.T) {
+	lead := actor.NewVehicle(1, vehicle.State{Pos: geom.V(40, 1.75), Speed: 10})
+	behavior := &Slowdown{TargetY: 1.75, CruiseSpeed: 10, TriggerDX: 30, Decel: 6}
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 15},
+		[]*actor.Actor{lead}, []Behavior{behavior})
+	for i := 0; i < 200; i++ {
+		w.Advance(vehicle.Control{}) // ego coasts at 15
+		if behavior.Triggered() {
+			break
+		}
+	}
+	if !behavior.Triggered() {
+		t.Fatal("slowdown never triggered")
+	}
+	for i := 0; i < 100; i++ {
+		w.Advance(vehicle.Control{Accel: -8}) // ego brakes to avoid interfering
+	}
+	if lead.State.Speed > 0.1 {
+		t.Errorf("lead should have stopped, speed = %v", lead.State.Speed)
+	}
+}
+
+func TestFollowerTracksEgoLane(t *testing.T) {
+	rammer := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-25, 5.25), Speed: 20})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 8},
+		[]*actor.Actor{rammer}, []Behavior{&Follower{TargetSpeed: 20, TrackEgoLane: true}})
+	for i := 0; i < 100; i++ {
+		w.Advance(vehicle.Control{})
+	}
+	if math.Abs(rammer.State.Pos.Y-w.Ego.State.Pos.Y) > 1.0 {
+		t.Errorf("follower lateral %v should track ego %v", rammer.State.Pos.Y, w.Ego.State.Pos.Y)
+	}
+}
+
+func TestMergerCausesNPCCrash(t *testing.T) {
+	// Two NPCs ahead of the ego in different lanes; one merges into the
+	// other — the front-accident typology seed.
+	a := actor.NewVehicle(1, vehicle.State{Pos: geom.V(30, 1.75), Speed: 12})
+	b := actor.NewVehicle(2, vehicle.State{Pos: geom.V(32, 5.25), Speed: 12})
+	w := newWorld(t, vehicle.State{Pos: geom.V(-20, 1.75), Speed: 5},
+		[]*actor.Actor{a, b},
+		[]Behavior{
+			&Cruise{TargetY: 1.75, TargetSpeed: 12},
+			&Merger{FromY: 5.25, ToY: 1.75, TargetSpeed: 12, TriggerX: 50},
+		})
+	crashed := false
+	for i := 0; i < 400; i++ {
+		ev := w.Advance(vehicle.Control{Accel: -2})
+		if ev.NPCCollision {
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("merger never crashed into the other NPC")
+	}
+	if !w.Crashed[0] || !w.Crashed[1] {
+		t.Error("both NPCs should be wrecked")
+	}
+	preA, preB := a.State.Pos, b.State.Pos
+	for i := 0; i < 20; i++ {
+		w.Advance(vehicle.Control{Accel: -2})
+	}
+	if a.State.Pos != preA || b.State.Pos != preB {
+		t.Error("wrecked actors should freeze in place")
+	}
+}
+
+func TestRunCompletesGoal(t *testing.T) {
+	w, err := NewWorld(road(), vehicle.State{Pos: geom.V(0, 1.75), Speed: 10},
+		geom.V(50, 1.75), 0.1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Run(w, &testDriver{targetY: 1.75, speed: 10}, nil, RunConfig{MaxSteps: 200})
+	if !out.Completed {
+		t.Fatalf("episode should complete: %+v", out)
+	}
+	if out.Collision {
+		t.Error("no collision expected")
+	}
+	if out.FirstMitigationStep != -1 {
+		t.Errorf("no mitigator: FirstMitigationStep = %d", out.FirstMitigationStep)
+	}
+}
+
+func TestRunDetectsCollision(t *testing.T) {
+	blocker := actor.NewVehicle(3, vehicle.State{Pos: geom.V(40, 1.75)})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 15},
+		[]*actor.Actor{blocker}, []Behavior{&Stationary{}})
+	out := Run(w, &testDriver{targetY: 1.75, speed: 15}, nil, RunConfig{MaxSteps: 300})
+	if !out.Collision {
+		t.Fatal("blind driver should collide with the blocker")
+	}
+	if out.CollisionActor != 3 {
+		t.Errorf("collision actor = %d", out.CollisionActor)
+	}
+	if out.CollisionStep < 0 || out.CollisionStep >= 300 {
+		t.Errorf("collision step = %d", out.CollisionStep)
+	}
+}
+
+func TestRunMitigatorPreventsCollision(t *testing.T) {
+	blocker := actor.NewVehicle(3, vehicle.State{Pos: geom.V(60, 1.75)})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 15},
+		[]*actor.Actor{blocker}, []Behavior{&Stationary{}})
+	out := Run(w, &testDriver{targetY: 1.75, speed: 15}, &brakeMitigator{rangeM: 40},
+		RunConfig{MaxSteps: 400})
+	if out.Collision {
+		t.Fatal("mitigator should prevent the collision")
+	}
+	if out.FirstMitigationStep < 0 {
+		t.Error("mitigation should have fired")
+	}
+}
+
+func TestRunRecordsTrace(t *testing.T) {
+	blocker := actor.NewVehicle(3, vehicle.State{Pos: geom.V(500, 1.75)})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 10},
+		[]*actor.Actor{blocker}, []Behavior{&Stationary{}})
+	out := Run(w, &testDriver{targetY: 1.75, speed: 10}, nil,
+		RunConfig{MaxSteps: 50, RecordTrace: true})
+	if len(out.Trace) != out.Steps {
+		t.Fatalf("trace length %d != steps %d", len(out.Trace), out.Steps)
+	}
+	rec := out.Trace[10]
+	if rec.Time != 1.0 {
+		t.Errorf("trace time = %v, want 1.0", rec.Time)
+	}
+	if len(rec.ActorStates) != 1 || len(rec.ActorYaws) != 1 || len(rec.Crashed) != 1 {
+		t.Errorf("trace actor slices malformed: %+v", rec)
+	}
+	if rec.Ego.Pos.X <= out.Trace[0].Ego.Pos.X {
+		t.Error("ego should progress through the trace")
+	}
+}
+
+func TestRunStepHook(t *testing.T) {
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, nil, nil)
+	calls := 0
+	Run(w, &testDriver{targetY: 1.75, speed: 10}, nil, RunConfig{
+		MaxSteps: 25,
+		StepHook: func(w *World, ev Events) { calls++ },
+	})
+	if calls != 25 {
+		t.Errorf("hook calls = %d, want 25", calls)
+	}
+}
+
+func TestOutcomeFirstMitigationTime(t *testing.T) {
+	o := Outcome{FirstMitigationStep: 30}
+	if got := o.FirstMitigationTime(0.1); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("FirstMitigationTime = %v", got)
+	}
+	o = Outcome{FirstMitigationStep: -1}
+	if got := o.FirstMitigationTime(0.1); got != -1 {
+		t.Errorf("FirstMitigationTime = %v, want -1", got)
+	}
+}
+
+func TestRingCruiseStaysOnRing(t *testing.T) {
+	ring, err := roadmap.NewRingRoad(geom.V(0, 0), 20, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, heading := ring.PoseAt(23.5, 0)
+	cruiser := actor.NewVehicle(1, vehicle.State{Pos: pos, Heading: heading, Speed: 8})
+	egoPos, egoHeading := ring.PoseAt(23.5, math.Pi)
+	w, err := NewWorld(ring, vehicle.State{Pos: egoPos, Heading: egoHeading, Speed: 0},
+		geom.V(1e9, 0), 0.1,
+		[]*actor.Actor{cruiser}, []Behavior{&RingCruise{Radius: 23.5, TargetSpeed: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		w.Advance(vehicle.Control{Accel: -8})
+		if !ring.Drivable(cruiser.State.Pos) {
+			t.Fatalf("ring cruiser left the road at step %d: %v", i, cruiser.State.Pos)
+		}
+	}
+	// Should have made progress around the ring.
+	if math.Abs(geom.AngleDiff(ring.AngleOf(cruiser.State.Pos), 0)) < 0.5 {
+		t.Error("ring cruiser made no angular progress")
+	}
+}
+
+func TestPedestrianParams(t *testing.T) {
+	p := pedestrianParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("pedestrian params invalid: %v", err)
+	}
+	if p.MaxSpeed > 3 {
+		t.Errorf("pedestrian max speed = %v", p.MaxSpeed)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/vehicle"
+)
+
+// Episode traces serialise as JSON Lines: a header line followed by one
+// line per step. The format lets external tooling (plotting, labelling,
+// cross-run diffing) consume runs without linking against the simulator.
+
+// TraceHeader is the first line of a trace file.
+type TraceHeader struct {
+	Version   int     `json:"version"`
+	Dt        float64 `json:"dtSeconds"`
+	NumActors int     `json:"numActors"`
+	// Outcome summary.
+	Collision      bool    `json:"collision"`
+	CollisionStep  int     `json:"collisionStep"`
+	CollisionActor int     `json:"collisionActor"`
+	ImpactSpeed    float64 `json:"impactSpeedMps"`
+	Completed      bool    `json:"completed"`
+	Steps          int     `json:"steps"`
+}
+
+// traceLine is one serialised step.
+type traceLine struct {
+	Time        float64         `json:"t"`
+	Ego         vehicle.State   `json:"ego"`
+	EgoControl  vehicle.Control `json:"u"`
+	Mitigated   bool            `json:"mitigated,omitempty"`
+	ActorStates []vehicle.State `json:"actors"`
+	ActorYaws   []float64       `json:"yaws"`
+	Crashed     []bool          `json:"crashed,omitempty"`
+}
+
+const traceVersion = 1
+
+// WriteTrace serialises an episode outcome (with its recorded trace) to w.
+func WriteTrace(w io.Writer, out Outcome, dt float64) error {
+	numActors := 0
+	if len(out.Trace) > 0 {
+		numActors = len(out.Trace[0].ActorStates)
+	}
+	enc := json.NewEncoder(w)
+	header := TraceHeader{
+		Version:        traceVersion,
+		Dt:             dt,
+		NumActors:      numActors,
+		Collision:      out.Collision,
+		CollisionStep:  out.CollisionStep,
+		CollisionActor: out.CollisionActor,
+		ImpactSpeed:    out.ImpactSpeed,
+		Completed:      out.Completed,
+		Steps:          out.Steps,
+	}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("sim: encode trace header: %w", err)
+	}
+	for _, rec := range out.Trace {
+		line := traceLine{
+			Time:        rec.Time,
+			Ego:         rec.Ego,
+			EgoControl:  rec.EgoControl,
+			Mitigated:   rec.Mitigated,
+			ActorStates: rec.ActorStates,
+			ActorYaws:   rec.ActorYaws,
+			Crashed:     rec.Crashed,
+		}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("sim: encode trace step: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a trace written by WriteTrace, returning the header and
+// the reconstructed step records.
+func ReadTrace(r io.Reader) (TraceHeader, []StepRecord, error) {
+	var header TraceHeader
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return header, nil, fmt.Errorf("sim: read trace header: %w", err)
+		}
+		return header, nil, fmt.Errorf("sim: empty trace")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		return header, nil, fmt.Errorf("sim: decode trace header: %w", err)
+	}
+	if header.Version != traceVersion {
+		return header, nil, fmt.Errorf("sim: unsupported trace version %d", header.Version)
+	}
+	var steps []StepRecord
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line traceLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return header, nil, fmt.Errorf("sim: decode trace step %d: %w", len(steps), err)
+		}
+		if len(line.ActorStates) != header.NumActors {
+			return header, nil, fmt.Errorf("sim: step %d has %d actors, header says %d",
+				len(steps), len(line.ActorStates), header.NumActors)
+		}
+		steps = append(steps, StepRecord{
+			Time:        line.Time,
+			Ego:         line.Ego,
+			EgoControl:  line.EgoControl,
+			Mitigated:   line.Mitigated,
+			ActorStates: line.ActorStates,
+			ActorYaws:   line.ActorYaws,
+			Crashed:     line.Crashed,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return header, nil, fmt.Errorf("sim: read trace: %w", err)
+	}
+	return header, steps, nil
+}
+
+// SaveTrace writes an episode's trace to path.
+func SaveTrace(path string, out Outcome, dt float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sim: create trace file: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := WriteTrace(bw, out, dt); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadTrace reads a trace file written by SaveTrace.
+func LoadTrace(path string) (TraceHeader, []StepRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceHeader{}, nil, fmt.Errorf("sim: open trace file: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

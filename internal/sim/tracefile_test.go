@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/vehicle"
+)
+
+func recordedOutcome(t *testing.T) Outcome {
+	t.Helper()
+	blocker := actor.NewVehicle(3, vehicle.State{Pos: geom.V(40, 1.75)})
+	w := newWorld(t, vehicle.State{Pos: geom.V(0, 1.75), Speed: 15},
+		[]*actor.Actor{blocker}, []Behavior{&Stationary{}})
+	return Run(w, &testDriver{targetY: 1.75, speed: 15}, nil,
+		RunConfig{MaxSteps: 100, RecordTrace: true})
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	out := recordedOutcome(t)
+	if !out.Collision {
+		t.Fatal("expected a collision episode")
+	}
+	path := filepath.Join(t.TempDir(), "episode.jsonl")
+	if err := SaveTrace(path, out, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	header, steps, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !header.Collision || header.CollisionActor != 3 || header.Dt != 0.1 {
+		t.Errorf("header = %+v", header)
+	}
+	if header.ImpactSpeed <= 0 {
+		t.Errorf("impact speed = %v, want > 0", header.ImpactSpeed)
+	}
+	if len(steps) != len(out.Trace) {
+		t.Fatalf("steps = %d, want %d", len(steps), len(out.Trace))
+	}
+	for i := range steps {
+		if steps[i].Ego != out.Trace[i].Ego {
+			t.Fatalf("step %d ego mismatch", i)
+		}
+		if steps[i].ActorStates[0] != out.Trace[i].ActorStates[0] {
+			t.Fatalf("step %d actor mismatch", i)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if _, _, err := ReadTrace(strings.NewReader(`{"version":99}` + "\n")); err == nil {
+		t.Error("future version accepted")
+	}
+	// Actor-count mismatch between header and steps.
+	bad := `{"version":1,"dtSeconds":0.1,"numActors":2}
+{"t":0,"ego":{},"u":{},"actors":[{}],"yaws":[0]}
+`
+	if _, _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+		t.Error("actor-count mismatch accepted")
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, _, err := LoadTrace(filepath.Join(t.TempDir(), "none.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

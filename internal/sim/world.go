@@ -1,0 +1,198 @@
+// Package sim is the driving simulator substrate replacing CARLA in this
+// reproduction: a deterministic fixed-step 2-D kinematic world with scripted
+// NPC behaviours, oriented-box collision detection, a pluggable ADS driver
+// and a pluggable mitigation controller (the ⊗ operator of Fig. 2 that lets
+// SMC actions overwrite ADS actions).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// Observation is what the ego's driver and mitigator perceive each step.
+// Actors carry ground-truth state; drivers model their own perception
+// limits (range, field of view) on top.
+type Observation struct {
+	Map       roadmap.Map
+	Step      int
+	Time      float64
+	Dt        float64
+	Ego       vehicle.State
+	EgoParams vehicle.Params
+	Goal      geom.Vec2
+	Actors    []*actor.Actor
+}
+
+// Driver is an autonomous driving system controlling the ego vehicle (the
+// LBC-like baseline, the RIP-like ensemble, …).
+type Driver interface {
+	// Reset prepares the driver for a new episode.
+	Reset()
+	// Act returns the ego control for this step.
+	Act(obs Observation) vehicle.Control
+}
+
+// Mitigator is a safety controller layered over a Driver; it may overwrite
+// the ADS control (iPrism's SMC, the TTC-based ACA baseline).
+type Mitigator interface {
+	// Reset prepares the mitigator for a new episode.
+	Reset()
+	// Mitigate inspects the observation and the ADS control and returns the
+	// control to execute plus whether a mitigation action was taken.
+	Mitigate(obs Observation, ads vehicle.Control) (vehicle.Control, bool)
+}
+
+// Behavior scripts an NPC actor.
+type Behavior interface {
+	// Reset prepares the behaviour for a new episode.
+	Reset()
+	// Control returns the actor's control for this step.
+	Control(w *World, self *actor.Actor) vehicle.Control
+}
+
+// World is the mutable simulation state.
+type World struct {
+	Map       roadmap.Map
+	Dt        float64
+	Step      int
+	Ego       *actor.Actor
+	EgoParams vehicle.Params
+	Goal      geom.Vec2
+
+	Actors    []*actor.Actor
+	Behaviors []Behavior
+	NPCParams vehicle.Params
+
+	// Crashed[i] marks NPC i as wrecked (frozen in place) after an
+	// NPC–NPC collision, as in the front-accident typology.
+	Crashed []bool
+}
+
+// NewWorld builds a world. actors and behaviors must align.
+func NewWorld(m roadmap.Map, egoStart vehicle.State, goal geom.Vec2, dt float64, actors []*actor.Actor, behaviors []Behavior) (*World, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("sim: dt must be positive, got %v", dt)
+	}
+	if len(actors) != len(behaviors) {
+		return nil, fmt.Errorf("sim: %d actors but %d behaviors", len(actors), len(behaviors))
+	}
+	return &World{
+		Map:       m,
+		Dt:        dt,
+		Ego:       actor.NewVehicle(0, egoStart),
+		EgoParams: vehicle.DefaultParams(),
+		Goal:      goal,
+		Actors:    actors,
+		Behaviors: behaviors,
+		NPCParams: vehicle.DefaultParams(),
+		Crashed:   make([]bool, len(actors)),
+	}, nil
+}
+
+// Observe builds the current observation.
+func (w *World) Observe() Observation {
+	return Observation{
+		Map:       w.Map,
+		Step:      w.Step,
+		Time:      float64(w.Step) * w.Dt,
+		Dt:        w.Dt,
+		Ego:       w.Ego.State,
+		EgoParams: w.EgoParams,
+		Goal:      w.Goal,
+		Actors:    w.Actors,
+	}
+}
+
+// Events reports what happened during one step.
+type Events struct {
+	EgoCollision      bool
+	EgoCollisionActor int // actor ID, valid when EgoCollision
+	// EgoImpactSpeed is the magnitude of the relative velocity between the
+	// ego and the struck actor at contact (m/s): a proxy for collision
+	// severity — mitigation that cannot prevent an accident can still
+	// reduce its energy.
+	EgoImpactSpeed float64
+	NPCCollision   bool
+}
+
+// Advance steps the world once: NPC behaviours produce controls, every
+// vehicle integrates its bicycle model, yaw rates are refreshed for CVTR
+// prediction, and collisions are detected.
+func (w *World) Advance(egoControl vehicle.Control) Events {
+	// NPC controls are computed against the pre-step world state.
+	controls := make([]vehicle.Control, len(w.Actors))
+	for i, b := range w.Behaviors {
+		if w.Crashed[i] {
+			continue
+		}
+		controls[i] = b.Control(w, w.Actors[i])
+	}
+
+	stepActor(w.Ego, w.EgoParams, egoControl, w.Dt)
+	for i, a := range w.Actors {
+		if w.Crashed[i] {
+			a.State.Speed = 0
+			a.YawRate = 0
+			continue
+		}
+		params := w.NPCParams
+		if a.Kind == actor.KindPedestrian {
+			params = pedestrianParams()
+		}
+		stepActor(a, params, controls[i], w.Dt)
+	}
+	w.Step++
+
+	var ev Events
+	egoFp := w.Ego.Footprint()
+	for _, a := range w.Actors {
+		if a.Kind == actor.KindStatic && !egoFp.Intersects(a.Footprint()) {
+			continue
+		}
+		if egoFp.Intersects(a.Footprint()) {
+			ev.EgoCollision = true
+			ev.EgoCollisionActor = a.ID
+			ev.EgoImpactSpeed = w.Ego.State.Velocity().Sub(a.State.Velocity()).Norm()
+			break
+		}
+	}
+	// NPC–NPC collisions wreck both participants.
+	for i := 0; i < len(w.Actors); i++ {
+		for j := i + 1; j < len(w.Actors); j++ {
+			if w.Crashed[i] && w.Crashed[j] {
+				continue
+			}
+			if w.Actors[i].Footprint().Intersects(w.Actors[j].Footprint()) {
+				w.Crashed[i], w.Crashed[j] = true, true
+				w.Actors[i].State.Speed = 0
+				w.Actors[j].State.Speed = 0
+				ev.NPCCollision = true
+			}
+		}
+	}
+	return ev
+}
+
+func stepActor(a *actor.Actor, params vehicle.Params, u vehicle.Control, dt float64) {
+	before := a.State.Heading
+	a.State = params.Step(a.State, u, dt)
+	a.YawRate = geom.AngleDiff(a.State.Heading, before) / dt
+}
+
+func pedestrianParams() vehicle.Params {
+	return vehicle.Params{
+		WheelBase:   0.5,
+		Length:      0.6,
+		Width:       0.6,
+		MaxSpeed:    2.5,
+		MaxAccel:    1.5,
+		MaxBrake:    -2.0,
+		MaxSteer:    1.0,
+		MaxLatAccel: 0,
+	}
+}

@@ -1,0 +1,73 @@
+package smc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/rl"
+)
+
+// smcFile is the on-disk representation of a trained controller: its
+// configuration (so the feature layout and action set round-trip) plus the
+// Q-network weights.
+type smcFile struct {
+	Actions         []Action   `json:"actions"`
+	Alpha0          float64    `json:"alpha0"`
+	Alpha1          float64    `json:"alpha1"`
+	Alpha2          float64    `json:"alpha2"`
+	UseSTI          bool       `json:"useSti"`
+	PerceptionRange float64    `json:"perceptionRangeM"`
+	MaxActors       int        `json:"maxActors"`
+	DecisionStride  int        `json:"decisionStride"`
+	Policy          *rl.Policy `json:"policy"`
+}
+
+// Save writes the controller to path as JSON. The reach configuration is
+// not persisted; the loader supplies it (it is an evaluation-environment
+// concern, not a learned artefact).
+func (s *SMC) Save(path string) error {
+	f := smcFile{
+		Actions:         s.cfg.Actions,
+		Alpha0:          s.cfg.Alpha0,
+		Alpha1:          s.cfg.Alpha1,
+		Alpha2:          s.cfg.Alpha2,
+		UseSTI:          s.cfg.UseSTI,
+		PerceptionRange: s.cfg.PerceptionRange,
+		MaxActors:       s.cfg.MaxActors,
+		DecisionStride:  s.cfg.DecisionStride,
+		Policy:          s.policy,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("smc: encode: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("smc: write: %w", err)
+	}
+	return nil
+}
+
+// Load restores a controller saved with Save, attaching the given base
+// configuration's reach and DDQN settings.
+func Load(path string, base Config) (*SMC, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("smc: read: %w", err)
+	}
+	var f smcFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("smc: decode: %w", err)
+	}
+	cfg := base
+	cfg.Actions = f.Actions
+	cfg.Alpha0, cfg.Alpha1, cfg.Alpha2 = f.Alpha0, f.Alpha1, f.Alpha2
+	cfg.UseSTI = f.UseSTI
+	cfg.PerceptionRange = f.PerceptionRange
+	cfg.MaxActors = f.MaxActors
+	cfg.DecisionStride = f.DecisionStride
+	if f.Policy == nil {
+		return nil, fmt.Errorf("smc: file %s has no policy", path)
+	}
+	return New(cfg, f.Policy)
+}

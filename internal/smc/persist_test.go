@@ -1,0 +1,63 @@
+package smc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/rl"
+	"repro/internal/vehicle"
+)
+
+func TestSMCSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Actions = []Action{NoOp, Brake, Accelerate, LaneLeft}
+	cfg.Alpha1 = 0.42
+	cfg.UseSTI = false
+	cfg.MaxActors = 3
+	learner, err := rl.NewDDQN(cfg.FeatureDim(), len(cfg.Actions), cfg.DDQN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := New(cfg, learner.Policy())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "smc.json")
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := loaded.Config()
+	if len(got.Actions) != 4 || got.Actions[3] != LaneLeft {
+		t.Errorf("actions = %v", got.Actions)
+	}
+	if got.Alpha1 != 0.42 || got.UseSTI || got.MaxActors != 3 {
+		t.Errorf("config not restored: %+v", got)
+	}
+
+	// Same decision on the same observation.
+	obs := testObs(vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(12, 1.75), Speed: 2}),
+	})
+	ads := vehicle.Control{Accel: 1}
+	orig.Reset()
+	loaded.Reset()
+	uA, mA := orig.Mitigate(obs, ads)
+	uB, mB := loaded.Mitigate(obs, ads)
+	if uA != uB || mA != mB {
+		t.Errorf("decision mismatch: %+v/%v vs %+v/%v", uA, mA, uB, mB)
+	}
+}
+
+func TestSMCLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json"), DefaultConfig()); err == nil {
+		t.Error("missing file accepted")
+	}
+}

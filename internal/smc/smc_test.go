@@ -1,0 +1,353 @@
+package smc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/agent"
+	"repro/internal/geom"
+	"repro/internal/rl"
+	"repro/internal/roadmap"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func testObs(ego vehicle.State, actors []*actor.Actor) sim.Observation {
+	return sim.Observation{
+		Map:       roadmap.MustStraightRoad(2, 3.5, -200, 1000),
+		Ego:       ego,
+		EgoParams: vehicle.DefaultParams(),
+		Goal:      geom.V(300, 1.75),
+		Dt:        0.1,
+		Actors:    actors,
+	}
+}
+
+func TestActionString(t *testing.T) {
+	tests := []struct {
+		give Action
+		want string
+	}{
+		{NoOp, "no-op"},
+		{Brake, "brake"},
+		{Accelerate, "accelerate"},
+		{LaneLeft, "lane-left"},
+		{LaneRight, "lane-right"},
+		{Action(9), "Action(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty actions", func(c *Config) { c.Actions = nil }},
+		{"no NoOp first", func(c *Config) { c.Actions = []Action{Brake, NoOp} }},
+		{"single action", func(c *Config) { c.Actions = []Action{NoOp} }},
+		{"zero max actors", func(c *Config) { c.MaxActors = 0 }},
+		{"zero perception", func(c *Config) { c.PerceptionRange = 0 }},
+		{"zero stride", func(c *Config) { c.DecisionStride = 0 }},
+		{"bad reach", func(c *Config) { c.Reach.CellSize = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestFeatureDim(t *testing.T) {
+	c := DefaultConfig()
+	c.MaxActors = 4
+	if got := c.FeatureDim(); got != 24 {
+		t.Errorf("FeatureDim = %d, want 24", got)
+	}
+}
+
+func TestFeaturizeEgoFields(t *testing.T) {
+	cfg := DefaultConfig()
+	obs := testObs(vehicle.State{Pos: geom.V(0, 1.75), Heading: 0.1, Speed: 15}, nil)
+	f := featurize(obs, 0.4, cfg)
+	if f[0] != 0.5 {
+		t.Errorf("speed feature = %v", f[0])
+	}
+	// Lane-0 centre on a 7 m road: (1.75 − 3.5) / 7 = −0.25 from centre.
+	if f[1] != -0.25 {
+		t.Errorf("lateral feature = %v", f[1])
+	}
+	if math.Abs(f[2]-0.1/math.Pi) > 1e-12 {
+		t.Errorf("heading feature = %v", f[2])
+	}
+	if f[3] != 0.4 {
+		t.Errorf("STI feature = %v", f[3])
+	}
+	// No actors: all presence flags zero.
+	for i := 0; i < cfg.MaxActors; i++ {
+		if f[4+5*i+4] != 0 {
+			t.Errorf("presence flag %d set with no actors", i)
+		}
+	}
+}
+
+func TestFeaturizeNearestActorsOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(40, 1.75), Speed: 5}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(10, 1.75), Speed: 5}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(500, 1.75), Speed: 5}), // out of range
+	}
+	obs := testObs(vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, actors)
+	f := featurize(obs, 0, cfg)
+	// Nearest (id 2, dx=10) first.
+	if math.Abs(f[4]-10.0/50) > 1e-9 {
+		t.Errorf("nearest dx feature = %v, want 0.2", f[4])
+	}
+	if f[8] != 1 {
+		t.Error("nearest presence flag unset")
+	}
+	// Second nearest (id 1, dx=40).
+	if math.Abs(f[9]-40.0/50) > 1e-9 {
+		t.Errorf("second dx feature = %v, want 0.8", f[9])
+	}
+	// Out-of-range actor excluded: third slot empty.
+	if f[4+5*2+4] != 0 {
+		t.Error("out-of-range actor should not be featurised")
+	}
+}
+
+func TestFeaturizeRearActorNegativeDx(t *testing.T) {
+	cfg := DefaultConfig()
+	rear := actor.NewVehicle(1, vehicle.State{Pos: geom.V(-20, 1.75), Speed: 20})
+	obs := testObs(vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, []*actor.Actor{rear})
+	f := featurize(obs, 0, cfg)
+	if f[4] >= 0 {
+		t.Errorf("rear actor dx feature = %v, want negative", f[4])
+	}
+	if f[6] <= 0 {
+		t.Errorf("closing rear actor dvx = %v, want positive", f[6])
+	}
+}
+
+func TestApplyAction(t *testing.T) {
+	obs := testObs(vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, nil)
+	ads := vehicle.Control{Accel: 1.5, Steer: 0.05}
+	p := obs.EgoParams
+
+	if got := applyAction(NoOp, obs, ads); got != ads {
+		t.Errorf("NoOp = %+v", got)
+	}
+	if got := applyAction(Brake, obs, ads); got.Accel != p.MaxBrake || got.Steer != ads.Steer {
+		t.Errorf("Brake = %+v", got)
+	}
+	if got := applyAction(Accelerate, obs, ads); got.Accel != p.MaxAccel {
+		t.Errorf("Accelerate = %+v", got)
+	}
+	left := applyAction(LaneLeft, obs, ads)
+	if left.Steer <= 0 {
+		t.Errorf("LaneLeft steer = %v, want positive (+y)", left.Steer)
+	}
+	right := applyAction(LaneRight, obs, ads)
+	if right.Steer >= 0 {
+		t.Errorf("LaneRight steer = %v, want negative", right.Steer)
+	}
+}
+
+func TestLaneChangeSteerOffRoadFallback(t *testing.T) {
+	obs := testObs(vehicle.State{Pos: geom.V(0, 50), Speed: 10}, nil) // off-road y
+	if got := laneChangeSteer(obs, +1); got <= 0 {
+		t.Errorf("fallback steer = %v, want positive", got)
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Actions = nil
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// policyFor builds an SMC with a tiny fixed-weight policy for plumbing
+// tests (the network is untrained; only the mechanics matter).
+func policyFor(t *testing.T, cfg Config) *SMC {
+	t.Helper()
+	learner, err := rl.NewDDQN(cfg.FeatureDim(), len(cfg.Actions), cfg.DDQN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, learner.Policy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMitigateDecisionStride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DecisionStride = 3
+	s := policyFor(t, cfg)
+	s.Reset()
+	obs := testObs(vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}, nil)
+	ads := vehicle.Control{Accel: 1}
+	// First call decides; following two hold the same action.
+	s.Mitigate(obs, ads)
+	first := s.LastAction()
+	for i := 0; i < 2; i++ {
+		s.Mitigate(obs, ads)
+		if s.LastAction() != first {
+			t.Fatal("action changed inside the decision stride")
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	mk := func() sim.Driver { return agent.NewLBC(agent.DefaultLBCConfig()) }
+	cfg := DefaultConfig()
+	if _, _, err := Train(nil, mk, cfg, 5); err == nil {
+		t.Error("no scenarios accepted")
+	}
+	scns := scenario.Generate(scenario.GhostCutIn, 1, 1)
+	if _, _, err := Train(scns, mk, cfg, 0); err == nil {
+		t.Error("zero episodes accepted")
+	}
+	bad := cfg
+	bad.MaxActors = 0
+	if _, _, err := Train(scns, mk, bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// The headline integration test: training the SMC with the STI reward on
+// crash-prone ghost cut-in instances must reduce the collision rate
+// relative to the bare LBC baseline.
+func TestTrainedSMCReducesGhostCutInCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL training")
+	}
+	suite := scenario.Generate(scenario.GhostCutIn, 30, 77)
+	lbc := func() sim.Driver { return agent.NewLBC(agent.DefaultLBCConfig()) }
+
+	// Find crash scenarios under the bare baseline.
+	var crashes []scenario.Scenario
+	for _, s := range suite {
+		w, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := sim.Run(w, lbc(), nil, sim.RunConfig{MaxSteps: s.MaxSteps})
+		if out.Collision {
+			crashes = append(crashes, s)
+		}
+	}
+	if len(crashes) < 5 {
+		t.Fatalf("baseline produced only %d crashes; calibration drifted", len(crashes))
+	}
+
+	cfg := DefaultConfig()
+	cfg.DDQN.EpsDecaySteps = 2500
+	cfg.DDQN.Seed = 3
+	ctrl, res, err := Train(crashes[:2], lbc, cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 40 || len(res.EpisodeRewards) != 40 {
+		t.Errorf("train result malformed: %+v", res)
+	}
+
+	before, after := 0, 0
+	for _, s := range crashes {
+		w, _ := s.Build()
+		out := sim.Run(w, lbc(), nil, sim.RunConfig{MaxSteps: s.MaxSteps})
+		if out.Collision {
+			before++
+		}
+		w2, _ := s.Build()
+		out2 := sim.Run(w2, lbc(), ctrl, sim.RunConfig{MaxSteps: s.MaxSteps})
+		if out2.Collision {
+			after++
+		}
+	}
+	t.Logf("ghost cut-in crashes: baseline %d/%d, with SMC %d/%d", before, len(crashes), after, len(crashes))
+	if after >= before {
+		t.Errorf("SMC did not reduce crashes: %d -> %d", before, after)
+	}
+}
+
+func TestTrainCyclesMultipleScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL training")
+	}
+	scns := scenario.Generate(scenario.GhostCutIn, 3, 5)
+	lbc := func() sim.Driver { return agent.NewLBC(agent.DefaultLBCConfig()) }
+	cfg := DefaultConfig()
+	_, res, err := Train(scns, lbc, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 7 || len(res.EpisodeRewards) != 7 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestTrainAblationConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL training")
+	}
+	scns := scenario.Generate(scenario.LeadSlowdown, 1, 5)
+	lbc := func() sim.Driver { return agent.NewLBC(agent.DefaultLBCConfig()) }
+	cfg := DefaultConfig()
+	cfg.UseSTI = false
+	ctrl, _, err := Train(scns, lbc, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Config().UseSTI {
+		t.Error("ablation flag not carried into the trained controller")
+	}
+}
+
+func TestRoadRelativePoseRing(t *testing.T) {
+	ring, err := roadmap.NewRingRoad(geom.V(0, 0), 18, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, heading := ring.PoseAt(22.5, 1.2) // centreline of the ring
+	obs := sim.Observation{Map: ring, Ego: vehicle.State{Pos: pos, Heading: heading}}
+	lat, hErr := roadRelativePose(obs)
+	if math.Abs(lat) > 1e-9 {
+		t.Errorf("centreline lateral = %v, want 0", lat)
+	}
+	if math.Abs(hErr) > 1e-9 {
+		t.Errorf("tangent heading error = %v, want 0", hErr)
+	}
+	// Outer edge: positive lateral offset.
+	pos2, heading2 := ring.PoseAt(26, 0.3)
+	obs2 := sim.Observation{Map: ring, Ego: vehicle.State{Pos: pos2, Heading: heading2}}
+	lat2, _ := roadRelativePose(obs2)
+	if lat2 <= 0 {
+		t.Errorf("outer-edge lateral = %v, want > 0", lat2)
+	}
+}
+
+func TestRoadRelativePoseUnknownMap(t *testing.T) {
+	obs := sim.Observation{Ego: vehicle.State{Heading: 0.4}}
+	lat, hErr := roadRelativePose(obs)
+	if lat != 0 || hErr != 0.4 {
+		t.Errorf("fallback pose = %v %v", lat, hErr)
+	}
+}

@@ -1,0 +1,180 @@
+package smc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rl"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TrainResult summarises an SMC training run.
+type TrainResult struct {
+	Episodes       int
+	EpisodeRewards []float64
+	Collisions     int
+	// FinalEpsilon is the exploration rate at the end of training.
+	FinalEpsilon float64
+}
+
+// Train learns the mitigation policy ψ* on the given scenario instances
+// (the paper trains on the highest-average-STI accident scenario of each
+// typology) with the supplied ADS in the loop. makeDriver must return a
+// fresh (or resettable) Driver; it is invoked once.
+func Train(scns []scenario.Scenario, makeDriver func() sim.Driver, cfg Config, episodes int) (*SMC, TrainResult, error) {
+	var res TrainResult
+	if err := cfg.Validate(); err != nil {
+		return nil, res, err
+	}
+	if len(scns) == 0 {
+		return nil, res, fmt.Errorf("smc: no training scenarios")
+	}
+	if episodes < 1 {
+		return nil, res, fmt.Errorf("smc: episodes must be >= 1, got %d", episodes)
+	}
+	learner, err := rl.NewDDQN(cfg.FeatureDim(), len(cfg.Actions), cfg.DDQN)
+	if err != nil {
+		return nil, res, err
+	}
+	trainer := &episodeRunner{cfg: cfg, learner: learner}
+	if trainer.smc, err = New(cfg, learner.Policy()); err != nil {
+		return nil, res, err
+	}
+	driver := makeDriver()
+
+	for ep := 0; ep < episodes; ep++ {
+		scn := scns[ep%len(scns)]
+		w, err := scn.Build()
+		if err != nil {
+			return nil, res, fmt.Errorf("smc: build episode %d: %w", ep, err)
+		}
+		reward, collided, err := trainer.runEpisode(w, driver, scn.MaxSteps)
+		if err != nil {
+			return nil, res, err
+		}
+		res.EpisodeRewards = append(res.EpisodeRewards, reward)
+		if collided {
+			res.Collisions++
+		}
+	}
+	res.Episodes = episodes
+	res.FinalEpsilon = learner.Epsilon()
+
+	final, err := New(cfg, learner.Policy())
+	if err != nil {
+		return nil, res, err
+	}
+	return final, res, nil
+}
+
+// episodeRunner holds the pieces shared across training episodes.
+type episodeRunner struct {
+	cfg     Config
+	learner *rl.DDQN
+	smc     *SMC // used only for its STI evaluator
+}
+
+// runEpisode plays one episode with ε-greedy exploration, pushing every
+// DecisionStride-spaced transition into the learner.
+func (t *episodeRunner) runEpisode(w *sim.World, driver sim.Driver, maxSteps int) (float64, bool, error) {
+	driver.Reset()
+	for _, b := range w.Behaviors {
+		b.Reset()
+	}
+	if maxSteps <= 0 {
+		maxSteps = 400
+	}
+	total := 0.0
+	obs := w.Observe()
+	stiNow := t.smc.currentSTI(obs)
+	state := featurize(obs, stiNow, t.cfg)
+
+	for step := 0; step < maxSteps; step += t.cfg.DecisionStride {
+		aIdx := t.learner.SelectAction(state, true)
+		action := t.cfg.Actions[aIdx]
+
+		// Hold the decision for DecisionStride simulator steps.
+		var ev sim.Events
+		collided := false
+		progress := 0.0
+		before := obs.Ego.Pos
+		for k := 0; k < t.cfg.DecisionStride; k++ {
+			stepObs := w.Observe()
+			control := applyAction(action, stepObs, driver.Act(stepObs))
+			ev = w.Advance(control)
+			if ev.EgoCollision {
+				collided = true
+				break
+			}
+		}
+		next := w.Observe()
+		progress = next.Ego.Pos.Sub(before).Dot(goalDir(next))
+
+		stiNext := t.smc.currentSTI(next)
+		reward := t.reward(action, stiNext, progress, next)
+		if collided {
+			// A collision is the terminal safety violation: the escape
+			// routes are gone, and distance covered while crashing is not
+			// path completion.
+			stiNext = 1
+			reward = t.reward(action, 1, 0, next)
+		}
+		done := collided || next.Ego.Pos.X >= w.Goal.X || step+t.cfg.DecisionStride >= maxSteps
+		nextState := featurize(next, stiNext, t.cfg)
+		t.learner.Observe(rl.Transition{
+			State:  state,
+			Action: aIdx,
+			Reward: reward,
+			Next:   nextState,
+			Done:   done,
+		})
+		total += reward
+		state = nextState
+		obs = next
+		if done {
+			return total, collided, nil
+		}
+	}
+	return total, false, nil
+}
+
+// reward implements Eq. 8; the α0 term is dropped for the w/o-STI ablation.
+func (t *episodeRunner) reward(a Action, stiVal, progress float64, obs sim.Observation) float64 {
+	r := 0.0
+	if t.cfg.UseSTI {
+		r += t.cfg.Alpha0 * (1 - stiVal)
+	}
+	// Path completion, normalised by the distance an ego at cruise speed
+	// covers per decision.
+	ideal := obs.EgoParams.MaxSpeed * obs.Dt * float64(t.cfg.DecisionStride)
+	if ideal > 0 {
+		r += t.cfg.Alpha1 * clampF(progress/ideal, -1, 1)
+	}
+	if a != NoOp {
+		r -= t.cfg.Alpha2
+	}
+	return r
+}
+
+// goalDir is the unit direction towards the goal; degenerate goals (the
+// ring road's unbounded goal) fall back to the ego heading.
+func goalDir(obs sim.Observation) geom.Vec2 {
+	to := obs.Goal.Sub(obs.Ego.Pos)
+	if math.IsInf(to.X, 0) || math.IsInf(to.Y, 0) || to.Norm() < 1e-9 {
+		sin, cos := math.Sincos(obs.Ego.Heading)
+		return geom.V(cos, sin)
+	}
+	return to.Unit()
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,218 @@
+// Package stats provides the small set of descriptive statistics used when
+// reporting the paper's tables and figures: mean, standard deviation,
+// percentiles, and histogram-style series summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 for fewer
+// than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// MeanStd returns both the mean and standard deviation in one pass over the
+// pre-computed mean.
+func MeanStd(xs []float64) (mean, sd float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice. The
+// input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns several percentiles of xs with a single sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	min := math.Inf(1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Series summarises a collection of time-aligned traces: for each time step
+// it reports the mean and standard deviation across traces, padding shorter
+// traces by exclusion (each step averages only the traces that reach it).
+// This is the aggregation behind the paper's Fig. 4 line plots.
+type Series struct {
+	Mean []float64
+	SD   []float64
+	N    []int // number of traces contributing at each step
+}
+
+// Aggregate builds a Series from the given traces.
+func Aggregate(traces [][]float64) Series {
+	maxLen := 0
+	for _, tr := range traces {
+		if len(tr) > maxLen {
+			maxLen = len(tr)
+		}
+	}
+	s := Series{
+		Mean: make([]float64, maxLen),
+		SD:   make([]float64, maxLen),
+		N:    make([]int, maxLen),
+	}
+	var buf []float64
+	for i := 0; i < maxLen; i++ {
+		buf = buf[:0]
+		for _, tr := range traces {
+			if i < len(tr) {
+				buf = append(buf, tr[i])
+			}
+		}
+		s.Mean[i] = Mean(buf)
+		s.SD[i] = StdDev(buf)
+		s.N[i] = len(buf)
+	}
+	return s
+}
+
+// Len returns the series length.
+func (s Series) Len() int { return len(s.Mean) }
+
+// FormatMeanSD renders "mean (sd)" rows in the style of the paper's tables.
+func FormatMeanSD(mean, sd float64) string {
+	return fmt.Sprintf("%.2f (%.2f)", mean, sd)
+}
+
+// WelchT computes Welch's t-statistic for the difference in means of two
+// samples with (possibly) unequal variances, along with the
+// Welch–Satterthwaite degrees of freedom. It backs the paper's §V-B claim
+// that combined STI is statistically different between safe and accident
+// scenario populations.
+func WelchT(a, b []float64) (t, df float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0
+	}
+	ma, sa := MeanStd(a)
+	mb, sb := MeanStd(b)
+	na, nb := float64(len(a)), float64(len(b))
+	va, vb := sa*sa/na, sb*sb/nb
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		return 0, 0
+	}
+	t = (ma - mb) / se
+	denom := va*va/(na-1) + vb*vb/(nb-1)
+	if denom == 0 {
+		return t, 0
+	}
+	df = (va + vb) * (va + vb) / denom
+	return t, df
+}
+
+// CohenD returns Cohen's d effect size between two samples (pooled SD).
+func CohenD(a, b []float64) float64 {
+	if len(a) < 2 || len(b) < 2 {
+		return 0
+	}
+	ma, sa := MeanStd(a)
+	mb, sb := MeanStd(b)
+	na, nb := float64(len(a)), float64(len(b))
+	pooled := math.Sqrt(((na-1)*sa*sa + (nb-1)*sb*sb) / (na + nb - 2))
+	if pooled == 0 {
+		return 0
+	}
+	return (ma - mb) / pooled
+}
+
+// Pearson returns the Pearson correlation coefficient between two equal-
+// length samples, or 0 when undefined (fewer than two points or zero
+// variance).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); got != tt.want {
+				t.Errorf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v", got)
+	}
+	if got := StdDev([]float64{3}); got != 0 {
+		t.Errorf("StdDev(single) = %v", got)
+	}
+	// Population SD of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, sd := MeanStd([]float64{1, 3})
+	if m != 2 || sd != 1 {
+		t.Errorf("MeanStd = %v %v", m, sd)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{-5, 15},
+		{105, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if got := Percentile(xs, 75); got != 7.5 {
+		t.Errorf("p75 = %v, want 7.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	got := Percentiles(xs, 0, 100)
+	if got[0] != 1 || got[1] != 4 {
+		t.Errorf("Percentiles = %v", got)
+	}
+	if got := Percentiles(nil, 50, 90); got[0] != 0 || got[1] != 0 {
+		t.Errorf("Percentiles(nil) = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(nil); !math.IsInf(got, 1) {
+		t.Errorf("Min(nil) = %v", got)
+	}
+	if got := Max(nil); !math.IsInf(got, -1) {
+		t.Errorf("Max(nil) = %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	traces := [][]float64{
+		{1, 2, 3},
+		{3, 4},
+	}
+	s := Aggregate(traces)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean[0] != 2 || s.Mean[1] != 3 || s.Mean[2] != 3 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.N[0] != 2 || s.N[2] != 1 {
+		t.Errorf("N = %v", s.N)
+	}
+	if s.SD[0] != 1 {
+		t.Errorf("SD[0] = %v, want 1", s.SD[0])
+	}
+	if s.SD[2] != 0 {
+		t.Errorf("SD[2] = %v, want 0 (single trace)", s.SD[2])
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	s := Aggregate(nil)
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestFormatMeanSD(t *testing.T) {
+	if got := FormatMeanSD(3.694, 0.125); got != "3.69 (0.12)" {
+		t.Errorf("FormatMeanSD = %q", got)
+	}
+}
+
+// Property: the percentile function is monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Abs(math.Mod(p1, 100))
+		p2 = math.Abs(math.Mod(p2, 100))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 <= v2+1e-9 && v1 >= Min(xs)-1e-9 && v2 <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies between min and max.
+func TestMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile of a sorted singleton expansion equals the element.
+func TestPercentileConstantSeries(t *testing.T) {
+	xs := []float64{7, 7, 7, 7}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if got := Percentile(xs, p); got != 7 {
+			t.Errorf("Percentile(%v) of constant = %v", p, got)
+		}
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Error("input unexpectedly unsorted")
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	a := []float64{5.1, 4.9, 5.0, 5.2, 4.8}
+	b := []float64{3.0, 3.2, 2.9, 3.1, 2.8}
+	tt, df := WelchT(a, b)
+	if tt < 10 {
+		t.Errorf("clearly separated samples: t = %v, want large", tt)
+	}
+	if df <= 0 || df > 8 {
+		t.Errorf("df = %v, want in (0, 8]", df)
+	}
+	// Symmetric in sign.
+	tr, _ := WelchT(b, a)
+	if math.Abs(tt+tr) > 1e-9 {
+		t.Errorf("t not antisymmetric: %v vs %v", tt, tr)
+	}
+	// Degenerate inputs.
+	if tt, df := WelchT([]float64{1}, b); tt != 0 || df != 0 {
+		t.Error("tiny sample should return zeros")
+	}
+	if tt, _ := WelchT([]float64{2, 2, 2}, []float64{2, 2, 2}); tt != 0 {
+		t.Errorf("identical constants t = %v", tt)
+	}
+}
+
+func TestCohenD(t *testing.T) {
+	a := []float64{10, 11, 9, 10, 10}
+	b := []float64{0, 1, -1, 0, 0}
+	if d := CohenD(a, b); d < 5 {
+		t.Errorf("effect size = %v, want large", d)
+	}
+	if d := CohenD([]float64{1}, b); d != 0 {
+		t.Errorf("degenerate d = %v", d)
+	}
+	if d := CohenD([]float64{3, 3}, []float64{3, 3}); d != 0 {
+		t.Errorf("zero-variance d = %v", d)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(xs, xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{2, 2, 2, 2, 2}); got != 0 {
+		t.Errorf("zero-variance correlation = %v", got)
+	}
+	if got := Pearson(xs, xs[:3]); got != 0 {
+		t.Errorf("length mismatch correlation = %v", got)
+	}
+	if got := Pearson(nil, nil); got != 0 {
+		t.Errorf("empty correlation = %v", got)
+	}
+}

@@ -1,0 +1,44 @@
+package sti
+
+import (
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/reach"
+	"repro/internal/vehicle"
+)
+
+// BenchmarkEvaluateCombined measures the SMC-loop fast path (§V-E reports
+// 0.61 s for the authors' Python implementation of the full evaluation).
+func BenchmarkEvaluateCombined(b *testing.B) {
+	e := MustNewEvaluator(reach.DefaultConfig())
+	m := testRoad()
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 3}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(5, 5.25), Speed: 10}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(-15, 1.75), Speed: 15}),
+	}
+	egoS := ego(0, 1.75, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CombinedWithPrediction(m, egoS, actors)
+	}
+}
+
+// BenchmarkEvaluateFull measures the full per-actor counterfactual
+// evaluation (N+2 reach-tube computations).
+func BenchmarkEvaluateFull(b *testing.B) {
+	e := MustNewEvaluator(reach.DefaultConfig())
+	m := testRoad()
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 3}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(5, 5.25), Speed: 10}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(-15, 1.75), Speed: 15}),
+	}
+	egoS := ego(0, 1.75, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvaluateWithPrediction(m, egoS, actors)
+	}
+}

@@ -1,0 +1,107 @@
+package sti
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/reach"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// The empty-world tube volume |T^∅| depends only on the ego state relative
+// to the road geometry: on a straight road it is invariant along x (far
+// from the segment ends), on a ring road it is rotationally invariant.
+// Caching it on a quantised relative pose removes one of the two
+// reach-tube computations from the EvaluateCombined hot path.
+//
+// Values are computed at the quantisation bucket's representative state, so
+// the cache is deterministic: a state always maps to the same volume
+// regardless of call order.
+
+type emptyKey struct {
+	lat, heading, speed int32
+}
+
+type emptyCache struct {
+	mu sync.Mutex
+	m  map[emptyKey]float64
+}
+
+const (
+	cacheLatQ     = 0.25 // metres
+	cacheHeadingQ = 0.05 // radians
+	cacheSpeedQ   = 0.5  // m/s
+)
+
+func newEmptyCache() *emptyCache {
+	return &emptyCache{m: make(map[emptyKey]float64, 256)}
+}
+
+// emptyVolume returns |T^∅| for the ego on map m, consulting the cache for
+// translation-invariant map families.
+func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State) float64 {
+	switch road := m.(type) {
+	case *roadmap.StraightRoad:
+		span := e.cfg.Params.MaxSpeed*e.cfg.Horizon + e.cfg.Params.Length
+		if road.XMax-ego.Pos.X < span || ego.Pos.X-road.XMin < e.cfg.Params.Length {
+			break // near a segment end: x matters, compute directly
+		}
+		key := emptyKey{
+			lat:     quantize(ego.Pos.Y, cacheLatQ),
+			heading: quantize(ego.Heading, cacheHeadingQ),
+			speed:   quantize(ego.Speed, cacheSpeedQ),
+		}
+		rep := vehicle.State{
+			Pos:     geom.V(ego.Pos.X, dequantize(key.lat, cacheLatQ)),
+			Heading: dequantize(key.heading, cacheHeadingQ),
+			Speed:   dequantize(key.speed, cacheSpeedQ),
+		}
+		// Normalise x to the segment centre so the key is position-free.
+		rep.Pos.X = (road.XMin + road.XMax) / 2
+		return e.cache.lookup(key, func() float64 {
+			return reach.Compute(m, nil, rep, e.cfg).Volume
+		})
+	case *roadmap.RingRoad:
+		radial := ego.Pos.Dist(road.Center)
+		tangent := geom.NormalizeAngle(road.AngleOf(ego.Pos) + math.Pi/2)
+		relHeading := geom.AngleDiff(ego.Heading, tangent)
+		key := emptyKey{
+			lat:     quantize(radial, cacheLatQ),
+			heading: quantize(relHeading, cacheHeadingQ),
+			speed:   quantize(ego.Speed, cacheSpeedQ),
+		}
+		rep := vehicle.State{Speed: dequantize(key.speed, cacheSpeedQ)}
+		rep.Pos, rep.Heading = road.PoseAt(dequantize(key.lat, cacheLatQ), 0)
+		rep.Heading = geom.NormalizeAngle(rep.Heading + dequantize(key.heading, cacheHeadingQ))
+		return e.cache.lookup(key, func() float64 {
+			return reach.Compute(m, nil, rep, e.cfg).Volume
+		})
+	}
+	return reach.Compute(m, nil, ego, e.cfg).Volume
+}
+
+func (c *emptyCache) lookup(key emptyKey, compute func() float64) float64 {
+	c.mu.Lock()
+	v, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = compute()
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Len returns the number of cached buckets (diagnostics).
+func (c *emptyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func quantize(x, q float64) int32           { return int32(math.Round(x / q)) }
+func dequantize(i int32, q float64) float64 { return float64(i) * q }

@@ -1,0 +1,66 @@
+package sti
+
+import "sort"
+
+// ActorRank pairs an actor index with its STI value.
+type ActorRank struct {
+	Index int
+	STI   float64
+}
+
+// Rank returns the actors ordered from most to least threatening; ties
+// preserve the original actor order (stable).
+func (r Result) Rank() []ActorRank {
+	out := make([]ActorRank, len(r.PerActor))
+	for i, v := range r.PerActor {
+		out[i] = ActorRank{Index: i, STI: v}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].STI > out[j].STI })
+	return out
+}
+
+// RiskEnvelope returns the indices of the actors whose STI values are
+// needed to explain at least the given fraction of the summed per-actor
+// risk — the paper's "risk envelope": the minimal set of actors that
+// collectively dominate the threat. fraction is clamped to [0, 1]; actors
+// with zero STI are never included.
+func (r Result) RiskEnvelope(fraction float64) []int {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	total := 0.0
+	for _, v := range r.PerActor {
+		total += v
+	}
+	if total <= 0 {
+		return nil
+	}
+	var out []int
+	acc := 0.0
+	for _, ar := range r.Rank() {
+		if ar.STI <= 0 {
+			break
+		}
+		out = append(out, ar.Index)
+		acc += ar.STI
+		if acc >= fraction*total {
+			break
+		}
+	}
+	return out
+}
+
+// Threatening returns the indices of actors with STI above the threshold,
+// in descending STI order.
+func (r Result) Threatening(threshold float64) []int {
+	var out []int
+	for _, ar := range r.Rank() {
+		if ar.STI > threshold {
+			out = append(out, ar.Index)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package sti implements the Safety-Threat Indicator — the iPrism paper's
+// primary contribution (§III-A). STI answers the counterfactual query "how
+// many more escape routes would the ego vehicle have if actor i were not
+// present?", using reach-tube volumes as the measure of escape routes:
+//
+//	STI_i        = (|T^{/i}| − |T|) / |T^∅|        (Eq. 4)
+//	STI_combined = (|T^∅|   − |T|) / |T^∅|        (Eq. 5)
+//
+// where |T| is the tube with every actor present, |T^{/i}| without actor i,
+// and |T^∅| in an empty world.
+package sti
+
+import (
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/reach"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// Result holds STI values for one evaluation instant.
+type Result struct {
+	// PerActor[i] is STI of actors[i] in [0, 1].
+	PerActor []float64
+	// Combined is STI^(combined) in [0, 1].
+	Combined float64
+
+	// Raw tube volumes backing the ratios, useful for diagnostics and the
+	// paper's Fig. 7 visualisations.
+	BaseVolume    float64   // |T|
+	EmptyVolume   float64   // |T^∅|
+	WithoutVolume []float64 // |T^{/i}|
+}
+
+// MostThreatening returns the index and value of the highest per-actor STI,
+// or (-1, 0) if there are no actors.
+func (r Result) MostThreatening() (int, float64) {
+	best, bestV := -1, 0.0
+	for i, v := range r.PerActor {
+		if best == -1 || v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// Evaluator computes STI for scenes. It is stateless apart from
+// configuration and safe for concurrent use.
+type Evaluator struct {
+	cfg   reach.Config
+	cache *emptyCache
+}
+
+// NewEvaluator returns an evaluator with the given reach-tube configuration.
+func NewEvaluator(cfg reach.Config) (*Evaluator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{cfg: cfg, cache: newEmptyCache()}, nil
+}
+
+// MustNewEvaluator is NewEvaluator for known-good configurations.
+func MustNewEvaluator(cfg reach.Config) *Evaluator {
+	e, err := NewEvaluator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the evaluator's reach configuration.
+func (e *Evaluator) Config() reach.Config { return e.cfg }
+
+// Evaluate computes per-actor and combined STI for the ego at state ego on
+// map m, given each actor's (predicted or ground-truth) trajectory.
+// trajs[i] must correspond to actors[i].
+func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) Result {
+	if len(actors) == 0 {
+		vol := reach.Compute(m, nil, ego, e.cfg).Volume
+		return Result{BaseVolume: vol, EmptyVolume: vol}
+	}
+	obs := reach.BuildObstacles(actors, trajs, e.cfg)
+
+	emptyVol := e.emptyVolume(m, ego)
+	base := reach.Compute(m, obs.Collide(), ego, e.cfg)
+
+	res := Result{
+		PerActor:      make([]float64, len(actors)),
+		WithoutVolume: make([]float64, len(actors)),
+		BaseVolume:    base.Volume,
+		EmptyVolume:   emptyVol,
+	}
+	if emptyVol <= 0 {
+		// The ego has no escape routes even in an empty world (off-road or
+		// wedged); actors cannot be responsible, so STI is defined as zero.
+		return res
+	}
+	res.Combined = snap(clamp01((emptyVol - base.Volume) / emptyVol))
+	for i := range actors {
+		wo := reach.Compute(m, obs.CollideWithout(i), ego, e.cfg)
+		res.WithoutVolume[i] = wo.Volume
+		res.PerActor[i] = snap(clamp01((wo.Volume - base.Volume) / emptyVol))
+	}
+	return res
+}
+
+// deadBand absorbs the bounded quantisation error of the cached empty-world
+// volume: ratios below it are reported as exactly zero risk.
+const deadBand = 0.03
+
+func snap(v float64) float64 {
+	if v < deadBand {
+		return 0
+	}
+	return v
+}
+
+// EvaluateCombined computes only STI^(combined), skipping the per-actor
+// counterfactuals. This is the fast path used inside the SMC reward loop,
+// costing two reach-tube computations instead of N+2.
+func (e *Evaluator) EvaluateCombined(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) float64 {
+	if len(actors) == 0 {
+		return 0
+	}
+	obs := reach.BuildObstacles(actors, trajs, e.cfg)
+	emptyVol := e.emptyVolume(m, ego)
+	if emptyVol <= 0 {
+		return 0
+	}
+	base := reach.Compute(m, obs.Collide(), ego, e.cfg)
+	return snap(clamp01((emptyVol - base.Volume) / emptyVol))
+}
+
+// EvaluateWithPrediction is a convenience wrapper that forecasts every
+// actor's trajectory with the CVTR model before evaluating STI — the
+// configuration used online by the SMC (§IV-C).
+func (e *Evaluator) EvaluateWithPrediction(m roadmap.Map, ego vehicle.State, actors []*actor.Actor) Result {
+	trajs := actor.PredictAll(actors, e.cfg.NumSlices(), e.cfg.SliceDt)
+	return e.Evaluate(m, ego, actors, trajs)
+}
+
+// CombinedWithPrediction is EvaluateCombined with CVTR-predicted actor
+// trajectories.
+func (e *Evaluator) CombinedWithPrediction(m roadmap.Map, ego vehicle.State, actors []*actor.Actor) float64 {
+	trajs := actor.PredictAll(actors, e.cfg.NumSlices(), e.cfg.SliceDt)
+	return e.EvaluateCombined(m, ego, actors, trajs)
+}
+
+func clamp01(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

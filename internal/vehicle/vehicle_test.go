@@ -1,0 +1,272 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero wheelbase", func(p *Params) { p.WheelBase = 0 }},
+		{"negative length", func(p *Params) { p.Length = -1 }},
+		{"zero width", func(p *Params) { p.Width = 0 }},
+		{"zero max speed", func(p *Params) { p.MaxSpeed = 0 }},
+		{"negative max accel", func(p *Params) { p.MaxAccel = -1 }},
+		{"positive max brake", func(p *Params) { p.MaxBrake = 1 }},
+		{"zero max steer", func(p *Params) { p.MaxSteer = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestStepStraightLine(t *testing.T) {
+	p := DefaultParams()
+	s := State{Pos: geom.V(0, 0), Heading: 0, Speed: 10}
+	s2 := p.Step(s, Control{}, 1.0)
+	if math.Abs(s2.Pos.X-10) > 1e-9 || math.Abs(s2.Pos.Y) > 1e-9 {
+		t.Errorf("straight step = %v", s2)
+	}
+	if s2.Speed != 10 || s2.Heading != 0 {
+		t.Errorf("speed/heading changed: %v", s2)
+	}
+}
+
+func TestStepAcceleration(t *testing.T) {
+	p := DefaultParams()
+	s := State{Speed: 0}
+	s2 := p.Step(s, Control{Accel: 2}, 1.0)
+	if s2.Speed != 2 {
+		t.Errorf("speed = %v, want 2", s2.Speed)
+	}
+	// Midpoint integration: distance = avg speed * dt = 1.
+	if math.Abs(s2.Pos.X-1) > 1e-9 {
+		t.Errorf("distance = %v, want 1", s2.Pos.X)
+	}
+}
+
+func TestStepSpeedClampedAtZero(t *testing.T) {
+	p := DefaultParams()
+	s := State{Speed: 1}
+	s2 := p.Step(s, Control{Accel: p.MaxBrake}, 1.0)
+	if s2.Speed != 0 {
+		t.Errorf("speed = %v, want 0 (no reversing)", s2.Speed)
+	}
+}
+
+func TestStepSpeedClampedAtMax(t *testing.T) {
+	p := DefaultParams()
+	s := State{Speed: p.MaxSpeed}
+	s2 := p.Step(s, Control{Accel: p.MaxAccel}, 1.0)
+	if s2.Speed != p.MaxSpeed {
+		t.Errorf("speed = %v, want %v", s2.Speed, p.MaxSpeed)
+	}
+}
+
+func TestStepControlClamped(t *testing.T) {
+	p := DefaultParams()
+	u := p.ClampControl(Control{Accel: 100, Steer: -100})
+	if u.Accel != p.MaxAccel || u.Steer != -p.MaxSteer {
+		t.Errorf("ClampControl = %+v", u)
+	}
+}
+
+func TestStepTurning(t *testing.T) {
+	p := DefaultParams()
+	s := State{Speed: 10}
+	left := p.Step(s, Control{Steer: 0.3}, 0.5)
+	right := p.Step(s, Control{Steer: -0.3}, 0.5)
+	if left.Heading <= 0 {
+		t.Errorf("left steer should increase heading, got %v", left.Heading)
+	}
+	if right.Heading >= 0 {
+		t.Errorf("right steer should decrease heading, got %v", right.Heading)
+	}
+	if math.Abs(left.Heading+right.Heading) > 1e-12 {
+		t.Errorf("turning should be symmetric: %v vs %v", left.Heading, right.Heading)
+	}
+	if left.Pos.Y <= 0 {
+		t.Errorf("left turn should move +y, got %v", left.Pos)
+	}
+}
+
+func TestStepZeroSpeedNoTurn(t *testing.T) {
+	p := DefaultParams()
+	s := State{Speed: 0}
+	s2 := p.Step(s, Control{Steer: p.MaxSteer}, 1.0)
+	if s2.Heading != 0 || s2.Pos != (geom.Vec2{}) {
+		t.Errorf("stationary vehicle must not move or rotate: %v", s2)
+	}
+}
+
+func TestCircularMotionRadius(t *testing.T) {
+	// Under constant steer and speed, the bicycle model traces a circle of
+	// radius R = L / tan(φ). Integrate a full revolution and verify the path
+	// returns near the start.
+	p := DefaultParams()
+	const (
+		speed = 5.0
+		steer = 0.2
+		dt    = 0.01
+	)
+	radius := p.WheelBase / math.Tan(steer)
+	period := 2 * math.Pi * radius / speed
+	s := State{Speed: speed}
+	steps := int(period / dt)
+	for i := 0; i < steps; i++ {
+		s = p.Step(s, Control{Steer: steer}, dt)
+	}
+	if s.Pos.Norm() > 0.5 {
+		t.Errorf("after one revolution pos = %v (radius %v), want near origin", s.Pos, radius)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	p := DefaultParams()
+	fp := p.Footprint(State{Pos: geom.V(3, 4), Heading: 1})
+	if fp.Center != geom.V(3, 4) || fp.Heading != 1 {
+		t.Errorf("footprint = %+v", fp)
+	}
+	if fp.HalfLen != p.Length/2 || fp.HalfWid != p.Width/2 {
+		t.Errorf("footprint extents = %+v", fp)
+	}
+}
+
+func TestStoppingDistance(t *testing.T) {
+	p := DefaultParams()
+	// v²/(2·8) at 20 m/s = 25 m.
+	if got := p.StoppingDistance(20); math.Abs(got-25) > 1e-9 {
+		t.Errorf("StoppingDistance(20) = %v, want 25", got)
+	}
+	if got := p.StoppingDistance(0); got != 0 {
+		t.Errorf("StoppingDistance(0) = %v, want 0", got)
+	}
+	p.MaxBrake = 0
+	if got := p.StoppingDistance(10); !math.IsInf(got, 1) {
+		t.Errorf("StoppingDistance with no brakes = %v, want +Inf", got)
+	}
+}
+
+func TestVelocity(t *testing.T) {
+	s := State{Heading: math.Pi / 2, Speed: 3}
+	v := s.Velocity()
+	if math.Abs(v.X) > 1e-12 || math.Abs(v.Y-3) > 1e-12 {
+		t.Errorf("Velocity = %v", v)
+	}
+}
+
+// Property: speed always stays within [0, MaxSpeed] and heading within
+// (-π, π] for any bounded control sequence.
+func TestStepInvariants(t *testing.T) {
+	p := DefaultParams()
+	f := func(accel, steer, v0, heading float64) bool {
+		if anyNaNInf(accel, steer, v0, heading) {
+			return true
+		}
+		s := State{
+			Heading: geom.NormalizeAngle(heading),
+			Speed:   geom.Clamp(math.Abs(math.Mod(v0, 40)), 0, p.MaxSpeed),
+		}
+		for i := 0; i < 20; i++ {
+			s = p.Step(s, Control{Accel: math.Mod(accel, 20), Steer: math.Mod(steer, 2)}, 0.1)
+			if s.Speed < 0 || s.Speed > p.MaxSpeed {
+				return false
+			}
+			if s.Heading <= -math.Pi || s.Heading > math.Pi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: displacement per step never exceeds MaxSpeed·dt.
+func TestStepDisplacementBound(t *testing.T) {
+	p := DefaultParams()
+	f := func(accel, steer, v0 float64) bool {
+		if anyNaNInf(accel, steer, v0) {
+			return true
+		}
+		dt := 0.1
+		s := State{Speed: geom.Clamp(math.Abs(math.Mod(v0, 40)), 0, p.MaxSpeed)}
+		s2 := p.Step(s, Control{Accel: math.Mod(accel, 20), Steer: math.Mod(steer, 2)}, dt)
+		return s2.Pos.Sub(s.Pos).Norm() <= p.MaxSpeed*dt+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaNInf(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSteerLimit(t *testing.T) {
+	p := DefaultParams()
+	// At rest and at crawl the mechanical limit applies.
+	if got := p.SteerLimit(0); got != p.MaxSteer {
+		t.Errorf("SteerLimit(0) = %v, want %v", got, p.MaxSteer)
+	}
+	if got := p.SteerLimit(2); got != p.MaxSteer {
+		t.Errorf("SteerLimit(2) = %v, want mechanical limit", got)
+	}
+	// At highway speed the lateral-acceleration cap dominates and shrinks
+	// monotonically with speed.
+	hi := p.SteerLimit(15)
+	vhi := p.SteerLimit(30)
+	if hi >= p.MaxSteer {
+		t.Errorf("SteerLimit(15) = %v, want < %v", hi, p.MaxSteer)
+	}
+	if vhi >= hi {
+		t.Errorf("steer limit must shrink with speed: %v !< %v", vhi, hi)
+	}
+	// atan(L·a_lat/v²) at v=15: atan(2.8·6/225).
+	want := math.Atan(2.8 * 6 / 225)
+	if math.Abs(hi-want) > 1e-12 {
+		t.Errorf("SteerLimit(15) = %v, want %v", hi, want)
+	}
+	// Disabled cap.
+	p.MaxLatAccel = 0
+	if got := p.SteerLimit(30); got != p.MaxSteer {
+		t.Errorf("uncapped SteerLimit = %v", got)
+	}
+}
+
+func TestStepRespectsSteerLimitAtSpeed(t *testing.T) {
+	p := DefaultParams()
+	fast := State{Speed: 25}
+	slow := State{Speed: 5}
+	uf := p.Step(fast, Control{Steer: p.MaxSteer}, 0.1)
+	us := p.Step(slow, Control{Steer: p.MaxSteer}, 0.1)
+	// Yaw rate = v/L·tan(φ_eff): the fast vehicle's effective steer is so
+	// much smaller that its heading change stays below the slow vehicle's.
+	if uf.Heading >= us.Heading {
+		t.Errorf("fast heading change %v should be < slow %v (lat-accel cap)", uf.Heading, us.Heading)
+	}
+}

@@ -1,0 +1,102 @@
+package iprism
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/sim"
+)
+
+func TestRiskMonitorRecordsTrace(t *testing.T) {
+	scns := GenerateScenarios(LeadSlowdown, 10, 5)
+	scn := scns[0]
+	w, err := scn.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewRiskMonitor(DefaultReachConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := mon.Wrap(agent.NewLBC(agent.DefaultLBCConfig()))
+	out := sim.Run(w, driver, nil, sim.RunConfig{MaxSteps: scn.MaxSteps})
+
+	samples := mon.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	wantSamples := (out.Steps + 4) / 5
+	if len(samples) != wantSamples {
+		t.Errorf("samples = %d, want %d (stride 5 over %d steps)", len(samples), wantSamples, out.Steps)
+	}
+	for _, s := range samples {
+		if s.STI < 0 || s.STI > 1 {
+			t.Fatalf("STI out of range: %v", s.STI)
+		}
+		if s.TTC < 0 {
+			t.Fatalf("TTC negative: %v", s.TTC)
+		}
+	}
+	// The lead-slowdown scenario has a lead in range: the most threatening
+	// actor should eventually be identified.
+	found := false
+	for _, s := range samples {
+		if s.MostThreatening == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lead never identified as most threatening")
+	}
+	if mon.PeakSTI() <= 0 {
+		t.Errorf("peak STI = %v, want > 0", mon.PeakSTI())
+	}
+}
+
+func TestRiskMonitorReset(t *testing.T) {
+	mon, err := NewRiskMonitor(DefaultReachConfig(), 0) // stride floors to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.samples = []RiskSample{{Time: 1}}
+	mon.Reset()
+	if len(mon.Samples()) != 0 {
+		t.Error("Reset did not clear samples")
+	}
+	if mon.PeakSTI() != 0 {
+		t.Error("peak of empty trace should be 0")
+	}
+}
+
+func TestRiskMonitorInvalidConfig(t *testing.T) {
+	cfg := DefaultReachConfig()
+	cfg.Horizon = -1
+	if _, err := NewRiskMonitor(cfg, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRiskyIntervals(t *testing.T) {
+	mon := &RiskMonitor{}
+	mon.samples = []RiskSample{
+		{Time: 0, STI: 0},
+		{Time: 1, STI: 0.4},
+		{Time: 2, STI: 0.5},
+		{Time: 3, STI: 0},
+		{Time: 4, STI: 0.6},
+	}
+	got := mon.RiskyIntervals(0.3)
+	if len(got) != 2 {
+		t.Fatalf("intervals = %v", got)
+	}
+	if got[0] != [2]float64{1, 3} {
+		t.Errorf("first interval = %v", got[0])
+	}
+	if got[1] != [2]float64{4, 4} {
+		t.Errorf("open-ended interval = %v", got[1])
+	}
+	if got := mon.RiskyIntervals(math.Inf(1)); len(got) != 0 {
+		t.Errorf("no interval should exceed +Inf: %v", got)
+	}
+}
