@@ -1,0 +1,159 @@
+// Command iprism-bench runs the repository's standing benchmark workloads
+// — STI evaluation (full and combined fast path) on the canonical
+// three-actor scene, and LBC episodes over a ghost cut-in suite — with
+// telemetry enabled, then writes the resulting latency distributions and
+// counters as a BENCH_<date>.json snapshot. Committing these snapshots over
+// time gives the repo a perf trajectory to regress against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/agent"
+	"repro/internal/geom"
+	"repro/internal/reach"
+	"repro/internal/roadmap"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/sti"
+	"repro/internal/telemetry"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iprism-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_<date>.json schema.
+type report struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Config struct {
+		STIIters int   `json:"sti_iters"`
+		Episodes int   `json:"episodes"`
+		Seed     int64 `json:"seed"`
+	} `json:"config"`
+
+	// Workloads holds wall-clock totals per workload; the per-operation
+	// latency distributions live in Telemetry.Histograms (e.g.
+	// "sti.evaluate.seconds", "sim.step.seconds").
+	Workloads map[string]workload `json:"workloads"`
+	Telemetry telemetry.Snapshot  `json:"telemetry"`
+}
+
+type workload struct {
+	Iterations int     `json:"iterations"`
+	Seconds    float64 `json:"seconds"`
+	PerOp      float64 `json:"per_op_seconds"`
+}
+
+func run() error {
+	var (
+		stiIters = flag.Int("sti-iters", 300, "STI evaluations per variant")
+		episodes = flag.Int("episodes", 20, "ghost cut-in episodes to simulate")
+		seed     = flag.Int64("seed", 2024, "scenario generation seed")
+		outDir   = flag.String("o", ".", "directory for the BENCH_<date>.json snapshot")
+		telAddr  = flag.String("telemetry", "", "additionally serve expvar and pprof on this address while benchmarking")
+	)
+	flag.Parse()
+
+	cleanup, err := telemetry.Setup(*telAddr, "")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	telemetry.Enable()
+	telemetry.Default().Reset()
+
+	var rep report
+	rep.Date = time.Now().Format(time.RFC3339)
+	rep.GoVersion = runtime.Version()
+	rep.GOOS, rep.GOARCH, rep.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+	rep.Config.STIIters = *stiIters
+	rep.Config.Episodes = *episodes
+	rep.Config.Seed = *seed
+	rep.Workloads = make(map[string]workload)
+
+	// Workload 1: STI evaluation on the canonical three-actor straight-road
+	// scene (mirrors BenchmarkSTIEvaluation / BenchmarkEvaluateCombined).
+	eval := sti.MustNewEvaluator(reach.DefaultConfig())
+	road := roadmap.MustStraightRoad(2, 3.5, -100, 1000)
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 3}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(5, 5.25), Speed: 10}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(-15, 1.75), Speed: 15}),
+	}
+	ego := vehicle.State{Pos: geom.V(0, 1.75), Speed: 10}
+
+	start := time.Now()
+	for i := 0; i < *stiIters; i++ {
+		eval.EvaluateWithPrediction(road, ego, actors)
+	}
+	rep.Workloads["sti_evaluate_full"] = timed(*stiIters, time.Since(start))
+
+	start = time.Now()
+	for i := 0; i < *stiIters; i++ {
+		eval.CombinedWithPrediction(road, ego, actors)
+	}
+	rep.Workloads["sti_evaluate_combined"] = timed(*stiIters, time.Since(start))
+
+	// Workload 2: full LBC episodes over a ghost cut-in suite, populating
+	// the sim-step latency distribution and the reach/collision counters.
+	scns := scenario.GenerateValid(scenario.GhostCutIn, *episodes, *seed)
+	steps := 0
+	start = time.Now()
+	for _, s := range scns {
+		w, err := s.Build()
+		if err != nil {
+			return err
+		}
+		out := sim.Run(w, agent.NewLBC(agent.DefaultLBCConfig()), nil, sim.RunConfig{MaxSteps: s.MaxSteps})
+		steps += out.Steps
+	}
+	rep.Workloads["sim_episodes"] = timed(steps, time.Since(start))
+
+	rep.Telemetry = telemetry.Default().Snapshot()
+
+	path := filepath.Join(*outDir, "BENCH_"+time.Now().Format("2006-01-02")+".json")
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	for _, name := range []string{"sti.evaluate.seconds", "sti.evaluate_combined.seconds", "sim.step.seconds"} {
+		h := rep.Telemetry.Histograms[name]
+		fmt.Printf("%-30s n=%-6d p50 %s  p95 %s  p99 %s\n",
+			name, h.Count, fmtSec(h.P50), fmtSec(h.P95), fmtSec(h.P99))
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func timed(iters int, d time.Duration) workload {
+	w := workload{Iterations: iters, Seconds: d.Seconds()}
+	if iters > 0 {
+		w.PerOp = d.Seconds() / float64(iters)
+	}
+	return w
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

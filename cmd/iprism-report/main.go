@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +26,16 @@ func run() error {
 		episodes = flag.Int("episodes", 60, "SMC training episodes per typology (paper: 100)")
 		seed     = flag.Int64("seed", 2024, "generation and training seed")
 		out      = flag.String("o", "report.md", "output path ('-' for stdout)")
+		telAddr  = flag.String("telemetry", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		journal  = flag.String("journal", "", "write a JSONL telemetry journal to this path")
 	)
 	flag.Parse()
+
+	telCleanup, err := telemetry.Setup(*telAddr, *journal)
+	if err != nil {
+		return err
+	}
+	defer telCleanup()
 
 	opt := experiments.DefaultOptions()
 	opt.ScenariosPerTypology = *n

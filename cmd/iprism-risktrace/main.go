@@ -12,6 +12,7 @@ import (
 	"strconv"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +28,16 @@ func run() error {
 		seed      = flag.Int64("seed", 2024, "suite generation seed")
 		mitigated = flag.Bool("mitigated", false, "emit Fig. 5 (train an SMC and compare STI traces)")
 		episodes  = flag.Int("episodes", 60, "SMC training episodes for -mitigated")
+		telAddr   = flag.String("telemetry", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		journal   = flag.String("journal", "", "write a JSONL telemetry journal to this path")
 	)
 	flag.Parse()
+
+	telCleanup, err := telemetry.Setup(*telAddr, *journal)
+	if err != nil {
+		return err
+	}
+	defer telCleanup()
 
 	opt := experiments.DefaultOptions()
 	opt.ScenariosPerTypology = *n

@@ -15,6 +15,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/smc"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run() error {
 		seed     = flag.Int64("seed", 2024, "generation and training seed")
 		out      = flag.String("o", "smc.json", "output path for the trained controller")
 		noSTI    = flag.Bool("no-sti", false, "train the w/o-STI reward ablation")
+		telAddr  = flag.String("telemetry", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		journal  = flag.String("journal", "", "write a JSONL telemetry journal (per-episode reward/epsilon/loss) to this path")
 	)
 	flag.Parse()
 
@@ -46,6 +49,11 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown typology %q (want one of %s)", *typology, strings.Join(names(), ", "))
 	}
+	telCleanup, err := telemetry.Setup(*telAddr, *journal)
+	if err != nil {
+		return err
+	}
+	defer telCleanup()
 
 	opt := experiments.DefaultOptions()
 	opt.ScenariosPerTypology = *n

@@ -3,10 +3,20 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Suite telemetry: scenarios_done counts completed episodes across all
+// workers (live suite progress over expvar); episodes_per_sec is the
+// aggregate throughput of the last finished suite.
+var (
+	telSuiteScenarios = telemetry.NewCounter("experiments.suite.scenarios_done")
+	telSuiteThroughpt = telemetry.NewGauge("experiments.suite.episodes_per_sec")
 )
 
 // Suite is the generated scenario set of one typology together with the
@@ -39,6 +49,7 @@ func BuildSuites(opt Options) ([]Suite, error) {
 	}
 	suites := make([]Suite, len(scenario.Typologies))
 	for i, ty := range scenario.Typologies {
+		sp := telemetry.StartSpan("experiments.build_suite")
 		scns := scenario.GenerateValid(ty, opt.ScenariosPerTypology, opt.Seed+int64(i))
 		outcomes, err := runSuite(scns, opt.Workers, func() sim.Driver {
 			return agent.NewLBC(agent.DefaultLBCConfig())
@@ -47,6 +58,21 @@ func BuildSuites(opt Options) ([]Suite, error) {
 			return nil, fmt.Errorf("experiments: %v suite: %w", ty, err)
 		}
 		suites[i] = Suite{Typology: ty, Scenarios: scns, Outcomes: outcomes}
+		elapsed := sp.End()
+		if telemetry.JournalActive() {
+			accidents := 0
+			for _, o := range outcomes {
+				if o.Collision {
+					accidents++
+				}
+			}
+			telemetry.Emit("experiments.suite", map[string]any{
+				"typology":  ty.String(),
+				"scenarios": len(scns),
+				"accidents": accidents,
+				"seconds":   elapsed.Seconds(),
+			})
+		}
 	}
 	return suites, nil
 }
@@ -54,6 +80,7 @@ func BuildSuites(opt Options) ([]Suite, error) {
 // runSuite executes every scenario with a fresh driver (and optionally a
 // fresh mitigator) using a bounded worker pool.
 func runSuite(scns []scenario.Scenario, workers int, makeDriver func() sim.Driver, makeMitigator func() (sim.Mitigator, error), record bool) ([]sim.Outcome, error) {
+	start := time.Now()
 	outcomes := make([]sim.Outcome, len(scns))
 	errs := make([]error, len(scns))
 	var wg sync.WaitGroup
@@ -81,9 +108,13 @@ func runSuite(scns []scenario.Scenario, workers int, makeDriver func() sim.Drive
 				MaxSteps:    scns[i].MaxSteps,
 				RecordTrace: record,
 			})
+			telSuiteScenarios.Inc()
 		}(i)
 	}
 	wg.Wait()
+	if d := time.Since(start).Seconds(); d > 0 {
+		telSuiteThroughpt.Set(float64(len(scns)) / d)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -13,7 +13,19 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/roadmap"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
+)
+
+// Telemetry: per-Compute counts are accumulated in locals inside the
+// expansion loops and flushed once per tube, keeping the hot path free of
+// atomics (collection itself is gated on telemetry.Enable).
+var (
+	telComputes     = telemetry.NewCounter("reach.computes")
+	telStates       = telemetry.NewCounter("reach.states_expanded")
+	telPropagations = telemetry.NewCounter("reach.propagations")
+	telPruned       = telemetry.NewCounter("reach.pruned")
+	telTubeVolume   = telemetry.NewHistogram("reach.tube_volume_m2", telemetry.LinearBuckets(0, 25, 24))
 )
 
 // CollisionFunc reports whether the footprint b collides with any obstacle
@@ -180,9 +192,11 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 	grid := geom.NewOccupancyGrid(cfg.CellSize)
 	tube := Tube{SliceStates: make([]int, numSlices)}
 
+	telComputes.Inc()
 	egoFp := cfg.Params.Footprint(ego)
 	if !m.DrivableBox(egoFp) || (collide != nil && collide(egoFp, 0)) {
 		// The ego is already off-road or in contact: no escape routes.
+		telTubeVolume.Observe(0)
 		return tube
 	}
 
@@ -190,6 +204,7 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 	frontier := []vehicle.State{ego}
 	visited := make(map[stateKey]struct{}, 256)
 	next := make([]vehicle.State, 0, 64)
+	propagations, pruned := 0, 0
 
 	for slice := 0; slice < numSlices; slice++ {
 		clear(visited)
@@ -198,7 +213,9 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 		for _, s := range frontier {
 			for _, u := range controls {
 				s2, ok := cfg.propagate(m, collide, s, u, slice)
+				propagations++
 				if !ok {
+					pruned++
 					continue
 				}
 				k := cfg.key(s2)
@@ -224,6 +241,10 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 		frontier, next = next, frontier[:0]
 	}
 	tube.Volume = grid.Area()
+	telStates.Add(int64(tube.States))
+	telPropagations.Add(int64(propagations))
+	telPruned.Add(int64(pruned))
+	telTubeVolume.Observe(tube.Volume)
 	return tube
 }
 

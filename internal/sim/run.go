@@ -1,7 +1,17 @@
 package sim
 
 import (
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
+)
+
+// Telemetry for the episode loop (collected only under telemetry.Enable).
+var (
+	telEpisodes    = telemetry.NewCounter("sim.episodes")
+	telSteps       = telemetry.NewCounter("sim.steps")
+	telCollisions  = telemetry.NewCounter("sim.collisions")
+	telMitigations = telemetry.NewCounter("sim.mitigations")
+	telStepSeconds = telemetry.NewHistogram("sim.step.seconds", telemetry.LatencyBuckets())
 )
 
 // StepRecord captures one simulation step for offline metric evaluation
@@ -59,7 +69,14 @@ type RunConfig struct {
 // Run drives one episode: each step the Driver acts on the observation, the
 // Mitigator (if any) may overwrite the action, and the world advances.
 // The episode ends on ego collision, goal completion, or MaxSteps.
-func Run(w *World, driver Driver, mit Mitigator, cfg RunConfig) Outcome {
+func Run(w *World, driver Driver, mit Mitigator, cfg RunConfig) (out Outcome) {
+	defer func() {
+		telEpisodes.Inc()
+		telSteps.Add(int64(out.Steps))
+		if out.Collision {
+			telCollisions.Inc()
+		}
+	}()
 	driver.Reset()
 	if mit != nil {
 		mit.Reset()
@@ -67,22 +84,27 @@ func Run(w *World, driver Driver, mit Mitigator, cfg RunConfig) Outcome {
 	for _, b := range w.Behaviors {
 		b.Reset()
 	}
-	out := Outcome{FirstMitigationStep: -1, CollisionStep: -1, NPCCrashStep: -1}
+	out = Outcome{FirstMitigationStep: -1, CollisionStep: -1, NPCCrashStep: -1}
 	maxSteps := cfg.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 600
 	}
 	for step := 0; step < maxSteps; step++ {
+		timer := telStepSeconds.Start()
 		obs := w.Observe()
 		u := driver.Act(obs)
 		mitigated := false
 		if mit != nil {
 			u, mitigated = mit.Mitigate(obs, u)
-			if mitigated && out.FirstMitigationStep < 0 {
-				out.FirstMitigationStep = step
+			if mitigated {
+				telMitigations.Inc()
+				if out.FirstMitigationStep < 0 {
+					out.FirstMitigationStep = step
+				}
 			}
 		}
 		ev := w.Advance(u)
+		timer.Stop()
 		if cfg.RecordTrace {
 			out.Trace = append(out.Trace, record(w, obs.Time, u, mitigated))
 		}

@@ -3,11 +3,26 @@ package smc
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rl"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Training telemetry: the gauges track the latest episode (live training
+// curves over expvar), the journal records every episode for offline
+// analysis.
+var (
+	telEpisodes       = telemetry.NewCounter("smc.episodes")
+	telTrainCollide   = telemetry.NewCounter("smc.train_collisions")
+	telEpisodeSeconds = telemetry.NewHistogram("smc.episode.seconds", telemetry.LatencyBuckets())
+	telReward         = telemetry.NewGauge("smc.reward")
+	telEpsilon        = telemetry.NewGauge("smc.epsilon")
+	telLoss           = telemetry.NewGauge("smc.loss")
+	telStepsPerSec    = telemetry.NewGauge("smc.steps_per_sec")
 )
 
 // TrainResult summarises an SMC training run.
@@ -50,13 +65,40 @@ func Train(scns []scenario.Scenario, makeDriver func() sim.Driver, cfg Config, e
 		if err != nil {
 			return nil, res, fmt.Errorf("smc: build episode %d: %w", ep, err)
 		}
-		reward, collided, err := trainer.runEpisode(w, driver, scn.MaxSteps)
+		start := time.Now()
+		st, err := trainer.runEpisode(w, driver, scn.MaxSteps)
 		if err != nil {
 			return nil, res, err
 		}
-		res.EpisodeRewards = append(res.EpisodeRewards, reward)
-		if collided {
+		elapsed := time.Since(start)
+		res.EpisodeRewards = append(res.EpisodeRewards, st.reward)
+		if st.collided {
 			res.Collisions++
+			telTrainCollide.Inc()
+		}
+		eps := learner.Epsilon()
+		stepsPerSec := 0.0
+		if s := elapsed.Seconds(); s > 0 {
+			stepsPerSec = float64(st.steps) / s
+		}
+		telEpisodes.Inc()
+		telEpisodeSeconds.Observe(elapsed.Seconds())
+		telReward.Set(st.reward)
+		telEpsilon.Set(eps)
+		telLoss.Set(st.meanLoss())
+		telStepsPerSec.Set(stepsPerSec)
+		if telemetry.JournalActive() {
+			telemetry.Emit("smc.episode", map[string]any{
+				"episode":       ep,
+				"scenario":      scn.ID,
+				"reward":        st.reward,
+				"epsilon":       eps,
+				"loss":          st.meanLoss(),
+				"steps":         st.steps,
+				"steps_per_sec": stepsPerSec,
+				"collided":      st.collided,
+				"seconds":       elapsed.Seconds(),
+			})
 		}
 	}
 	res.Episodes = episodes
@@ -76,9 +118,29 @@ type episodeRunner struct {
 	smc     *SMC // used only for its STI evaluator
 }
 
+// episodeStats summarises one training episode for TrainResult and the
+// telemetry journal.
+type episodeStats struct {
+	reward   float64
+	steps    int // simulator steps advanced
+	lossSum  float64
+	lossN    int // learner updates that actually ran
+	collided bool
+}
+
+// meanLoss returns the mean D-DQN training loss over the episode's updates
+// (0 during the replay warm-up, when no update runs).
+func (s episodeStats) meanLoss() float64 {
+	if s.lossN == 0 {
+		return 0
+	}
+	return s.lossSum / float64(s.lossN)
+}
+
 // runEpisode plays one episode with ε-greedy exploration, pushing every
 // DecisionStride-spaced transition into the learner.
-func (t *episodeRunner) runEpisode(w *sim.World, driver sim.Driver, maxSteps int) (float64, bool, error) {
+func (t *episodeRunner) runEpisode(w *sim.World, driver sim.Driver, maxSteps int) (episodeStats, error) {
+	var st episodeStats
 	driver.Reset()
 	for _, b := range w.Behaviors {
 		b.Reset()
@@ -86,7 +148,6 @@ func (t *episodeRunner) runEpisode(w *sim.World, driver sim.Driver, maxSteps int
 	if maxSteps <= 0 {
 		maxSteps = 400
 	}
-	total := 0.0
 	obs := w.Observe()
 	stiNow := t.smc.currentSTI(obs)
 	state := featurize(obs, stiNow, t.cfg)
@@ -104,6 +165,7 @@ func (t *episodeRunner) runEpisode(w *sim.World, driver sim.Driver, maxSteps int
 			stepObs := w.Observe()
 			control := applyAction(action, stepObs, driver.Act(stepObs))
 			ev = w.Advance(control)
+			st.steps++
 			if ev.EgoCollision {
 				collided = true
 				break
@@ -123,21 +185,25 @@ func (t *episodeRunner) runEpisode(w *sim.World, driver sim.Driver, maxSteps int
 		}
 		done := collided || next.Ego.Pos.X >= w.Goal.X || step+t.cfg.DecisionStride >= maxSteps
 		nextState := featurize(next, stiNext, t.cfg)
-		t.learner.Observe(rl.Transition{
+		if loss := t.learner.Observe(rl.Transition{
 			State:  state,
 			Action: aIdx,
 			Reward: reward,
 			Next:   nextState,
 			Done:   done,
-		})
-		total += reward
+		}); loss != 0 {
+			st.lossSum += loss
+			st.lossN++
+		}
+		st.reward += reward
 		state = nextState
 		obs = next
 		if done {
-			return total, collided, nil
+			st.collided = collided
+			return st, nil
 		}
 	}
-	return total, false, nil
+	return st, nil
 }
 
 // reward implements Eq. 8; the α0 term is dropped for the w/o-STI ablation.

@@ -7,7 +7,17 @@ import (
 	"repro/internal/geom"
 	"repro/internal/reach"
 	"repro/internal/roadmap"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
+)
+
+// Cache telemetry: hits/misses count lookup outcomes on the cacheable map
+// families; bypasses count empty-world computations on map families the
+// cache cannot serve (and near-segment-end straight-road states).
+var (
+	telCacheHits   = telemetry.NewCounter("sti.empty_cache.hits")
+	telCacheMisses = telemetry.NewCounter("sti.empty_cache.misses")
+	telCacheBypass = telemetry.NewCounter("sti.empty_cache.bypass")
 )
 
 // The empty-world tube volume |T^∅| depends only on the ego state relative
@@ -79,6 +89,7 @@ func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State) float64 {
 			return reach.Compute(m, nil, rep, e.cfg).Volume
 		})
 	}
+	telCacheBypass.Inc()
 	return reach.Compute(m, nil, ego, e.cfg).Volume
 }
 
@@ -87,8 +98,10 @@ func (c *emptyCache) lookup(key emptyKey, compute func() float64) float64 {
 	v, ok := c.m[key]
 	c.mu.Unlock()
 	if ok {
+		telCacheHits.Inc()
 		return v
 	}
+	telCacheMisses.Inc()
 	v = compute()
 	c.mu.Lock()
 	c.m[key] = v

@@ -16,7 +16,17 @@ import (
 	"repro/internal/actor"
 	"repro/internal/reach"
 	"repro/internal/roadmap"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
+)
+
+// Telemetry (collected only when telemetry.Enable has been called; see
+// DESIGN.md "Observability" for the metric index).
+var (
+	telEvaluations     = telemetry.NewCounter("sti.evaluations")
+	telEvalSeconds     = telemetry.NewHistogram("sti.evaluate.seconds", telemetry.LatencyBuckets())
+	telCombinedSeconds = telemetry.NewHistogram("sti.evaluate_combined.seconds", telemetry.LatencyBuckets())
+	telActorsPerEval   = telemetry.NewHistogram("sti.actors_per_eval", telemetry.LinearBuckets(0, 1, 16))
 )
 
 // Result holds STI values for one evaluation instant.
@@ -76,6 +86,9 @@ func (e *Evaluator) Config() reach.Config { return e.cfg }
 // map m, given each actor's (predicted or ground-truth) trajectory.
 // trajs[i] must correspond to actors[i].
 func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) Result {
+	defer telEvalSeconds.Start().Stop()
+	telEvaluations.Inc()
+	telActorsPerEval.Observe(float64(len(actors)))
 	if len(actors) == 0 {
 		vol := reach.Compute(m, nil, ego, e.cfg).Volume
 		return Result{BaseVolume: vol, EmptyVolume: vol}
@@ -120,6 +133,9 @@ func snap(v float64) float64 {
 // counterfactuals. This is the fast path used inside the SMC reward loop,
 // costing two reach-tube computations instead of N+2.
 func (e *Evaluator) EvaluateCombined(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) float64 {
+	defer telCombinedSeconds.Start().Stop()
+	telEvaluations.Inc()
+	telActorsPerEval.Observe(float64(len(actors)))
 	if len(actors) == 0 {
 		return 0
 	}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one line of the JSONL run journal. Fields carries the
+// event-specific payload (episode reward, epsilon, suite progress, ...);
+// numeric field values round-trip as float64 per encoding/json.
+type Event struct {
+	TS     time.Time      `json:"ts"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Journal appends structured events to a writer as JSON Lines. It is safe
+// for concurrent use; write errors are sticky and reported by Err/Close so
+// per-event call sites stay unconditional.
+type Journal struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	closer io.Closer
+	err    error
+}
+
+// NewJournal wraps an existing writer. The caller keeps ownership of w.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{enc: json.NewEncoder(w)}
+}
+
+// OpenJournal creates (truncating) a journal file at path. Close flushes
+// and closes the file.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open journal: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	j := NewJournal(bw)
+	j.closer = &flushCloser{bw: bw, f: f}
+	return j, nil
+}
+
+type flushCloser struct {
+	bw *bufio.Writer
+	f  *os.File
+}
+
+func (fc *flushCloser) Close() error {
+	ferr := fc.bw.Flush()
+	if cerr := fc.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	return ferr
+}
+
+// Emit appends one event stamped with the current wall-clock time.
+func (j *Journal) Emit(event string, fields map[string]any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(Event{TS: time.Now(), Event: event, Fields: fields})
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the underlying file when the journal owns one
+// (OpenJournal); it returns the first write error either way.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closer != nil {
+		if cerr := j.closer.Close(); j.err == nil {
+			j.err = cerr
+		}
+		j.closer = nil
+	}
+	return j.err
+}
+
+// ReadJournal parses a JSONL event stream; blank lines are skipped.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return out, fmt.Errorf("telemetry: journal line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// ReadJournalFile parses the JSONL journal at path.
+func ReadJournalFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if enabled.Load() {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 && enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v as the current value.
+func (g *Gauge) Set(v float64) {
+	if enabled.Load() {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.bits.Store(0) }
+
+// Histogram is a fixed-bucket distribution metric. Bucket i counts
+// observations in (bounds[i-1], bounds[i]]; one implicit overflow bucket
+// counts observations above the last bound. Observation is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h.resetExtrema()
+	return h
+}
+
+func (h *Histogram) resetExtrema() {
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() || math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+// Count returns the total number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.resetExtrema()
+}
+
+// Start begins a latency measurement that Stop records into the histogram
+// in seconds. When telemetry is disabled no clock is read and Stop is a
+// no-op, so `defer h.Start().Stop()` is safe on hot paths.
+func (h *Histogram) Start() Timer {
+	if !enabled.Load() {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Timer measures one duration into a histogram. The zero Timer is inert.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop records the elapsed time since Start in seconds and returns it.
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}
+
+// Span is a named timed region recorded into the default registry under
+// "span.<name>.seconds". Unlike Timer it needs no pre-registered histogram,
+// making it suitable for coarse one-off regions (suite builds, training
+// runs) rather than per-tick hot paths. The zero Span is inert.
+type Span struct {
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a named timed region.
+func StartSpan(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now()}
+}
+
+// End records the region's duration and returns it. It also emits a
+// journal event carrying the duration when a journal is installed.
+func (s Span) End() time.Duration {
+	if s.name == "" {
+		return 0
+	}
+	d := time.Since(s.start)
+	NewHistogram("span."+s.name+".seconds", LatencyBuckets()).Observe(d.Seconds())
+	if JournalActive() {
+		Emit("span", map[string]any{"name": s.name, "seconds": d.Seconds()})
+	}
+	return d
+}
+
+// atomicAddFloat adds v to the float64 stored as bits in p.
+func atomicAddFloat(p *atomic.Uint64, v float64) {
+	for {
+		old := p.Load()
+		if p.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(p *atomic.Uint64, v float64) {
+	for {
+		old := p.Load()
+		if math.Float64frombits(old) <= v || p.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(p *atomic.Uint64, v float64) {
+	for {
+		old := p.Load()
+		if math.Float64frombits(old) >= v || p.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets returns exponential bucket bounds in seconds covering
+// 1 µs to ~8.4 s (doubling), the range of every latency in this repo from
+// a single simulator step to a full suite build.
+func LatencyBuckets() []float64 {
+	return ExponentialBuckets(1e-6, 2, 24)
+}
+
+// ExponentialBuckets returns n bounds starting at start, multiplied by
+// factor at each step.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds starting at start, spaced width apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}

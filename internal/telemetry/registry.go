@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"expvar"
+	"math"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookup is get-or-create so
+// any package can claim its metrics in a var block regardless of init
+// order; the returned handles are then mutated lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	publishOnce sync.Once
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// std is the default registry backing the package-level helpers.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use. Later calls return the existing histogram and ignore
+// bounds, so every registration site should agree on them.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric (the metric handles stay valid).
+// Used between benchmark workloads and in tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Snapshot is a JSON-serialisable copy of every metric at one instant.
+// All values are finite (empty histograms report zeros, not ±Inf), so the
+// snapshot always marshals cleanly.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// HistogramStats summarises one histogram: moments, extrema, interpolated
+// percentiles, and the non-empty buckets.
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Buckets lists the non-empty buckets; Le is the bucket's inclusive
+	// upper bound (the overflow bucket reports the observed max).
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot captures every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramStats, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		s.Gauges[name] = v
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.stats()
+	}
+	return s
+}
+
+// stats summarises the histogram. Concurrent Observe calls may land between
+// the per-bucket loads; the summary is a near-consistent view, which is all
+// a monitoring snapshot needs.
+func (h *Histogram) stats() HistogramStats {
+	counts := make([]uint64, len(h.counts))
+	total := uint64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	st := HistogramStats{Count: total}
+	if total == 0 {
+		return st
+	}
+	st.Sum = math.Float64frombits(h.sumBits.Load())
+	st.Min = math.Float64frombits(h.minBits.Load())
+	st.Max = math.Float64frombits(h.maxBits.Load())
+	st.Mean = st.Sum / float64(total)
+	st.P50 = h.quantile(0.50, counts, total, st.Min, st.Max)
+	st.P95 = h.quantile(0.95, counts, total, st.Min, st.Max)
+	st.P99 = h.quantile(0.99, counts, total, st.Min, st.Max)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		le := st.Max
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		st.Buckets = append(st.Buckets, Bucket{Le: le, Count: c})
+	}
+	return st
+}
+
+// quantile estimates the q-th quantile by linear interpolation inside the
+// bucket containing the target rank, with the bucket edges clamped to the
+// observed extrema so the estimate never leaves the data range.
+func (h *Histogram) quantile(q float64, counts []uint64, total uint64, min, max float64) float64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo, hi := min, max
+		if i > 0 && h.bounds[i-1] > lo {
+			lo = h.bounds[i-1]
+		}
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + (rank-prev)/float64(c)*(hi-lo)
+	}
+	return max
+}
+
+// PublishExpvar publishes the registry under the given expvar name (the
+// default registry is published as "iprism" by Serve). Safe to call more
+// than once; only the first call registers.
+func (r *Registry) PublishExpvar(name string) {
+	r.publishOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

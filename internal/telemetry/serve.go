@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve publishes the default registry through expvar and starts an HTTP
+// server on addr exposing:
+//
+//	/debug/vars       expvar JSON (includes the "iprism" metric snapshot)
+//	/debug/telemetry  the bare registry snapshot, pretty-printed
+//	/debug/pprof/*    the standard net/http/pprof profiles
+//
+// The server runs until Close. Serving is opt-in and independent of
+// Enable; commands flip both from the same flag.
+func Serve(addr string) (*Server, error) {
+	std.PublishExpvar("iprism")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(std.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,340 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enableForTest turns collection on and restores the disabled default (and
+// a clean registry) when the test ends.
+func enableForTest(t *testing.T) {
+	t.Helper()
+	Enable()
+	t.Cleanup(func() {
+		Disable()
+		std.Reset()
+	})
+}
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	c := NewCounter("test.disabled.counter")
+	g := NewGauge("test.disabled.gauge")
+	h := NewHistogram("test.disabled.hist", LinearBuckets(0, 1, 4))
+	c.Inc()
+	c.Add(10)
+	g.Set(3.5)
+	h.Observe(2)
+	h.Start().Stop()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled telemetry mutated metrics: counter=%d gauge=%v hist=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+	if st := h.stats(); st.Count != 0 || st.Min != 0 || st.Max != 0 {
+		t.Errorf("empty histogram stats not zeroed: %+v", st)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	enableForTest(t)
+	c := NewCounter("test.counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := NewGauge("test.gauge")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if got := g.Value(); got != -2.25 {
+		t.Errorf("gauge = %v, want -2.25", got)
+	}
+	// Get-or-create must return the same handle.
+	if NewCounter("test.counter") != c {
+		t.Error("NewCounter returned a different handle for the same name")
+	}
+}
+
+// TestHistogramPercentiles checks interpolated percentiles against a known
+// uniform distribution: 1..1000 observed once each into 5-wide buckets.
+// The interpolation error is bounded by one bucket width.
+func TestHistogramPercentiles(t *testing.T) {
+	enableForTest(t)
+	h := NewHistogram("test.percentiles", LinearBuckets(5, 5, 200))
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	st := h.stats()
+	if st.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", st.Count)
+	}
+	if st.Min != 1 || st.Max != 1000 {
+		t.Errorf("min/max = %v/%v, want 1/1000", st.Min, st.Max)
+	}
+	if want := 500.5; math.Abs(st.Mean-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", st.Mean, want)
+	}
+	for _, tc := range []struct{ got, want float64 }{
+		{st.P50, 500}, {st.P95, 950}, {st.P99, 990},
+	} {
+		if math.Abs(tc.got-tc.want) > 5 {
+			t.Errorf("quantile = %v, want %v ± 5 (one bucket width)", tc.got, tc.want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	enableForTest(t)
+	h := NewHistogram("test.overflow", LinearBuckets(1, 1, 3)) // bounds 1,2,3
+	for _, v := range []float64{0.5, 10, 20, 30, math.NaN()} {
+		h.Observe(v)
+	}
+	st := h.stats()
+	if st.Count != 4 {
+		t.Errorf("count = %d, want 4 (NaN dropped)", st.Count)
+	}
+	// Overflow bucket holds 10/20/30 and reports the observed max as Le.
+	last := st.Buckets[len(st.Buckets)-1]
+	if last.Count != 3 || last.Le != 30 {
+		t.Errorf("overflow bucket = %+v, want {Le:30 Count:3}", last)
+	}
+	// The p99 estimate must stay inside the data range.
+	if st.P99 < st.Min || st.P99 > st.Max {
+		t.Errorf("p99 = %v outside [%v, %v]", st.P99, st.Min, st.Max)
+	}
+}
+
+// TestConcurrentMetrics hammers every metric type from multiple goroutines;
+// meaningful mainly under -race, but the totals are asserted too.
+func TestConcurrentMetrics(t *testing.T) {
+	enableForTest(t)
+	c := NewCounter("test.concurrent.counter")
+	g := NewGauge("test.concurrent.gauge")
+	h := NewHistogram("test.concurrent.hist", LatencyBuckets())
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(w*perWorker+i) * 1e-6)
+				if i%100 == 0 {
+					std.Snapshot() // readers race against writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	st := h.stats()
+	if st.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", st.Count, workers*perWorker)
+	}
+	wantSum := 1e-6 * float64(workers*perWorker) * float64(workers*perWorker-1) / 2
+	if math.Abs(st.Sum-wantSum) > wantSum*1e-9 {
+		t.Errorf("histogram sum = %v, want %v", st.Sum, wantSum)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	want := []struct {
+		event  string
+		fields map[string]any
+	}{
+		{"smc.episode", map[string]any{"episode": float64(0), "reward": 12.5, "collided": false}},
+		{"smc.episode", map[string]any{"episode": float64(1), "reward": -3.25, "collided": true}},
+		{"suite", map[string]any{"typology": "ghost-cut-in", "scenarios": float64(40)}},
+	}
+	for _, w := range want {
+		j.Emit(w.event, w.fields)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(want) {
+		t.Fatalf("read %d events, want %d", len(events), len(want))
+	}
+	for i, ev := range events {
+		if ev.Event != want[i].event {
+			t.Errorf("event %d = %q, want %q", i, ev.Event, want[i].event)
+		}
+		if len(ev.Fields) != len(want[i].fields) {
+			t.Errorf("event %d fields = %v, want %v", i, ev.Fields, want[i].fields)
+		}
+		for k, v := range want[i].fields {
+			if got := ev.Fields[k]; got != v {
+				t.Errorf("event %d field %q = %v (%T), want %v (%T)", i, k, got, got, v, v)
+			}
+		}
+		if ev.TS.IsZero() {
+			t.Errorf("event %d has zero timestamp", i)
+		}
+		if i > 0 && ev.TS.Before(events[i-1].TS) {
+			t.Errorf("event %d timestamp precedes event %d", i, i-1)
+		}
+	}
+}
+
+func TestJournalFile(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit("hello", map[string]any{"n": 1.0})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Event != "hello" {
+		t.Fatalf("round-trip through file: %+v", events)
+	}
+}
+
+func TestDefaultJournalEmit(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	SetJournal(j)
+	t.Cleanup(func() { SetJournal(nil) })
+	if !JournalActive() {
+		t.Fatal("JournalActive = false after SetJournal")
+	}
+	Emit("ping", nil)
+	events, err := ReadJournal(&buf)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events = %v, err = %v", events, err)
+	}
+	SetJournal(nil)
+	if JournalActive() {
+		t.Error("JournalActive = true after detach")
+	}
+	Emit("dropped", nil) // must not panic
+}
+
+func TestSnapshotMarshalsCleanly(t *testing.T) {
+	enableForTest(t)
+	NewCounter("test.snap.counter").Add(3)
+	NewGauge("test.snap.gauge").Set(2.5)
+	NewHistogram("test.snap.hist", LatencyBuckets()).Observe(0.01)
+	NewHistogram("test.snap.empty", LatencyBuckets()) // never observed: must not emit ±Inf
+	raw, err := json.Marshal(std.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["test.snap.counter"] != 3 {
+		t.Errorf("counter lost in round-trip: %v", back.Counters)
+	}
+	if back.Histograms["test.snap.hist"].Count != 1 {
+		t.Errorf("histogram lost in round-trip: %v", back.Histograms)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	enableForTest(t)
+	c := NewCounter("test.reset.counter")
+	h := NewHistogram("test.reset.hist", LinearBuckets(0, 1, 4))
+	c.Inc()
+	h.Observe(2)
+	std.Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Errorf("reset left values: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	// The histogram must keep working after Reset.
+	h.Observe(3)
+	if st := h.stats(); st.Count != 1 || st.Min != 3 || st.Max != 3 {
+		t.Errorf("post-reset stats = %+v", st)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	enableForTest(t)
+	sp := StartSpan("test_region")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Errorf("span duration = %v, want >= 1ms", d)
+	}
+	h := NewHistogram("span.test_region.seconds", LatencyBuckets())
+	if h.Count() != 1 {
+		t.Errorf("span histogram count = %d, want 1", h.Count())
+	}
+	// Zero span (telemetry disabled at start) is inert.
+	Disable()
+	if d := StartSpan("off").End(); d != 0 {
+		t.Errorf("disabled span measured %v", d)
+	}
+	Enable()
+}
+
+func TestServe(t *testing.T) {
+	enableForTest(t)
+	NewCounter("test.serve.counter").Add(7)
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// /debug/vars must be valid JSON containing the published snapshot.
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["iprism"], &snap); err != nil {
+		t.Fatalf("expvar iprism var: %v", err)
+	}
+	if snap.Counters["test.serve.counter"] != 7 {
+		t.Errorf("expvar snapshot counter = %d, want 7", snap.Counters["test.serve.counter"])
+	}
+	// /debug/telemetry serves the bare snapshot.
+	if err := json.Unmarshal(get("/debug/telemetry"), &snap); err != nil {
+		t.Fatalf("/debug/telemetry is not JSON: %v", err)
+	}
+	// One pprof endpoint as a smoke test.
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}

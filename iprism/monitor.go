@@ -7,8 +7,13 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sti"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
 )
+
+// telRecordSeconds times one monitor sample (STI + TTC + Dist. CIPA) — the
+// per-tick cost of the online risk assessor of §V-A/V-B.
+var telRecordSeconds = telemetry.NewHistogram("monitor.record.seconds", telemetry.LatencyBuckets())
 
 // RiskSample is one instant of online risk assessment.
 type RiskSample struct {
@@ -43,21 +48,35 @@ func NewRiskMonitor(cfg ReachConfig, stride int) (*RiskMonitor, error) {
 	return &RiskMonitor{eval: eval, stride: stride}, nil
 }
 
-// Samples returns the recorded trace (shared slice; copy before mutating).
-func (m *RiskMonitor) Samples() []RiskSample { return m.samples }
+// Samples returns a copy of the recorded trace; callers may mutate it
+// freely without corrupting the monitor's history.
+func (m *RiskMonitor) Samples() []RiskSample {
+	out := make([]RiskSample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
 
 // Reset clears the recorded trace.
 func (m *RiskMonitor) Reset() { m.samples = nil }
 
-// PeakSTI returns the maximum recorded combined STI.
+// PeakSTI returns the maximum recorded combined STI. NaN samples are
+// skipped, matching RiskyIntervals.
 func (m *RiskMonitor) PeakSTI() float64 {
 	peak := 0.0
 	for _, s := range m.samples {
-		if s.STI > peak {
+		if !math.IsNaN(s.STI) && s.STI > peak {
 			peak = s.STI
 		}
 	}
 	return peak
+}
+
+// Telemetry returns a snapshot of the process-wide telemetry registry —
+// the risk-assessment counters and latency histograms accumulated so far
+// (all zero unless EnableTelemetry has been called). See DESIGN.md
+// "Observability" for the metric index.
+func (m *RiskMonitor) Telemetry() TelemetrySnapshot {
+	return telemetry.Default().Snapshot()
 }
 
 // Wrap returns a Driver that delegates to inner while recording risk.
@@ -85,6 +104,7 @@ func (d *monitoredDriver) Act(obs sim.Observation) vehicle.Control {
 }
 
 func (m *RiskMonitor) record(obs sim.Observation) {
+	defer telRecordSeconds.Start().Stop()
 	cfg := m.eval.Config()
 	res := m.eval.EvaluateWithPrediction(obs.Map, obs.Ego, obs.Actors)
 	steps := cfg.NumSlices()

@@ -69,6 +69,53 @@ func TestRiskMonitorReset(t *testing.T) {
 	}
 }
 
+func TestSamplesReturnsCopy(t *testing.T) {
+	mon := &RiskMonitor{}
+	mon.samples = []RiskSample{{Time: 1, STI: 0.5}, {Time: 2, STI: 0.7}}
+	got := mon.Samples()
+	got[0].STI = 99 // must not corrupt the monitor's trace
+	got[1].Time = -1
+	if mon.samples[0].STI != 0.5 || mon.samples[1].Time != 2 {
+		t.Errorf("mutating the returned slice corrupted the trace: %+v", mon.samples)
+	}
+	// Appending to the copy must not leak into the monitor either.
+	_ = append(got, RiskSample{Time: 3})
+	if len(mon.samples) != 2 {
+		t.Errorf("append to copy grew the trace: %d samples", len(mon.samples))
+	}
+}
+
+func TestPeakSTISkipsNaN(t *testing.T) {
+	mon := &RiskMonitor{}
+	mon.samples = []RiskSample{
+		{Time: 0, STI: 0.3},
+		{Time: 1, STI: math.NaN()},
+		{Time: 2, STI: 0.4},
+	}
+	if got := mon.PeakSTI(); got != 0.4 {
+		t.Errorf("PeakSTI = %v, want 0.4 (NaN skipped)", got)
+	}
+	mon.samples = []RiskSample{{Time: 0, STI: math.NaN()}}
+	if got := mon.PeakSTI(); got != 0 {
+		t.Errorf("PeakSTI of all-NaN trace = %v, want 0", got)
+	}
+}
+
+func TestRiskMonitorTelemetrySnapshot(t *testing.T) {
+	EnableTelemetry()
+	t.Cleanup(DisableTelemetry)
+	mon := &RiskMonitor{}
+	snap := mon.Telemetry()
+	if snap.Counters == nil || snap.Histograms == nil {
+		t.Fatalf("snapshot maps not populated: %+v", snap)
+	}
+	// The instrumented metrics register at package init, so the snapshot
+	// must already list the monitor's latency histogram.
+	if _, ok := snap.Histograms["monitor.record.seconds"]; !ok {
+		t.Error("monitor.record.seconds missing from snapshot")
+	}
+}
+
 func TestRiskMonitorInvalidConfig(t *testing.T) {
 	cfg := DefaultReachConfig()
 	cfg.Horizon = -1
