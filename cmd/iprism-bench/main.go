@@ -43,9 +43,10 @@ type report struct {
 	NumCPU    int    `json:"num_cpu"`
 
 	Config struct {
-		STIIters int   `json:"sti_iters"`
-		Episodes int   `json:"episodes"`
-		Seed     int64 `json:"seed"`
+		STIIters   int   `json:"sti_iters"`
+		STIWorkers int   `json:"sti_workers"`
+		Episodes   int   `json:"episodes"`
+		Seed       int64 `json:"seed"`
 	} `json:"config"`
 
 	// Workloads holds wall-clock totals per workload; the per-operation
@@ -66,6 +67,7 @@ func run() error {
 		stiIters = flag.Int("sti-iters", 300, "STI evaluations per variant")
 		episodes = flag.Int("episodes", 20, "ghost cut-in episodes to simulate")
 		seed     = flag.Int64("seed", 2024, "scenario generation seed")
+		workers  = flag.Int("sti-workers", 0, "STI counterfactual fan-out width (0 = GOMAXPROCS, 1 = serial)")
 		outDir   = flag.String("o", ".", "directory for the BENCH_<date>.json snapshot")
 		telAddr  = flag.String("telemetry", "", "additionally serve expvar and pprof on this address while benchmarking")
 	)
@@ -90,7 +92,11 @@ func run() error {
 
 	// Workload 1: STI evaluation on the canonical three-actor straight-road
 	// scene (mirrors BenchmarkSTIEvaluation / BenchmarkEvaluateCombined).
-	eval := sti.MustNewEvaluator(reach.DefaultConfig())
+	eval, err := sti.NewEvaluatorOptions(reach.DefaultConfig(), sti.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	rep.Config.STIWorkers = eval.Workers()
 	road := roadmap.MustStraightRoad(2, 3.5, -100, 1000)
 	actors := []*actor.Actor{
 		actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 3}),
@@ -111,6 +117,22 @@ func run() error {
 	}
 	rep.Workloads["sti_evaluate_combined"] = timed(*stiIters, time.Since(start))
 
+	// Workload 1b: the dense six-actor scene, the N+2-tube configuration the
+	// per-actor counterfactual loop is slowest on (monitor-tick worst case).
+	dense := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 3}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(5, 5.25), Speed: 10}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(-15, 1.75), Speed: 15}),
+		actor.NewVehicle(4, vehicle.State{Pos: geom.V(28, 5.25), Speed: 8}),
+		actor.NewVehicle(5, vehicle.State{Pos: geom.V(-8, 5.25), Speed: 12}),
+		actor.NewVehicle(6, vehicle.State{Pos: geom.V(40, 1.75), Speed: 5}),
+	}
+	start = time.Now()
+	for i := 0; i < *stiIters; i++ {
+		eval.EvaluateWithPrediction(road, ego, dense)
+	}
+	rep.Workloads["sti_evaluate_full_6actor"] = timed(*stiIters, time.Since(start))
+
 	// Workload 2: full LBC episodes over a ghost cut-in suite, populating
 	// the sim-step latency distribution and the reach/collision counters.
 	scns := scenario.GenerateValid(scenario.GhostCutIn, *episodes, *seed)
@@ -128,7 +150,10 @@ func run() error {
 
 	rep.Telemetry = telemetry.Default().Snapshot()
 
-	path := filepath.Join(*outDir, "BENCH_"+time.Now().Format("2006-01-02")+".json")
+	// Timestamped to the second so several snapshots per day coexist and
+	// lexicographic filename order equals chronological order (the contract
+	// cmd/iprism-benchdiff relies on).
+	path := filepath.Join(*outDir, "BENCH_"+time.Now().UTC().Format("2006-01-02T150405Z")+".json")
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

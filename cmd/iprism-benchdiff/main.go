@@ -1,0 +1,130 @@
+// Command iprism-benchdiff compares the two newest BENCH_<date>.json
+// snapshots in a directory (lexicographic filename order, which
+// cmd/iprism-bench guarantees equals chronological order) and fails when a
+// gated latency distribution regressed: exit status 1 if the newer
+// snapshot's p95 exceeds the older one's by more than the tolerance on any
+// gated histogram. It is the perf-regression gate wired into
+// scripts/verify.sh; with fewer than two snapshots it reports and passes,
+// so fresh clones and first runs are not blocked.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// gatedHistograms are the latency distributions the gate fails on: the STI
+// evaluation path (the paper's 10 Hz monitor budget) and the simulator step.
+var gatedHistograms = []string{"sti.evaluate.seconds", "sim.step.seconds"}
+
+// snapshot mirrors the subset of the iprism-bench report the gate reads.
+type snapshot struct {
+	Date      string `json:"date"`
+	Workloads map[string]struct {
+		PerOp float64 `json:"per_op_seconds"`
+	} `json:"workloads"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iprism-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir       = flag.String("dir", ".", "directory holding BENCH_<date>.json snapshots")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional p95 increase before failing")
+	)
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) < 2 {
+		fmt.Printf("benchdiff: %d snapshot(s) in %s — need two to compare, passing\n", len(paths), *dir)
+		return nil
+	}
+	sort.Strings(paths)
+	oldPath, newPath := paths[len(paths)-2], paths[len(paths)-1]
+
+	oldSnap, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: %s -> %s (tolerance %+.0f%%)\n",
+		filepath.Base(oldPath), filepath.Base(newPath), *tolerance*100)
+
+	failed := false
+	for _, name := range gatedHistograms {
+		o, oOK := oldSnap.Telemetry.Histograms[name]
+		n, nOK := newSnap.Telemetry.Histograms[name]
+		if !oOK || !nOK || o.Count == 0 || n.Count == 0 {
+			fmt.Printf("  %-28s missing or empty in a snapshot, skipping\n", name)
+			continue
+		}
+		ratio := n.P95 / o.P95
+		status := "ok"
+		if n.P95 > o.P95*(1+*tolerance) {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-28s p50 %s -> %s   p95 %s -> %s (%+.1f%%) %s\n",
+			name, fmtSec(o.P50), fmtSec(n.P50), fmtSec(o.P95), fmtSec(n.P95),
+			(ratio-1)*100, status)
+	}
+
+	// Workload per-op times are informational: totals over a whole workload
+	// are steadier than tail percentiles, but scenario mixes may change
+	// between snapshots, so they do not gate.
+	names := make([]string, 0, len(newSnap.Workloads))
+	for name := range newSnap.Workloads {
+		if _, ok := oldSnap.Workloads[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := oldSnap.Workloads[name], newSnap.Workloads[name]
+		if o.PerOp <= 0 || n.PerOp <= 0 {
+			continue
+		}
+		fmt.Printf("  %-28s per-op %s -> %s (%+.1f%%)\n",
+			name, fmtSec(o.PerOp), fmtSec(n.PerOp), (n.PerOp/o.PerOp-1)*100)
+	}
+
+	if failed {
+		return fmt.Errorf("p95 regression beyond %.0f%% tolerance", *tolerance*100)
+	}
+	return nil
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

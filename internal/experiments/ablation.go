@@ -7,7 +7,6 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/smc"
-	"repro/internal/sti"
 )
 
 // ActionSetResult is one row of the action-space ablation.
@@ -36,7 +35,7 @@ func ActionAblationOn(suites []Suite, ty scenario.Typology, opt Options) ([]Acti
 	if !ok {
 		return nil, fmt.Errorf("experiments: missing %v suite", ty)
 	}
-	eval, err := sti.NewEvaluator(opt.Reach)
+	eval, err := stiEvaluator(opt)
 	if err != nil {
 		return nil, err
 	}

@@ -77,7 +77,10 @@ func (o Options) smcConfig(useSTI bool, seed int64) smc.Config {
 	return cfg
 }
 
-// stiEvaluator constructs an evaluator from the options.
+// stiEvaluator constructs an evaluator from the options. Experiments
+// parallelise at the episode/trace level via o.Workers, so the evaluator's
+// inner counterfactual fan-out is pinned to one worker — total concurrency
+// stays bounded by o.Workers instead of multiplying with it.
 func stiEvaluator(o Options) (*sti.Evaluator, error) {
-	return sti.NewEvaluator(o.Reach)
+	return sti.NewEvaluatorOptions(o.Reach, sti.Options{Workers: 1})
 }

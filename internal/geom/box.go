@@ -81,6 +81,79 @@ func (b Box) Inflate(margin float64) Box {
 	return b
 }
 
+// PreparedBox caches the derived geometry of a Box — unit axes, bounding
+// radius, corners and AABB — so repeated intersection and drivability tests
+// against the same box skip the per-call trigonometry. The reach-tube hot
+// path prepares every obstacle footprint once per evaluation and every ego
+// footprint once per sub-step instead of once per pairwise test.
+type PreparedBox struct {
+	Box      Box
+	Ax, Ay   Vec2    // unit axes (longitudinal, lateral)
+	Radius   float64 // bounding-circle radius
+	Corners  [4]Vec2 // counter-clockwise corners
+	Min, Max Vec2    // AABB corners
+}
+
+// Prepare computes the cached geometry of b: the values Box.Axes,
+// Box.BoundingRadius, Box.Corners and Box.AABB would return (AABB up to the
+// sign of zero, which no comparison distinguishes), so tests routed through
+// a PreparedBox decide identically.
+func (b Box) Prepare() PreparedBox {
+	p := PreparedBox{Box: b}
+	p.Ax, p.Ay = b.Axes()
+	p.Radius = math.Hypot(b.HalfLen, b.HalfWid)
+	dl := p.Ax.Scale(b.HalfLen)
+	dw := p.Ay.Scale(b.HalfWid)
+	p.Corners = [4]Vec2{
+		b.Center.Add(dl).Add(dw),
+		b.Center.Sub(dl).Add(dw),
+		b.Center.Sub(dl).Sub(dw),
+		b.Center.Add(dl).Sub(dw),
+	}
+	p.Min, p.Max = p.Corners[0], p.Corners[0]
+	for _, c := range p.Corners[1:] {
+		if c.X < p.Min.X {
+			p.Min.X = c.X
+		}
+		if c.Y < p.Min.Y {
+			p.Min.Y = c.Y
+		}
+		if c.X > p.Max.X {
+			p.Max.X = c.X
+		}
+		if c.Y > p.Max.Y {
+			p.Max.Y = c.Y
+		}
+	}
+	return p
+}
+
+// Intersects reports whether the two prepared boxes overlap. It agrees with
+// Box.Intersects on every input: the extra AABB rejection is conservative
+// (disjoint AABBs imply disjoint boxes) and the circle and SAT phases use
+// the cached values of the exact quantities Box.Intersects recomputes.
+func (b *PreparedBox) Intersects(o *PreparedBox) bool {
+	if b.Min.X > o.Max.X || o.Min.X > b.Max.X || b.Min.Y > o.Max.Y || o.Min.Y > b.Max.Y {
+		return false
+	}
+	r := b.Radius + o.Radius
+	if b.Box.Center.DistSq(o.Box.Center) > r*r {
+		return false
+	}
+	bx, by := b.Ax, b.Ay
+	ox, oy := o.Ax, o.Ay
+	axes := [4]Vec2{bx, by, ox, oy}
+	d := o.Box.Center.Sub(b.Box.Center)
+	for _, axis := range axes {
+		pb := b.Box.HalfLen*math.Abs(bx.Dot(axis)) + b.Box.HalfWid*math.Abs(by.Dot(axis))
+		po := o.Box.HalfLen*math.Abs(ox.Dot(axis)) + o.Box.HalfWid*math.Abs(oy.Dot(axis))
+		if math.Abs(d.Dot(axis)) > pb+po {
+			return false
+		}
+	}
+	return true
+}
+
 // AABB returns the axis-aligned bounding box of b as (min, max) corners.
 func (b Box) AABB() (Vec2, Vec2) {
 	cs := b.Corners()

@@ -1,0 +1,38 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// PreparedBox is a pure cache: every derived quantity and every intersection
+// decision must match the Box methods it shadows.
+func TestPreparedBoxMatchesBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomBox(rng), randomBox(rng)
+		pa, pb := a.Prepare(), b.Prepare()
+
+		if pa.Box != a {
+			t.Fatalf("trial %d: Prepare lost the box: %+v vs %+v", trial, pa.Box, a)
+		}
+		ax, ay := a.Axes()
+		if pa.Ax != ax || pa.Ay != ay {
+			t.Errorf("trial %d: axes (%v, %v) vs (%v, %v)", trial, pa.Ax, pa.Ay, ax, ay)
+		}
+		if pa.Radius != a.BoundingRadius() {
+			t.Errorf("trial %d: radius %v vs %v", trial, pa.Radius, a.BoundingRadius())
+		}
+		if pa.Corners != a.Corners() {
+			t.Errorf("trial %d: corners %v vs %v", trial, pa.Corners, a.Corners())
+		}
+		min, max := a.AABB()
+		if pa.Min != min || pa.Max != max {
+			t.Errorf("trial %d: AABB (%v, %v) vs (%v, %v)", trial, pa.Min, pa.Max, min, max)
+		}
+		if got, want := pa.Intersects(&pb), a.Intersects(b); got != want {
+			t.Errorf("trial %d: prepared Intersects = %v, Box.Intersects = %v (a=%+v b=%+v)",
+				trial, got, want, a, b)
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 // slice of a reach-tube computation, organised per actor so that the
 // counterfactual queries of STI (remove one actor, remove all) are cheap.
 type Obstacles struct {
-	// boxes[i][s] is actor i's footprint during slice s.
-	boxes     [][]geom.Box
+	// boxes[i][s] is actor i's footprint during slice s, prepared once so
+	// the inner SAT tests of every tube computation reuse the cached axes,
+	// bounding radius and AABB.
+	boxes     [][]geom.PreparedBox
 	numSlices int
 }
 
@@ -21,7 +23,7 @@ type Obstacles struct {
 func BuildObstacles(actors []*actor.Actor, trajs []actor.Trajectory, cfg Config) *Obstacles {
 	n := cfg.NumSlices()
 	o := &Obstacles{
-		boxes:     make([][]geom.Box, len(actors)),
+		boxes:     make([][]geom.PreparedBox, len(actors)),
 		numSlices: n,
 	}
 	for i, a := range actors {
@@ -29,9 +31,9 @@ func BuildObstacles(actors []*actor.Actor, trajs []actor.Trajectory, cfg Config)
 		if tr.Dt != cfg.SliceDt {
 			tr = tr.Resample(cfg.SliceDt, n)
 		}
-		bs := make([]geom.Box, n+1)
+		bs := make([]geom.PreparedBox, n+1)
 		for s := 0; s <= n; s++ {
-			bs[s] = a.FootprintAt(tr.StateAt(s))
+			bs[s] = a.FootprintAt(tr.StateAt(s)).Prepare()
 		}
 		o.boxes[i] = bs
 	}
@@ -49,7 +51,7 @@ func (o *Obstacles) Collide() CollisionFunc { return o.collideSkipping(-1) }
 func (o *Obstacles) CollideWithout(i int) CollisionFunc { return o.collideSkipping(i) }
 
 func (o *Obstacles) collideSkipping(skip int) CollisionFunc {
-	return func(b geom.Box, slice int) bool {
+	return func(b *geom.PreparedBox, slice int) bool {
 		if slice > o.numSlices {
 			slice = o.numSlices
 		}
@@ -57,7 +59,7 @@ func (o *Obstacles) collideSkipping(skip int) CollisionFunc {
 			if i == skip {
 				continue
 			}
-			if b.Intersects(bs[slice]) {
+			if b.Intersects(&bs[slice]) {
 				return true
 			}
 		}
@@ -70,5 +72,5 @@ func (o *Obstacles) BoxAt(i, s int) geom.Box {
 	if s > o.numSlices {
 		s = o.numSlices
 	}
-	return o.boxes[i][s]
+	return o.boxes[i][s].Box
 }

@@ -29,8 +29,10 @@ var (
 )
 
 // CollisionFunc reports whether the footprint b collides with any obstacle
-// during time slice index slice (slice 0 is the current instant).
-type CollisionFunc func(b geom.Box, slice int) bool
+// during time slice index slice (slice 0 is the current instant). The
+// footprint arrives prepared so implementations can run cached broad-phase
+// rejections; b is only valid for the duration of the call.
+type CollisionFunc func(b *geom.PreparedBox, slice int) bool
 
 // Config holds the reach-tube parameters. The defaults mirror the paper's
 // setup: horizon k = 3 s, slices Δt = 0.5 s, boundary-control enumeration
@@ -184,26 +186,77 @@ func (c Config) key(s vehicle.State) stateKey {
 	}
 }
 
+// Scratch holds the reusable allocations of a reach-tube computation: the
+// frontier/next state slices, the per-slice dedup map and the occupancy
+// grid. A Scratch amortises the GC churn of the N+2 tube computations per
+// STI evaluation; sti.Evaluator pools one per worker. A Scratch must not be
+// used by two computations concurrently. The zero value is not usable;
+// construct with NewScratch.
+type Scratch struct {
+	frontier []vehicle.State
+	next     []vehicle.State
+	visited  map[stateKey]struct{}
+	grid     *geom.OccupancyGrid
+}
+
+// NewScratch returns an empty scratch ready for ComputeScratch.
+func NewScratch() *Scratch {
+	return &Scratch{
+		frontier: make([]vehicle.State, 0, 64),
+		next:     make([]vehicle.State, 0, 64),
+		visited:  make(map[stateKey]struct{}, 256),
+		grid:     geom.NewOccupancyGrid(1),
+	}
+}
+
+// reset readies the scratch for a computation at the given grid resolution,
+// retaining capacity wherever the resolution allows it.
+func (s *Scratch) reset(cellSize float64) {
+	s.frontier = s.frontier[:0]
+	s.next = s.next[:0]
+	clear(s.visited)
+	if s.grid.CellSize() != cellSize {
+		s.grid = geom.NewOccupancyGrid(cellSize)
+	} else {
+		s.grid.Reset()
+	}
+}
+
 // Compute runs Algorithm 1: it returns the reach-tube of the ego vehicle on
 // map m, with collisions judged by collide (which may be nil for an empty
-// world — the T^∅ counterfactual).
+// world — the T^∅ counterfactual). It allocates fresh working state; hot
+// callers should use ComputeScratch.
 func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config) Tube {
+	return ComputeScratch(m, collide, ego, cfg, nil)
+}
+
+// ComputeScratch is Compute with caller-provided working memory. scr may be
+// nil (fresh allocations); the result is identical either way, and scr can
+// be reused for any subsequent computation.
+func ComputeScratch(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config, scr *Scratch) Tube {
 	numSlices := cfg.NumSlices()
-	grid := geom.NewOccupancyGrid(cfg.CellSize)
+	if scr == nil {
+		scr = NewScratch()
+	}
+	scr.reset(cfg.CellSize)
+	grid := scr.grid
 	tube := Tube{SliceStates: make([]int, numSlices)}
+	// Resolve the prepared-footprint fast path once per tube; maps outside
+	// the roadmap package fall back to DrivableBox.
+	pm, _ := m.(roadmap.PreparedMap)
 
 	telComputes.Inc()
-	egoFp := cfg.Params.Footprint(ego)
-	if !m.DrivableBox(egoFp) || (collide != nil && collide(egoFp, 0)) {
+	egoPb := cfg.Params.Footprint(ego).Prepare()
+	if !drivable(m, pm, &egoPb) || (collide != nil && collide(&egoPb, 0)) {
 		// The ego is already off-road or in contact: no escape routes.
 		telTubeVolume.Observe(0)
 		return tube
 	}
 
 	controls := cfg.controls()
-	frontier := []vehicle.State{ego}
-	visited := make(map[stateKey]struct{}, 256)
-	next := make([]vehicle.State, 0, 64)
+	frontier := append(scr.frontier, ego)
+	visited := scr.visited
+	next := scr.next
 	propagations, pruned := 0, 0
 
 	for slice := 0; slice < numSlices; slice++ {
@@ -212,7 +265,7 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 	expand:
 		for _, s := range frontier {
 			for _, u := range controls {
-				s2, ok := cfg.propagate(m, collide, s, u, slice)
+				s2, ok := cfg.propagate(m, pm, collide, s, u, slice)
 				propagations++
 				if !ok {
 					pruned++
@@ -240,12 +293,21 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 		}
 		frontier, next = next, frontier[:0]
 	}
+	// Hand the (possibly re-grown) slices back for the next reuse.
+	scr.frontier, scr.next = frontier, next
 	tube.Volume = grid.Area()
 	telStates.Add(int64(tube.States))
 	telPropagations.Add(int64(propagations))
 	telPruned.Add(int64(pruned))
 	telTubeVolume.Observe(tube.Volume)
 	return tube
+}
+
+func drivable(m roadmap.Map, pm roadmap.PreparedMap, b *geom.PreparedBox) bool {
+	if pm != nil {
+		return pm.DrivablePrepared(b)
+	}
+	return m.DrivableBox(b.Box)
 }
 
 // propagate integrates one Δt slice in sub-increments, rejecting the
@@ -255,7 +317,7 @@ func Compute(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg Config
 // sub-steps adapts to the state's speed — enough that no sub-step covers
 // more than ~half a vehicle length, capped at SubSteps — so slow states
 // stay cheap and fast states cannot tunnel.
-func (c Config) propagate(m roadmap.Map, collide CollisionFunc, s vehicle.State, u vehicle.Control, slice int) (vehicle.State, bool) {
+func (c Config) propagate(m roadmap.Map, pm roadmap.PreparedMap, collide CollisionFunc, s vehicle.State, u vehicle.Control, slice int) (vehicle.State, bool) {
 	sub := int(math.Ceil(s.Speed * c.SliceDt / (c.Params.Length / 2)))
 	if sub < 1 {
 		sub = 1
@@ -266,11 +328,11 @@ func (c Config) propagate(m roadmap.Map, collide CollisionFunc, s vehicle.State,
 	dt := c.SliceDt / float64(sub)
 	for j := 1; j <= sub; j++ {
 		s = c.Params.Step(s, u, dt)
-		fp := c.Params.Footprint(s)
-		if !m.DrivableBox(fp) {
+		pb := c.Params.Footprint(s).Prepare()
+		if !drivable(m, pm, &pb) {
 			return s, false
 		}
-		if collide != nil && (collide(fp, slice) || collide(fp, slice+1)) {
+		if collide != nil && (collide(&pb, slice) || collide(&pb, slice+1)) {
 			return s, false
 		}
 	}

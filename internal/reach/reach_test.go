@@ -119,7 +119,7 @@ func TestComputeOffRoadStart(t *testing.T) {
 }
 
 func TestComputeCollidingStart(t *testing.T) {
-	collide := func(geom.Box, int) bool { return true }
+	collide := func(*geom.PreparedBox, int) bool { return true }
 	tube := Compute(testRoad(), collide, egoState(0, 1.75, 10), DefaultConfig())
 	if tube.Volume != 0 {
 		t.Errorf("colliding start should yield empty tube, got %+v", tube)
@@ -132,7 +132,8 @@ func TestComputeBlockedAhead(t *testing.T) {
 	road := testRoad()
 	cfg := DefaultConfig()
 	wall := geom.NewBox(geom.V(20, 3.5), 2, 7, 0)
-	collide := func(b geom.Box, _ int) bool { return b.Intersects(wall) }
+	wallPb := wall.Prepare()
+	collide := func(b *geom.PreparedBox, _ int) bool { return b.Intersects(&wallPb) }
 	free := Compute(road, nil, egoState(0, 1.75, 10), cfg)
 	blocked := Compute(road, collide, egoState(0, 1.75, 10), cfg)
 	if blocked.Volume >= free.Volume {
@@ -148,7 +149,8 @@ func TestComputeInescapableTrap(t *testing.T) {
 	road := testRoad()
 	cfg := DefaultConfig()
 	wall := geom.NewBox(geom.V(8, 3.5), 2, 7, 0)
-	collide := func(b geom.Box, _ int) bool { return b.Intersects(wall) }
+	wallPb := wall.Prepare()
+	collide := func(b *geom.PreparedBox, _ int) bool { return b.Intersects(&wallPb) }
 	tube := Compute(road, collide, egoState(0, 1.75, 25), cfg)
 	if tube.Depth() == cfg.NumSlices() {
 		t.Errorf("trap should cut the tube short, depth = %d", tube.Depth())
@@ -210,15 +212,15 @@ func TestBuildObstaclesAndCollide(t *testing.T) {
 	if obs.NumActors() != 1 {
 		t.Fatalf("NumActors = %d", obs.NumActors())
 	}
-	hit := geom.NewBox(geom.V(10, 1.75), 4.7, 2, 0)
-	if !obs.Collide()(hit, 0) {
+	hit := geom.NewBox(geom.V(10, 1.75), 4.7, 2, 0).Prepare()
+	if !obs.Collide()(&hit, 0) {
 		t.Error("overlapping box should collide")
 	}
-	if obs.CollideWithout(0)(hit, 0) {
+	if obs.CollideWithout(0)(&hit, 0) {
 		t.Error("removing the only actor should clear all collisions")
 	}
-	miss := geom.NewBox(geom.V(30, 1.75), 4.7, 2, 0)
-	if obs.Collide()(miss, 0) {
+	miss := geom.NewBox(geom.V(30, 1.75), 4.7, 2, 0).Prepare()
+	if obs.Collide()(&miss, 0) {
 		t.Error("distant box should not collide")
 	}
 }
@@ -230,15 +232,16 @@ func TestObstaclesMovingActor(t *testing.T) {
 	a := actor.NewVehicle(1, vehicle.State{Pos: geom.V(20, 1.75), Speed: 10})
 	trajs := actor.PredictAll([]*actor.Actor{a}, cfg.NumSlices(), cfg.SliceDt)
 	obs := BuildObstacles([]*actor.Actor{a}, trajs, cfg)
-	probe := geom.NewBox(geom.V(30, 1.75), 4.7, 2, 0)
-	if obs.Collide()(probe, 0) {
+	probe := geom.NewBox(geom.V(30, 1.75), 4.7, 2, 0).Prepare()
+	if obs.Collide()(&probe, 0) {
 		t.Error("probe should not collide at t=0")
 	}
-	if !obs.Collide()(probe, 2) {
+	if !obs.Collide()(&probe, 2) {
 		t.Error("probe should collide at slice 2 when actor arrives")
 	}
 	// Past-horizon slices clamp to the final footprint.
-	if !obs.Collide()(geom.NewBox(geom.V(20+10*3, 1.75), 4.7, 2, 0), 99) {
+	final := geom.NewBox(geom.V(20+10*3, 1.75), 4.7, 2, 0).Prepare()
+	if !obs.Collide()(&final, 99) {
 		t.Error("past-horizon query should clamp to final state")
 	}
 }

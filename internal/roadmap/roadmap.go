@@ -22,6 +22,16 @@ type Map interface {
 	Bounds() (min, max geom.Vec2)
 }
 
+// PreparedMap is implemented by map families that can judge a prepared
+// footprint from its cached geometry (AABB, corners) without recomputing
+// it. The reach-tube hot path type-asserts once per tube and falls back to
+// DrivableBox for maps that do not implement it. DrivablePrepared must
+// decide exactly as DrivableBox on the underlying box.
+type PreparedMap interface {
+	Map
+	DrivablePrepared(b *geom.PreparedBox) bool
+}
+
 // StraightRoad is a straight multi-lane road running along the +x axis.
 // Lane 0 occupies y ∈ [0, LaneWidth); lane i spans [i·W, (i+1)·W).
 type StraightRoad struct {
@@ -31,7 +41,7 @@ type StraightRoad struct {
 	XMax      float64
 }
 
-var _ Map = (*StraightRoad)(nil)
+var _ PreparedMap = (*StraightRoad)(nil)
 
 // NewStraightRoad constructs a straight road. It panics only via Validate at
 // construction call sites; use Validate to check parameters.
@@ -82,6 +92,11 @@ func (r *StraightRoad) DrivableBox(b geom.Box) bool {
 	return min.Y >= 0 && max.Y <= r.Width() && max.X >= r.XMin && min.X <= r.XMax
 }
 
+// DrivablePrepared implements PreparedMap using the cached AABB.
+func (r *StraightRoad) DrivablePrepared(b *geom.PreparedBox) bool {
+	return b.Min.Y >= 0 && b.Max.Y <= r.Width() && b.Max.X >= r.XMin && b.Min.X <= r.XMax
+}
+
 // Bounds implements Map.
 func (r *StraightRoad) Bounds() (geom.Vec2, geom.Vec2) {
 	return geom.V(r.XMin, 0), geom.V(r.XMax, r.Width())
@@ -113,7 +128,7 @@ type RingRoad struct {
 	OuterR float64
 }
 
-var _ Map = (*RingRoad)(nil)
+var _ PreparedMap = (*RingRoad)(nil)
 
 // NewRingRoad constructs a ring road.
 func NewRingRoad(center geom.Vec2, innerR, outerR float64) (*RingRoad, error) {
@@ -136,6 +151,19 @@ func (r *RingRoad) DrivableBox(b geom.Box) bool {
 		return false
 	}
 	for _, c := range b.Corners() {
+		if !r.Drivable(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// DrivablePrepared implements PreparedMap using the cached corners.
+func (r *RingRoad) DrivablePrepared(b *geom.PreparedBox) bool {
+	if !r.Drivable(b.Box.Center) {
+		return false
+	}
+	for _, c := range b.Corners {
 		if !r.Drivable(c) {
 			return false
 		}

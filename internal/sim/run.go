@@ -106,7 +106,7 @@ func Run(w *World, driver Driver, mit Mitigator, cfg RunConfig) (out Outcome) {
 		ev := w.Advance(u)
 		timer.Stop()
 		if cfg.RecordTrace {
-			out.Trace = append(out.Trace, record(w, obs.Time, u, mitigated))
+			out.Trace = append(out.Trace, record(w, u, mitigated))
 		}
 		if cfg.StepHook != nil {
 			cfg.StepHook(w, ev)
@@ -139,9 +139,12 @@ func reachedGoal(w *World) bool {
 	return w.Ego.State.Pos.X >= w.Goal.X
 }
 
-func record(w *World, time float64, u vehicle.Control, mitigated bool) StepRecord {
+// record snapshots the post-step world. The timestamp is derived from the
+// already-advanced step counter so it matches the states it accompanies
+// (the pre-step observation time would be one dt stale).
+func record(w *World, u vehicle.Control, mitigated bool) StepRecord {
 	rec := StepRecord{
-		Time:        time,
+		Time:        float64(w.Step) * w.Dt,
 		Ego:         w.Ego.State,
 		EgoControl:  u,
 		Mitigated:   mitigated,

@@ -299,9 +299,16 @@ func TestRunRecordsTrace(t *testing.T) {
 	if len(out.Trace) != out.Steps {
 		t.Fatalf("trace length %d != steps %d", len(out.Trace), out.Steps)
 	}
+	// Trace[i] holds the world after step i has executed, so its timestamp
+	// is (i+1)·dt — asserting 1.1 here guards against regressing to the
+	// pre-step observation time, which is one dt stale for the recorded
+	// states.
 	rec := out.Trace[10]
-	if rec.Time != 1.0 {
-		t.Errorf("trace time = %v, want 1.0", rec.Time)
+	if rec.Time != 1.1 {
+		t.Errorf("trace time = %v, want 1.1 ((10+1)*dt)", rec.Time)
+	}
+	if out.Trace[0].Time != 0.1 {
+		t.Errorf("first trace time = %v, want 0.1 (post-step)", out.Trace[0].Time)
 	}
 	if len(rec.ActorStates) != 1 || len(rec.ActorYaws) != 1 || len(rec.Crashed) != 1 {
 		t.Errorf("trace actor slices malformed: %+v", rec)

@@ -230,7 +230,11 @@ func New(cfg Config, policy *rl.Policy) (*SMC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eval, err := sti.NewEvaluator(cfg.Reach)
+	// The SMC only uses the two-tube EvaluateCombined fast path (no
+	// per-actor fan-out) and suites clone controllers across an
+	// episode-level worker pool, so a single-worker evaluator avoids
+	// oversubscribing that pool.
+	eval, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: 1})
 	if err != nil {
 		return nil, err
 	}

@@ -12,8 +12,10 @@ import (
 )
 
 // Cache telemetry: hits/misses count lookup outcomes on the cacheable map
-// families; bypasses count empty-world computations on map families the
-// cache cannot serve (and near-segment-end straight-road states).
+// families (a lookup that waits for another goroutine's in-flight
+// computation counts as a hit); bypasses count empty-world computations on
+// map families the cache cannot serve (and near-segment-end straight-road
+// states).
 var (
 	telCacheHits   = telemetry.NewCounter("sti.empty_cache.hits")
 	telCacheMisses = telemetry.NewCounter("sti.empty_cache.misses")
@@ -34,9 +36,18 @@ type emptyKey struct {
 	lat, heading, speed int32
 }
 
+// cacheEntry is a singleflight slot: the first goroutine to miss on a key
+// owns the computation; later arrivals block on done instead of paying a
+// redundant reach-tube computation. val is written exactly once, before
+// done is closed.
+type cacheEntry struct {
+	done chan struct{}
+	val  float64
+}
+
 type emptyCache struct {
 	mu sync.Mutex
-	m  map[emptyKey]float64
+	m  map[emptyKey]*cacheEntry
 }
 
 const (
@@ -46,16 +57,23 @@ const (
 )
 
 func newEmptyCache() *emptyCache {
-	return &emptyCache{m: make(map[emptyKey]float64, 256)}
+	return &emptyCache{m: make(map[emptyKey]*cacheEntry, 256)}
 }
 
 // emptyVolume returns |T^∅| for the ego on map m, consulting the cache for
-// translation-invariant map families.
-func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State) float64 {
+// translation-invariant map families. scr is the caller's scratch; it is
+// only used if this goroutine ends up computing a tube itself.
+func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State, scr *reach.Scratch) float64 {
 	switch road := m.(type) {
 	case *roadmap.StraightRoad:
-		span := e.cfg.Params.MaxSpeed*e.cfg.Horizon + e.cfg.Params.Length
-		if road.XMax-ego.Pos.X < span || ego.Pos.X-road.XMin < e.cfg.Params.Length {
+		// The cached volume is computed at the segment centre, so it is only
+		// valid where the tube cannot interact with either segment end. The
+		// required clearance is direction-aware: a tube extends a full
+		// stopping-free path length towards where the ego is heading, but
+		// against its heading only what remains after turning around at
+		// maximum curvature (the bicycle model has no reverse gear).
+		if road.XMax-ego.Pos.X < e.xClearance(ego, 0) ||
+			ego.Pos.X-road.XMin < e.xClearance(ego, math.Pi) {
 			break // near a segment end: x matters, compute directly
 		}
 		key := emptyKey{
@@ -71,7 +89,7 @@ func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State) float64 {
 		// Normalise x to the segment centre so the key is position-free.
 		rep.Pos.X = (road.XMin + road.XMax) / 2
 		return e.cache.lookup(key, func() float64 {
-			return reach.Compute(m, nil, rep, e.cfg).Volume
+			return reach.ComputeScratch(m, nil, rep, e.cfg, scr).Volume
 		})
 	case *roadmap.RingRoad:
 		radial := ego.Pos.Dist(road.Center)
@@ -86,27 +104,70 @@ func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State) float64 {
 		rep.Pos, rep.Heading = road.PoseAt(dequantize(key.lat, cacheLatQ), 0)
 		rep.Heading = geom.NormalizeAngle(rep.Heading + dequantize(key.heading, cacheHeadingQ))
 		return e.cache.lookup(key, func() float64 {
-			return reach.Compute(m, nil, rep, e.cfg).Volume
+			return reach.ComputeScratch(m, nil, rep, e.cfg, scr).Volume
 		})
 	}
 	telCacheBypass.Inc()
-	return reach.Compute(m, nil, ego, e.cfg).Volume
+	return reach.ComputeScratch(m, nil, ego, e.cfg, scr).Volume
 }
 
+// xClearance bounds how far a reach tube rooted at ego can extend along the
+// road direction dirAngle (0 for +x, π for −x), in metres. The bound is the
+// maximum path length within the horizon — min(v₀·k + ½·a_max·k²,
+// v_max·k) — reduced, when the ego heads away from that direction, by the
+// arc it must cover at maximum curvature before its heading gains a
+// component towards it, plus a footprint length of margin. It is
+// deliberately conservative (curvature is bounded by tan(φ_max)/L
+// irrespective of the speed-dependent lateral-acceleration cap, and path
+// length ignores braking), never under-estimating the tube's extent.
+func (e *Evaluator) xClearance(ego vehicle.State, dirAngle float64) float64 {
+	p := e.cfg.Params
+	k := e.cfg.Horizon
+	// Speed enters the cache key quantised; pad so the bound also covers the
+	// bucket's representative state.
+	v0 := math.Min(ego.Speed+cacheSpeedQ/2, p.MaxSpeed)
+	dist := math.Min(v0*k+0.5*p.MaxAccel*k*k, p.MaxSpeed*k)
+	alpha := math.Abs(geom.AngleDiff(ego.Heading, dirAngle))
+	if alpha > math.Pi/2 {
+		// The heading points away: progress requires rotating by
+		// (alpha − π/2) first, which costs arc length at bounded curvature.
+		if minR := minTurnRadius(p); minR > 0 {
+			dist -= (alpha - math.Pi/2) * minR
+		}
+	}
+	return math.Max(dist, 0) + p.Length
+}
+
+// minTurnRadius is the tightest radius the bicycle model can trace:
+// wheelbase over the maximum steering tangent. Zero means "unknown — assume
+// turning is free" (conservative for xClearance).
+func minTurnRadius(p vehicle.Params) float64 {
+	if p.WheelBase <= 0 || p.MaxSteer <= 0 || p.MaxSteer >= math.Pi/2 {
+		return 0
+	}
+	return p.WheelBase / math.Tan(p.MaxSteer)
+}
+
+// lookup returns the cached value for key, computing it via compute on the
+// first request. Concurrent misses on the same key are collapsed
+// (singleflight): exactly one caller runs compute, the others block until
+// the value is published. compute runs outside the cache mutex so distinct
+// keys compute concurrently.
 func (c *emptyCache) lookup(key emptyKey, compute func() float64) float64 {
 	c.mu.Lock()
-	v, ok := c.m[key]
-	c.mu.Unlock()
-	if ok {
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
 		telCacheHits.Inc()
-		return v
+		<-e.done
+		return e.val
 	}
-	telCacheMisses.Inc()
-	v = compute()
-	c.mu.Lock()
-	c.m[key] = v
+	e := &cacheEntry{done: make(chan struct{})}
+	c.m[key] = e
 	c.mu.Unlock()
-	return v
+	telCacheMisses.Inc()
+	defer close(e.done)
+	e.val = compute()
+	return e.val
 }
 
 // Len returns the number of cached buckets (diagnostics).

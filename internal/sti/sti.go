@@ -12,6 +12,9 @@ package sti
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/actor"
 	"repro/internal/reach"
@@ -27,6 +30,11 @@ var (
 	telEvalSeconds     = telemetry.NewHistogram("sti.evaluate.seconds", telemetry.LatencyBuckets())
 	telCombinedSeconds = telemetry.NewHistogram("sti.evaluate_combined.seconds", telemetry.LatencyBuckets())
 	telActorsPerEval   = telemetry.NewHistogram("sti.actors_per_eval", telemetry.LinearBuckets(0, 1, 16))
+	// telParallelWorkers records the fan-out width of the latest Evaluate;
+	// telActorTubeSeconds the per-counterfactual tube latency each worker
+	// observes (serial path included, so the histogram is always populated).
+	telParallelWorkers  = telemetry.NewGauge("sti.parallel.workers")
+	telActorTubeSeconds = telemetry.NewHistogram("sti.actor_tube.seconds", telemetry.LatencyBuckets())
 )
 
 // Result holds STI values for one evaluation instant.
@@ -55,19 +63,50 @@ func (r Result) MostThreatening() (int, float64) {
 	return best, bestV
 }
 
-// Evaluator computes STI for scenes. It is stateless apart from
-// configuration and safe for concurrent use.
-type Evaluator struct {
-	cfg   reach.Config
-	cache *emptyCache
+// Options tunes evaluator behaviour beyond the reach-tube configuration.
+type Options struct {
+	// Workers bounds the goroutines fanning the per-actor counterfactual
+	// tubes of Evaluate out. 0 (the default) resolves to
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. Results are
+	// bitwise-identical at every setting — each counterfactual is an
+	// independent deterministic computation written to its own index — so
+	// the knob trades only CPU against latency. Callers that already run
+	// episodes on their own worker pool (experiment suites, SMC training)
+	// should pass 1 to avoid oversubscription.
+	Workers int
 }
 
-// NewEvaluator returns an evaluator with the given reach-tube configuration.
+// Evaluator computes STI for scenes. It is stateless apart from
+// configuration, the empty-world volume cache and pooled scratch memory,
+// and is safe for concurrent use.
+type Evaluator struct {
+	cfg     reach.Config
+	workers int
+	cache   *emptyCache
+	// scratch pools *reach.Scratch so the N+2 tube computations per
+	// evaluation reuse frontier slices, dedup maps and occupancy grids
+	// instead of churning the GC (one scratch per concurrent worker).
+	scratch sync.Pool
+}
+
+// NewEvaluator returns an evaluator with the given reach-tube configuration
+// and default Options.
 func NewEvaluator(cfg reach.Config) (*Evaluator, error) {
+	return NewEvaluatorOptions(cfg, Options{})
+}
+
+// NewEvaluatorOptions returns an evaluator with explicit options.
+func NewEvaluatorOptions(cfg reach.Config, opts Options) (*Evaluator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Evaluator{cfg: cfg, cache: newEmptyCache()}, nil
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Evaluator{cfg: cfg, workers: workers, cache: newEmptyCache()}
+	e.scratch.New = func() any { return reach.NewScratch() }
+	return e, nil
 }
 
 // MustNewEvaluator is NewEvaluator for known-good configurations.
@@ -82,6 +121,9 @@ func MustNewEvaluator(cfg reach.Config) *Evaluator {
 // Config returns the evaluator's reach configuration.
 func (e *Evaluator) Config() reach.Config { return e.cfg }
 
+// Workers returns the resolved counterfactual fan-out bound.
+func (e *Evaluator) Workers() int { return e.workers }
+
 // Evaluate computes per-actor and combined STI for the ego at state ego on
 // map m, given each actor's (predicted or ground-truth) trajectory.
 // trajs[i] must correspond to actors[i].
@@ -89,14 +131,16 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	defer telEvalSeconds.Start().Stop()
 	telEvaluations.Inc()
 	telActorsPerEval.Observe(float64(len(actors)))
+	scr := e.takeScratch()
+	defer e.putScratch(scr)
 	if len(actors) == 0 {
-		vol := reach.Compute(m, nil, ego, e.cfg).Volume
+		vol := reach.ComputeScratch(m, nil, ego, e.cfg, scr).Volume
 		return Result{BaseVolume: vol, EmptyVolume: vol}
 	}
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
 
-	emptyVol := e.emptyVolume(m, ego)
-	base := reach.Compute(m, obs.Collide(), ego, e.cfg)
+	emptyVol := e.emptyVolume(m, ego, scr)
+	base := reach.ComputeScratch(m, obs.Collide(), ego, e.cfg, scr)
 
 	res := Result{
 		PerActor:      make([]float64, len(actors)),
@@ -110,11 +154,47 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 		return res
 	}
 	res.Combined = snap(clamp01((emptyVol - base.Volume) / emptyVol))
-	for i := range actors {
-		wo := reach.Compute(m, obs.CollideWithout(i), ego, e.cfg)
+
+	// Fan the N independent |T^{/i}| counterfactuals out over a bounded
+	// worker pool. Each index is claimed atomically and written to its own
+	// slot of the pre-sized result slices, so the output is identical to
+	// the serial loop regardless of scheduling.
+	workers := e.workers
+	if workers > len(actors) {
+		workers = len(actors)
+	}
+	telParallelWorkers.Set(float64(workers))
+	perActor := func(i int, ws *reach.Scratch) {
+		t := telActorTubeSeconds.Start()
+		wo := reach.ComputeScratch(m, obs.CollideWithout(i), ego, e.cfg, ws)
+		t.Stop()
 		res.WithoutVolume[i] = wo.Volume
 		res.PerActor[i] = snap(clamp01((wo.Volume - base.Volume) / emptyVol))
 	}
+	if workers <= 1 {
+		for i := range actors {
+			perActor(i, scr)
+		}
+		return res
+	}
+	var nextIdx atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws := e.takeScratch()
+			defer e.putScratch(ws)
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(actors) {
+					return
+				}
+				perActor(i, ws)
+			}
+		}()
+	}
+	wg.Wait()
 	return res
 }
 
@@ -139,14 +219,19 @@ func (e *Evaluator) EvaluateCombined(m roadmap.Map, ego vehicle.State, actors []
 	if len(actors) == 0 {
 		return 0
 	}
+	scr := e.takeScratch()
+	defer e.putScratch(scr)
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
-	emptyVol := e.emptyVolume(m, ego)
+	emptyVol := e.emptyVolume(m, ego, scr)
 	if emptyVol <= 0 {
 		return 0
 	}
-	base := reach.Compute(m, obs.Collide(), ego, e.cfg)
+	base := reach.ComputeScratch(m, obs.Collide(), ego, e.cfg, scr)
 	return snap(clamp01((emptyVol - base.Volume) / emptyVol))
 }
+
+func (e *Evaluator) takeScratch() *reach.Scratch { return e.scratch.Get().(*reach.Scratch) }
+func (e *Evaluator) putScratch(s *reach.Scratch) { e.scratch.Put(s) }
 
 // EvaluateWithPrediction is a convenience wrapper that forecasts every
 // actor's trajectory with the CVTR model before evaluating STI — the

@@ -46,12 +46,14 @@ func TestCacheCountersMatchBehaviour(t *testing.T) {
 	lookups := 0
 
 	// Three quantisation-distinct ego speeds, each evaluated three times:
-	// first call per speed is a miss, the other two are hits.
+	// first call per speed is a miss, the other two are hits. The ego sits
+	// at x=100 so the direction-aware segment-end guard (see
+	// Evaluator.xClearance) is satisfied in both directions at every speed.
 	const perSpeed = 3
 	speeds := []float64{8, 10, 12} // 0.5 m/s buckets: all distinct keys
 	for _, v := range speeds {
 		for i := 0; i < perSpeed; i++ {
-			e.EvaluateCombined(m, ego(0, 1.75, v), actors, trajs)
+			e.EvaluateCombined(m, ego(100, 1.75, v), actors, trajs)
 			lookups++
 		}
 	}

@@ -55,6 +55,9 @@ type (
 	ReachConfig = reach.Config
 	// Evaluator computes STI (Eqs. 4–5).
 	Evaluator = sti.Evaluator
+	// EvaluatorOptions tunes the evaluator, e.g. the per-actor
+	// counterfactual fan-out width.
+	EvaluatorOptions = sti.Options
 	// Result holds per-actor and combined STI for one instant.
 	Result = sti.Result
 )
@@ -100,8 +103,15 @@ func DefaultVehicleParams() VehicleParams { return vehicle.DefaultParams() }
 
 // NewEvaluator constructs an STI evaluator; it panics on an invalid
 // configuration (use sti.NewEvaluator via the internal packages for error
-// returns).
+// returns). Per-actor counterfactuals fan out over GOMAXPROCS workers by
+// default; use NewEvaluatorWithOptions to bound or disable the fan-out.
 func NewEvaluator(cfg ReachConfig) *Evaluator { return sti.MustNewEvaluator(cfg) }
+
+// NewEvaluatorWithOptions constructs an STI evaluator with explicit
+// options. Evaluation results are identical at any worker count.
+func NewEvaluatorWithOptions(cfg ReachConfig, opts EvaluatorOptions) (*Evaluator, error) {
+	return sti.NewEvaluatorOptions(cfg, opts)
+}
 
 // NewVehicleActor creates a standard-sized vehicle actor.
 func NewVehicleActor(id int, state VehicleState) *Actor { return actor.NewVehicle(id, state) }

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate (referenced from ROADMAP.md): static checks,
-# a full build, and the test suite under the race detector.
+# a full build, the test suite under the race detector, and the perf
+# regression gate over the committed BENCH_*.json snapshots (passes when
+# fewer than two snapshots exist).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./...
+# The race detector is ~10x; internal/experiments alone runs ~20 min on a
+# 1-CPU container, past go test's default 10 min per-package timeout.
+go test -race -timeout 45m ./...
+go run ./cmd/iprism-benchdiff -dir .
