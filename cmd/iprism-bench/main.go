@@ -34,8 +34,11 @@ func main() {
 	}
 }
 
-// report is the BENCH_<date>.json schema.
+// report is the BENCH_<date>.json schema. Kind tags the snapshot family
+// ("bench") so cmd/iprism-benchdiff compares it only against other core
+// bench snapshots, never against serve-kind loadgen snapshots.
 type report struct {
+	Kind      string `json:"kind"`
 	Date      string `json:"date"`
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
@@ -82,6 +85,7 @@ func run() error {
 	telemetry.Default().Reset()
 
 	var rep report
+	rep.Kind = "bench"
 	rep.Date = time.Now().Format(time.RFC3339)
 	rep.GoVersion = runtime.Version()
 	rep.GOOS, rep.GOARCH, rep.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()

@@ -1,11 +1,17 @@
-// Command iprism-benchdiff compares the two newest BENCH_<date>.json
-// snapshots in a directory (lexicographic filename order, which
-// cmd/iprism-bench guarantees equals chronological order) and fails when a
-// gated latency distribution regressed: exit status 1 if the newer
-// snapshot's p95 exceeds the older one's by more than the tolerance on any
-// gated histogram. It is the perf-regression gate wired into
-// scripts/verify.sh; with fewer than two snapshots it reports and passes,
-// so fresh clones and first runs are not blocked.
+// Command iprism-benchdiff compares the two newest BENCH_*.json snapshots
+// of each kind in a directory and fails when a gated latency distribution
+// regressed: exit status 1 if the newer snapshot's p95 exceeds the older
+// one's by more than the tolerance on any gated histogram.
+//
+// Snapshots are grouped by their "kind" field before comparison, so the
+// core bench family (kind "bench", written by cmd/iprism-bench; snapshots
+// predating the field read as "bench") and the serving family (kind
+// "serve", written by cmd/iprism-loadgen -o) each gate only against their
+// own history. Within a kind, lexicographic filename order equals
+// chronological order — both writers embed a UTC timestamp after a fixed
+// prefix. It is the perf-regression gate wired into scripts/verify.sh; a
+// kind with fewer than two snapshots reports and passes, so fresh clones
+// and first runs are not blocked.
 package main
 
 import (
@@ -20,17 +26,25 @@ import (
 	"repro/internal/telemetry"
 )
 
-// gatedHistograms are the latency distributions the gate fails on: the STI
-// evaluation path (the paper's 10 Hz monitor budget) and the simulator step.
-var gatedHistograms = []string{"sti.evaluate.seconds", "sim.step.seconds"}
+// gatedHistograms are the latency distributions each snapshot kind gates
+// on: the STI evaluation path (the paper's 10 Hz monitor budget) and the
+// simulator step for core bench runs, the client-observed request latency
+// for serving runs.
+var gatedHistograms = map[string][]string{
+	"bench": {"sti.evaluate.seconds", "sim.step.seconds"},
+	"serve": {"loadgen.request.seconds"},
+}
 
-// snapshot mirrors the subset of the iprism-bench report the gate reads.
+// snapshot mirrors the subset of the bench/loadgen reports the gate reads.
 type snapshot struct {
+	Kind      string `json:"kind"`
 	Date      string `json:"date"`
 	Workloads map[string]struct {
 		PerOp float64 `json:"per_op_seconds"`
 	} `json:"workloads"`
 	Telemetry telemetry.Snapshot `json:"telemetry"`
+
+	path string
 }
 
 func main() {
@@ -42,7 +56,7 @@ func main() {
 
 func run() error {
 	var (
-		dir       = flag.String("dir", ".", "directory holding BENCH_<date>.json snapshots")
+		dir       = flag.String("dir", ".", "directory holding BENCH_*.json snapshots")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional p95 increase before failing")
 	)
 	flag.Parse()
@@ -51,26 +65,52 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if len(paths) < 2 {
-		fmt.Printf("benchdiff: %d snapshot(s) in %s — need two to compare, passing\n", len(paths), *dir)
+	sort.Strings(paths)
+	byKind := map[string][]snapshot{}
+	for _, p := range paths {
+		s, err := load(p)
+		if err != nil {
+			return err
+		}
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	if len(byKind) == 0 {
+		fmt.Printf("benchdiff: no snapshots in %s, passing\n", *dir)
 		return nil
 	}
-	sort.Strings(paths)
-	oldPath, newPath := paths[len(paths)-2], paths[len(paths)-1]
 
-	oldSnap, err := load(oldPath)
-	if err != nil {
-		return err
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
 	}
-	newSnap, err := load(newPath)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("benchdiff: %s -> %s (tolerance %+.0f%%)\n",
-		filepath.Base(oldPath), filepath.Base(newPath), *tolerance*100)
+	sort.Strings(kinds)
 
 	failed := false
-	for _, name := range gatedHistograms {
+	for _, kind := range kinds {
+		snaps := byKind[kind]
+		if len(snaps) < 2 {
+			fmt.Printf("benchdiff[%s]: %d snapshot(s) — need two to compare, passing\n", kind, len(snaps))
+			continue
+		}
+		oldSnap, newSnap := snaps[len(snaps)-2], snaps[len(snaps)-1]
+		fmt.Printf("benchdiff[%s]: %s -> %s (tolerance %+.0f%%)\n",
+			kind, filepath.Base(oldSnap.path), filepath.Base(newSnap.path), *tolerance*100)
+		if diff(oldSnap, newSnap, gatedHistograms[kind], *tolerance) {
+			failed = true
+		}
+	}
+
+	if failed {
+		return fmt.Errorf("p95 regression beyond %.0f%% tolerance", *tolerance*100)
+	}
+	return nil
+}
+
+// diff prints the gated-histogram and informational workload comparison for
+// one snapshot pair and reports whether any gated p95 regressed.
+func diff(oldSnap, newSnap snapshot, gated []string, tolerance float64) bool {
+	failed := false
+	for _, name := range gated {
 		o, oOK := oldSnap.Telemetry.Histograms[name]
 		n, nOK := newSnap.Telemetry.Histograms[name]
 		if !oOK || !nOK || o.Count == 0 || n.Count == 0 {
@@ -79,7 +119,7 @@ func run() error {
 		}
 		ratio := n.P95 / o.P95
 		status := "ok"
-		if n.P95 > o.P95*(1+*tolerance) {
+		if n.P95 > o.P95*(1+tolerance) {
 			status = "REGRESSED"
 			failed = true
 		}
@@ -106,11 +146,7 @@ func run() error {
 		fmt.Printf("  %-28s per-op %s -> %s (%+.1f%%)\n",
 			name, fmtSec(o.PerOp), fmtSec(n.PerOp), (n.PerOp/o.PerOp-1)*100)
 	}
-
-	if failed {
-		return fmt.Errorf("p95 regression beyond %.0f%% tolerance", *tolerance*100)
-	}
-	return nil
+	return failed
 }
 
 func load(path string) (snapshot, error) {
@@ -122,6 +158,10 @@ func load(path string) (snapshot, error) {
 	if err := json.Unmarshal(raw, &s); err != nil {
 		return s, fmt.Errorf("%s: %w", path, err)
 	}
+	if s.Kind == "" {
+		s.Kind = "bench" // snapshots predating the kind field
+	}
+	s.path = path
 	return s, nil
 }
 

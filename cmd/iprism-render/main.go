@@ -1,7 +1,9 @@
 // Command iprism-render draws street scenes as SVG in the style of the
 // paper's Fig. 7: either one of the four case studies (-case) or a step of
 // a generated NHTSA scenario (-typology/-id/-step), with the ego's
-// reach-tube shaded and actors coloured by STI.
+// reach-tube shaded and actors coloured by STI. With -journal it instead
+// plots the training curves (reward/epsilon/loss per episode) recorded in a
+// telemetry run journal, e.g. one written by iprism-train -journal.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sti"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,9 +45,15 @@ func run() error {
 		id       = flag.Int("id", 0, "scenario instance index")
 		step     = flag.Int("step", 50, "simulation step to render (0.1 s each)")
 		seed     = flag.Int64("seed", 2024, "scenario seed")
+		journal  = flag.String("journal", "", "plot training curves from a JSONL run journal instead of a scene")
+		smooth   = flag.Int("smooth", 0, "reward moving-average window for -journal (0 = auto)")
 		out      = flag.String("o", "scene.svg", "output SVG path")
 	)
 	flag.Parse()
+
+	if *journal != "" {
+		return renderJournal(*journal, *smooth, *out)
+	}
 
 	cfg := reach.DefaultConfig()
 	cfg.RecordPoints = true
@@ -106,6 +115,25 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", *out, len(svg))
+	return nil
+}
+
+// renderJournal plots per-episode training curves from a telemetry JSONL
+// journal (smc.episode events) and writes them as SVG.
+func renderJournal(path string, smooth int, out string) error {
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		return err
+	}
+	points := render.EpisodePoints(events)
+	svg, err := render.CurvesSVG(points, render.CurveOptions{Smooth: smooth})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d episodes, %d bytes)\n", out, len(points), len(svg))
 	return nil
 }
 

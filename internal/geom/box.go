@@ -82,15 +82,17 @@ func (b Box) Inflate(margin float64) Box {
 }
 
 // PreparedBox caches the derived geometry of a Box — unit axes, bounding
-// radius, corners and AABB — so repeated intersection and drivability tests
-// against the same box skip the per-call trigonometry. The reach-tube hot
-// path prepares every obstacle footprint once per evaluation and every ego
-// footprint once per sub-step instead of once per pairwise test.
+// radius and AABB — so repeated intersection and drivability tests against
+// the same box skip the per-call trigonometry. The reach-tube hot path
+// prepares every obstacle footprint once per evaluation and every ego
+// footprint once per sub-step instead of once per pairwise test. Corners
+// are not cached: the SAT intersection test never touches them, and the one
+// consumer that needs them (ring-road drivability) derives them from the
+// cached axes.
 type PreparedBox struct {
 	Box      Box
 	Ax, Ay   Vec2    // unit axes (longitudinal, lateral)
 	Radius   float64 // bounding-circle radius
-	Corners  [4]Vec2 // counter-clockwise corners
 	Min, Max Vec2    // AABB corners
 }
 
@@ -99,19 +101,58 @@ type PreparedBox struct {
 // sign of zero, which no comparison distinguishes), so tests routed through
 // a PreparedBox decide identically.
 func (b Box) Prepare() PreparedBox {
-	p := PreparedBox{Box: b}
-	p.Ax, p.Ay = b.Axes()
+	var p PreparedBox
+	b.PrepareInto(&p)
+	return p
+}
+
+// PrepareInto is Prepare writing into caller-owned memory, so hot loops
+// (one ego footprint per reach-tube sub-step) reuse a single PreparedBox
+// instead of copying the ~15-word struct out of every call.
+func (b Box) PrepareInto(p *PreparedBox) {
+	s, c := math.Sincos(b.Heading)
+	b.PrepareIntoAxes(p, s, c)
+}
+
+// PrepareIntoAxes is PrepareInto with sin(b.Heading) and cos(b.Heading)
+// supplied by the caller — for hot loops that already track the heading's
+// sine and cosine incrementally (see vehicle.Params.StepPath) and can skip
+// the per-footprint Sincos.
+func (b Box) PrepareIntoAxes(p *PreparedBox, sin, cos float64) {
+	p.Box = b
 	p.Radius = math.Hypot(b.HalfLen, b.HalfWid)
-	dl := p.Ax.Scale(b.HalfLen)
-	dw := p.Ay.Scale(b.HalfWid)
-	p.Corners = [4]Vec2{
-		b.Center.Add(dl).Add(dw),
-		b.Center.Sub(dl).Add(dw),
-		b.Center.Sub(dl).Sub(dw),
-		b.Center.Add(dl).Sub(dw),
+	p.moveTo(b.Center, sin, cos)
+}
+
+// MoveTo repositions a prepared box to a new centre and heading, reusing
+// the prepared half-extents and bounding radius (which depend only on the
+// footprint dimensions). sin, cos must equal sincos(heading). The result
+// matches re-preparing the moved box, with the AABB computed in closed form
+// from the axis extents instead of a corner scan — equal to within 1 ulp,
+// and still a valid bounding box for every intersection or drivability
+// decision. The reach-tube sweep uses this to prepare one ego footprint per
+// sub-step with no per-step trigonometry at all.
+func (p *PreparedBox) MoveTo(center Vec2, heading, sin, cos float64) {
+	p.Box.Center, p.Box.Heading = center, heading
+	p.Ax, p.Ay = Vec2{cos, sin}, Vec2{-sin, cos}
+	ex := math.Abs(cos*p.Box.HalfLen) + math.Abs(sin*p.Box.HalfWid)
+	ey := math.Abs(sin*p.Box.HalfLen) + math.Abs(cos*p.Box.HalfWid)
+	p.Min = Vec2{center.X - ex, center.Y - ey}
+	p.Max = Vec2{center.X + ex, center.Y + ey}
+}
+
+func (p *PreparedBox) moveTo(center Vec2, sin, cos float64) {
+	p.Ax, p.Ay = Vec2{cos, sin}, Vec2{-sin, cos}
+	dl := p.Ax.Scale(p.Box.HalfLen)
+	dw := p.Ay.Scale(p.Box.HalfWid)
+	corners := [4]Vec2{
+		center.Add(dl).Add(dw),
+		center.Sub(dl).Add(dw),
+		center.Sub(dl).Sub(dw),
+		center.Add(dl).Sub(dw),
 	}
-	p.Min, p.Max = p.Corners[0], p.Corners[0]
-	for _, c := range p.Corners[1:] {
+	p.Min, p.Max = corners[0], corners[0]
+	for _, c := range corners[1:] {
 		if c.X < p.Min.X {
 			p.Min.X = c.X
 		}
@@ -125,7 +166,17 @@ func (b Box) Prepare() PreparedBox {
 			p.Max.Y = c.Y
 		}
 	}
-	return p
+}
+
+// CornersInto writes the box's counter-clockwise corners, derived from the
+// cached axes, into out. They equal Box.Corners() without the trigonometry.
+func (p *PreparedBox) CornersInto(out *[4]Vec2) {
+	dl := p.Ax.Scale(p.Box.HalfLen)
+	dw := p.Ay.Scale(p.Box.HalfWid)
+	out[0] = p.Box.Center.Add(dl).Add(dw)
+	out[1] = p.Box.Center.Sub(dl).Add(dw)
+	out[2] = p.Box.Center.Sub(dl).Sub(dw)
+	out[3] = p.Box.Center.Add(dl).Sub(dw)
 }
 
 // Intersects reports whether the two prepared boxes overlap. It agrees with

@@ -5,13 +5,18 @@ package geom
 // state-space volume |T| of the set of escape routes: a tube that marks more
 // cells covers a larger portion of the drivable area.
 //
+// Cells are stored in an open-addressed hash set (generation-stamped so
+// Reset is O(1)); membership is decided by exact cell-index equality, so
+// the structure behaves identically to a map keyed by cell index.
+//
 // The zero value is not usable; construct with NewOccupancyGrid.
 type OccupancyGrid struct {
 	cellSize float64
-	cells    map[cellKey]struct{}
+	cells    []uint64 // packed (ix, iy) cell indices
+	gen      []uint32
+	cur      uint32
+	count    int
 }
-
-type cellKey struct{ ix, iy int32 }
 
 // NewOccupancyGrid creates a grid with the given cell edge length in metres.
 // cellSize must be positive.
@@ -19,7 +24,7 @@ func NewOccupancyGrid(cellSize float64) *OccupancyGrid {
 	if cellSize <= 0 {
 		cellSize = 1
 	}
-	return &OccupancyGrid{cellSize: cellSize, cells: make(map[cellKey]struct{}, 256)}
+	return &OccupancyGrid{cellSize: cellSize, cur: 1}
 }
 
 // CellSize returns the grid resolution in metres.
@@ -28,36 +33,97 @@ func (g *OccupancyGrid) CellSize() float64 { return g.cellSize }
 // Mark records the cell containing p as occupied. It reports whether the
 // cell was newly marked.
 func (g *OccupancyGrid) Mark(p Vec2) bool {
-	k := g.key(p)
-	if _, ok := g.cells[k]; ok {
-		return false
+	if 2*(g.count+1) > len(g.cells) {
+		g.grow()
 	}
-	g.cells[k] = struct{}{}
-	return true
+	k := g.key(p)
+	mask := uint64(len(g.cells) - 1)
+	for i := hashCell(k) & mask; ; i = (i + 1) & mask {
+		if g.gen[i] != g.cur {
+			g.cells[i] = k
+			g.gen[i] = g.cur
+			g.count++
+			return true
+		}
+		if g.cells[i] == k {
+			return false
+		}
+	}
 }
 
 // Occupied reports whether the cell containing p has been marked.
 func (g *OccupancyGrid) Occupied(p Vec2) bool {
-	_, ok := g.cells[g.key(p)]
-	return ok
+	if len(g.cells) == 0 {
+		return false
+	}
+	k := g.key(p)
+	mask := uint64(len(g.cells) - 1)
+	for i := hashCell(k) & mask; ; i = (i + 1) & mask {
+		if g.gen[i] != g.cur {
+			return false
+		}
+		if g.cells[i] == k {
+			return true
+		}
+	}
 }
 
 // Count returns the number of occupied cells.
-func (g *OccupancyGrid) Count() int { return len(g.cells) }
+func (g *OccupancyGrid) Count() int { return g.count }
 
 // Area returns the total occupied area in square metres.
 func (g *OccupancyGrid) Area() float64 {
-	return float64(len(g.cells)) * g.cellSize * g.cellSize
+	return float64(g.count) * g.cellSize * g.cellSize
 }
 
 // Reset clears all occupied cells while retaining allocated capacity.
-func (g *OccupancyGrid) Reset() { clear(g.cells) }
-
-func (g *OccupancyGrid) key(p Vec2) cellKey {
-	return cellKey{
-		ix: int32(floorDiv(p.X, g.cellSize)),
-		iy: int32(floorDiv(p.Y, g.cellSize)),
+func (g *OccupancyGrid) Reset() {
+	g.cur++
+	g.count = 0
+	if g.cur == 0 { // stamp wrapped: old entries would look live again
+		clear(g.gen)
+		g.cur = 1
 	}
+}
+
+func (g *OccupancyGrid) grow() {
+	capOld := len(g.cells)
+	capNew := 1024
+	if capOld > 0 {
+		capNew = capOld * 2
+	}
+	oldCells, oldGen := g.cells, g.gen
+	g.cells = make([]uint64, capNew)
+	g.gen = make([]uint32, capNew)
+	mask := uint64(capNew - 1)
+	for i, gen := range oldGen {
+		if gen != g.cur {
+			continue
+		}
+		k := oldCells[i]
+		for j := hashCell(k) & mask; ; j = (j + 1) & mask {
+			if g.gen[j] != g.cur {
+				g.cells[j] = k
+				g.gen[j] = g.cur
+				break
+			}
+		}
+	}
+}
+
+// key packs the cell indices of p into one 64-bit value (exact: each index
+// occupies its own 32-bit half).
+func (g *OccupancyGrid) key(p Vec2) uint64 {
+	ix := uint32(int32(floorDiv(p.X, g.cellSize)))
+	iy := uint32(int32(floorDiv(p.Y, g.cellSize)))
+	return uint64(ix) | uint64(iy)<<32
+}
+
+func hashCell(k uint64) uint64 {
+	k *= 0x9e3779b97f4a7c15
+	k ^= k >> 32
+	k *= 0xff51afd7ed558ccd
+	return k ^ (k >> 29)
 }
 
 func floorDiv(x, cell float64) float64 {

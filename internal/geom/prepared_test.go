@@ -23,8 +23,10 @@ func TestPreparedBoxMatchesBox(t *testing.T) {
 		if pa.Radius != a.BoundingRadius() {
 			t.Errorf("trial %d: radius %v vs %v", trial, pa.Radius, a.BoundingRadius())
 		}
-		if pa.Corners != a.Corners() {
-			t.Errorf("trial %d: corners %v vs %v", trial, pa.Corners, a.Corners())
+		var cs [4]Vec2
+		pa.CornersInto(&cs)
+		if cs != a.Corners() {
+			t.Errorf("trial %d: corners %v vs %v", trial, cs, a.Corners())
 		}
 		min, max := a.AABB()
 		if pa.Min != min || pa.Max != max {

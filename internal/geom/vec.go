@@ -73,7 +73,12 @@ func (v Vec2) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
 
 // NormalizeAngle wraps an angle into (-π, π].
 func NormalizeAngle(a float64) float64 {
-	a = math.Mod(a, 2*math.Pi)
+	// Mod leaves |a| < 2π unchanged, so the (hot-path) common case of an
+	// angle already within one turn skips it entirely without changing the
+	// result.
+	if a <= -2*math.Pi || a >= 2*math.Pi {
+		a = math.Mod(a, 2*math.Pi)
+	}
 	switch {
 	case a > math.Pi:
 		a -= 2 * math.Pi

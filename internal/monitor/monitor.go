@@ -1,0 +1,212 @@
+// Package monitor implements the online risk assessor of the paper's
+// §V-A/V-B: a passive recorder of STI / TTC / Dist. CIPA over an episode.
+// It backs both the iprism.RiskMonitor facade (wrapping a sim.Driver in a
+// closed-loop episode) and the scoring service's session API
+// (internal/server), where observations arrive over HTTP instead of from a
+// simulator loop — hence the mutex: a Monitor may be observed and queried
+// concurrently.
+package monitor
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/actor"
+	"repro/internal/metrics"
+	"repro/internal/reach"
+	"repro/internal/roadmap"
+	"repro/internal/sim"
+	"repro/internal/sti"
+	"repro/internal/telemetry"
+	"repro/internal/vehicle"
+)
+
+// telRecordSeconds times one monitor sample (STI + TTC + Dist. CIPA) — the
+// per-tick cost of the online risk assessor of §V-A/V-B.
+var telRecordSeconds = telemetry.NewHistogram("monitor.record.seconds", telemetry.LatencyBuckets())
+
+// Sample is one instant of online risk assessment.
+type Sample struct {
+	Time     float64
+	STI      float64 // combined STI, [0, 1]
+	TTC      float64 // seconds; +Inf when no in-path closing actor
+	DistCIPA float64 // metres; +Inf when no in-path actor
+	// MostThreatening is the ID of the highest-STI actor, or -1.
+	MostThreatening int
+}
+
+// Monitor records risk samples over a rolling episode. It never modifies
+// the control of the system it observes and is safe for concurrent use.
+type Monitor struct {
+	eval   *sti.Evaluator
+	stride int
+
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// New builds a monitor with its own evaluator that samples every stride
+// simulator steps (minimum 1).
+func New(cfg reach.Config, stride int) (*Monitor, error) {
+	eval, err := sti.NewEvaluator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithEvaluator(eval, stride), nil
+}
+
+// NewWithEvaluator builds a monitor on an existing evaluator — the scoring
+// service shares its evaluator pool across many sessions this way. eval
+// must be non-nil.
+func NewWithEvaluator(eval *sti.Evaluator, stride int) *Monitor {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Monitor{eval: eval, stride: stride}
+}
+
+// Stride returns the sampling stride in simulator steps.
+func (m *Monitor) Stride() int { return m.stride }
+
+// Samples returns a copy of the recorded trace; callers may mutate it
+// freely without corrupting the monitor's history.
+func (m *Monitor) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Len returns the number of recorded samples.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// Reset clears the recorded trace.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = nil
+}
+
+// PeakSTI returns the maximum recorded combined STI. NaN samples are
+// skipped, matching RiskyIntervals.
+func (m *Monitor) PeakSTI() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	peak := 0.0
+	for _, s := range m.samples {
+		if !math.IsNaN(s.STI) && s.STI > peak {
+			peak = s.STI
+		}
+	}
+	return peak
+}
+
+// Telemetry returns a snapshot of the process-wide telemetry registry —
+// the risk-assessment counters and latency histograms accumulated so far
+// (all zero unless telemetry.Enable has been called).
+func (m *Monitor) Telemetry() telemetry.Snapshot {
+	return telemetry.Default().Snapshot()
+}
+
+// Wrap returns a Driver that delegates to inner while recording risk.
+func (m *Monitor) Wrap(inner sim.Driver) sim.Driver {
+	return &monitoredDriver{inner: inner, monitor: m}
+}
+
+type monitoredDriver struct {
+	inner   sim.Driver
+	monitor *Monitor
+	steps   int
+}
+
+func (d *monitoredDriver) Reset() {
+	d.inner.Reset()
+	d.steps = 0
+}
+
+func (d *monitoredDriver) Act(obs sim.Observation) vehicle.Control {
+	if d.steps%d.monitor.stride == 0 {
+		d.monitor.record(obs)
+	}
+	d.steps++
+	return d.inner.Act(obs)
+}
+
+// Observe records one externally supplied scene at time t — the streaming
+// entry point used by the scoring service's session API. Unlike Wrap it is
+// not strided: every observation the caller chose to send is recorded. It
+// returns the recorded sample.
+func (m *Monitor) Observe(rm roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, t float64) Sample {
+	return m.observe(sim.Observation{Map: rm, Ego: ego, EgoParams: vehicle.DefaultParams(), Actors: actors, Time: t}, trajs)
+}
+
+func (m *Monitor) record(obs sim.Observation) Sample {
+	return m.observe(obs, nil)
+}
+
+// observe scores one observation and appends the sample. When trajs is nil
+// every actor's trajectory is CVTR-predicted (the paper's online
+// configuration); explicit trajectories take precedence.
+func (m *Monitor) observe(obs sim.Observation, trajs []actor.Trajectory) Sample {
+	defer telRecordSeconds.Start().Stop()
+	cfg := m.eval.Config()
+	steps := cfg.NumSlices()
+	if trajs == nil {
+		trajs = actor.PredictAll(obs.Actors, steps, cfg.SliceDt)
+	}
+	res := m.eval.Evaluate(obs.Map, obs.Ego, obs.Actors, trajs)
+	scene := metrics.Scene{
+		Map:       obs.Map,
+		Ego:       obs.Ego,
+		EgoParams: obs.EgoParams,
+		Actors:    obs.Actors,
+		Trajs:     trajs,
+		Horizon:   cfg.Horizon,
+		Dt:        cfg.SliceDt,
+	}
+	idx, _ := res.MostThreatening()
+	id := -1
+	if idx >= 0 {
+		id = obs.Actors[idx].ID
+	}
+	s := Sample{
+		Time:            obs.Time,
+		STI:             res.Combined,
+		TTC:             metrics.TTC(scene),
+		DistCIPA:        metrics.DistCIPA(scene),
+		MostThreatening: id,
+	}
+	m.mu.Lock()
+	m.samples = append(m.samples, s)
+	m.mu.Unlock()
+	return s
+}
+
+// RiskyIntervals returns the [start, end) time intervals during which the
+// recorded STI exceeded the threshold.
+func (m *Monitor) RiskyIntervals(threshold float64) [][2]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out [][2]float64
+	open := false
+	start := 0.0
+	for _, s := range m.samples {
+		risky := s.STI > threshold && !math.IsNaN(s.STI)
+		switch {
+		case risky && !open:
+			open, start = true, s.Time
+		case !risky && open:
+			open = false
+			out = append(out, [2]float64{start, s.Time})
+		}
+	}
+	if open && len(m.samples) > 0 {
+		out = append(out, [2]float64{start, m.samples[len(m.samples)-1].Time})
+	}
+	return out
+}

@@ -67,6 +67,40 @@ func (o *Obstacles) collideSkipping(skip int) CollisionFunc {
 	}
 }
 
+// CollideRecording returns a CollisionFunc over every actor that
+// additionally marks exclusive blockers: whenever a queried footprint
+// intersects exactly one actor, that actor's entry in marks is set. An
+// actor left unmarked after a full tube computation never changed a single
+// collision verdict on its own, so removing it cannot alter the
+// (deterministic) expansion: its counterfactual tube T^{/i} equals the base
+// tube T exactly. sti.Evaluator uses this to elide counterfactual
+// computations for non-blocking actors.
+//
+// The test stops early once two distinct actors intersect (the verdict is
+// true and exclusivity is impossible), so the overhead compared to Collide
+// is confined to footprints already in contact.
+func (o *Obstacles) CollideRecording(marks []bool) CollisionFunc {
+	return func(b *geom.PreparedBox, slice int) bool {
+		if slice > o.numSlices {
+			slice = o.numSlices
+		}
+		hit := -1
+		for i := range o.boxes {
+			if b.Intersects(&o.boxes[i][slice]) {
+				if hit >= 0 {
+					return true // second blocker: no exclusive mark
+				}
+				hit = i
+			}
+		}
+		if hit >= 0 {
+			marks[hit] = true
+			return true
+		}
+		return false
+	}
+}
+
 // BoxAt returns actor i's footprint at slice s (clamped to the horizon).
 func (o *Obstacles) BoxAt(i, s int) geom.Box {
 	if s > o.numSlices {

@@ -186,6 +186,100 @@ func (c Config) key(s vehicle.State) stateKey {
 	}
 }
 
+// keySet is an open-addressed hash set of stateKeys. It replaces a Go map
+// in the expansion loop: insertion is a single linear-probe pass (the map
+// needed a lookup followed by a store), clearing is a generation bump
+// instead of an O(capacity) wipe, and the hash is a fixed multiply-mix with
+// no runtime hashing machinery. Exactness is preserved — membership is
+// decided by full key equality, the hash only picks the probe start.
+type keySet struct {
+	keys []stateKey
+	gen  []uint32
+	cur  uint32
+	n    int
+}
+
+func newKeySet() *keySet { return &keySet{cur: 1} }
+
+// contains reports membership without modifying the set.
+func (ks *keySet) contains(k stateKey) bool {
+	if len(ks.keys) == 0 {
+		return false
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			return false
+		}
+		if ks.keys[i] == k {
+			return true
+		}
+	}
+}
+
+// reset empties the set in O(1) by advancing the generation stamp.
+func (ks *keySet) reset() {
+	ks.cur++
+	ks.n = 0
+	if ks.cur == 0 { // stamp wrapped: old entries would look live again
+		clear(ks.gen)
+		ks.cur = 1
+	}
+}
+
+func hashKey(k stateKey) uint64 {
+	h := uint64(uint32(k.ix)) | uint64(uint32(k.iy))<<32
+	h ^= (uint64(uint32(k.ih)) | uint64(uint32(k.iv))<<32) * 0x9e3779b97f4a7c15
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// insert adds k and reports whether it was absent. The table grows before
+// load factor reaches 1/2.
+func (ks *keySet) insert(k stateKey) bool {
+	if 2*(ks.n+1) > len(ks.keys) {
+		ks.grow()
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			ks.keys[i] = k
+			ks.gen[i] = ks.cur
+			ks.n++
+			return true
+		}
+		if ks.keys[i] == k {
+			return false
+		}
+	}
+}
+
+func (ks *keySet) grow() {
+	capOld := len(ks.keys)
+	capNew := 1024
+	if capOld > 0 {
+		capNew = capOld * 2
+	}
+	oldKeys, oldGen := ks.keys, ks.gen
+	ks.keys = make([]stateKey, capNew)
+	ks.gen = make([]uint32, capNew)
+	mask := uint64(capNew - 1)
+	for i, g := range oldGen {
+		if g != ks.cur {
+			continue
+		}
+		k := oldKeys[i]
+		for j := hashKey(k) & mask; ; j = (j + 1) & mask {
+			if ks.gen[j] != ks.cur {
+				ks.keys[j] = k
+				ks.gen[j] = ks.cur
+				break
+			}
+		}
+	}
+}
+
 // Scratch holds the reusable allocations of a reach-tube computation: the
 // frontier/next state slices, the per-slice dedup map and the occupancy
 // grid. A Scratch amortises the GC churn of the N+2 tube computations per
@@ -195,7 +289,7 @@ func (c Config) key(s vehicle.State) stateKey {
 type Scratch struct {
 	frontier []vehicle.State
 	next     []vehicle.State
-	visited  map[stateKey]struct{}
+	visited  *keySet
 	grid     *geom.OccupancyGrid
 }
 
@@ -204,7 +298,7 @@ func NewScratch() *Scratch {
 	return &Scratch{
 		frontier: make([]vehicle.State, 0, 64),
 		next:     make([]vehicle.State, 0, 64),
-		visited:  make(map[stateKey]struct{}, 256),
+		visited:  newKeySet(),
 		grid:     geom.NewOccupancyGrid(1),
 	}
 }
@@ -214,7 +308,7 @@ func NewScratch() *Scratch {
 func (s *Scratch) reset(cellSize float64) {
 	s.frontier = s.frontier[:0]
 	s.next = s.next[:0]
-	clear(s.visited)
+	s.visited.reset()
 	if s.grid.CellSize() != cellSize {
 		s.grid = geom.NewOccupancyGrid(cellSize)
 	} else {
@@ -254,28 +348,53 @@ func ComputeScratch(m roadmap.Map, collide CollisionFunc, ego vehicle.State, cfg
 	}
 
 	controls := cfg.controls()
+	// The control set is fixed for the whole tube: precompute each
+	// control's steering tangent so the sub-step integrator skips the
+	// per-step tan (see vehicle.Params.StepTan).
+	tans := make([]float64, len(controls))
+	for i, u := range controls {
+		tans[i] = math.Tan(u.Steer)
+	}
+	// One prepared footprint reused across every sub-step of the tube —
+	// seeded from the start footprint so the half-extents and bounding
+	// radius (constant for the whole tube) are prepared exactly once — and
+	// one path buffer holding the sub-step states of the candidate under
+	// consideration.
+	pb := egoPb
+	path := make([]pathState, cfg.SubSteps)
 	frontier := append(scr.frontier, ego)
 	visited := scr.visited
 	next := scr.next
 	propagations, pruned := 0, 0
 
 	for slice := 0; slice < numSlices; slice++ {
-		clear(visited)
+		visited.reset()
 		next = next[:0]
 	expand:
 		for _, s := range frontier {
-			for _, u := range controls {
-				s2, ok := cfg.propagate(m, pm, collide, s, u, slice)
+			// One Sincos per frontier state, shared by all its control
+			// branches; StepPath rotates it incrementally per sub-step.
+			sin0, cos0 := math.Sincos(s.Heading)
+			for ui, u := range controls {
+				// Integrate the candidate's sub-step path first — pure
+				// kinematics, no footprint work — and discard duplicate
+				// endpoints before paying for the drivability and collision
+				// sweep. In saturated slices most propagations land on an
+				// already-visited dedup cell, and a duplicate is discarded
+				// identically whether or not its path would have been pruned
+				// (the checks have no effect on surviving states), so this
+				// reordering leaves the tube bit-for-bit unchanged.
+				s2, nsub := cfg.integrate(s, sin0, cos0, u, tans[ui], path)
 				propagations++
-				if !ok {
+				k := cfg.key(s2)
+				if visited.contains(k) {
+					continue
+				}
+				if !cfg.pathOK(m, pm, collide, path[:nsub], slice, &pb) {
 					pruned++
 					continue
 				}
-				k := cfg.key(s2)
-				if _, seen := visited[k]; seen {
-					continue
-				}
-				visited[k] = struct{}{}
+				visited.insert(k)
 				grid.Mark(s2.Pos)
 				if cfg.RecordPoints {
 					tube.Points = append(tube.Points, s2.Pos)
@@ -310,14 +429,23 @@ func drivable(m roadmap.Map, pm roadmap.PreparedMap, b *geom.PreparedBox) bool {
 	return m.DrivableBox(b.Box)
 }
 
-// propagate integrates one Δt slice in sub-increments, rejecting the
-// transition if any intermediate footprint leaves the map or collides.
-// Intermediate collisions are tested against both bounding slice indices of
-// the (moving) obstacles, a conservative sweep approximation. The number of
-// sub-steps adapts to the state's speed — enough that no sub-step covers
-// more than ~half a vehicle length, capped at SubSteps — so slow states
-// stay cheap and fast states cannot tunnel.
-func (c Config) propagate(m roadmap.Map, pm roadmap.PreparedMap, collide CollisionFunc, s vehicle.State, u vehicle.Control, slice int) (vehicle.State, bool) {
+// pathState is one sub-step of an integrated candidate path, carrying the
+// heading sine/cosine StepPath maintains so pathOK can prepare footprints
+// without recomputing the trigonometry.
+type pathState struct {
+	st       vehicle.State
+	sin, cos float64
+}
+
+// integrate advances one Δt slice of the bicycle model in sub-increments,
+// recording every intermediate state into path (pre-sized to SubSteps by
+// the caller) and returning the endpoint plus the number of sub-steps
+// written. sinH, cosH must hold sincos(s.Heading). The number of sub-steps
+// adapts to the state's speed — enough that no sub-step covers more than
+// ~half a vehicle length, capped at SubSteps — so slow states stay cheap
+// and fast states cannot tunnel between the footprint checks pathOK later
+// runs over the recorded states.
+func (c Config) integrate(s vehicle.State, sinH, cosH float64, u vehicle.Control, tanSteer float64, path []pathState) (vehicle.State, int) {
 	sub := int(math.Ceil(s.Speed * c.SliceDt / (c.Params.Length / 2)))
 	if sub < 1 {
 		sub = 1
@@ -326,15 +454,27 @@ func (c Config) propagate(m roadmap.Map, pm roadmap.PreparedMap, collide Collisi
 		sub = c.SubSteps
 	}
 	dt := c.SliceDt / float64(sub)
-	for j := 1; j <= sub; j++ {
-		s = c.Params.Step(s, u, dt)
-		pb := c.Params.Footprint(s).Prepare()
-		if !drivable(m, pm, &pb) {
-			return s, false
+	for j := 0; j < sub; j++ {
+		s = c.Params.StepPath(s, u, tanSteer, dt, &sinH, &cosH)
+		path[j] = pathState{st: s, sin: sinH, cos: cosH}
+	}
+	return s, sub
+}
+
+// pathOK sweeps the footprint along an integrated sub-step path, rejecting
+// the transition if any intermediate footprint leaves the map or collides.
+// Intermediate collisions are tested against both bounding slice indices of
+// the (moving) obstacles, a conservative sweep approximation.
+func (c Config) pathOK(m roadmap.Map, pm roadmap.PreparedMap, collide CollisionFunc, path []pathState, slice int, pb *geom.PreparedBox) bool {
+	for i := range path {
+		ps := &path[i]
+		pb.MoveTo(ps.st.Pos, ps.st.Heading, ps.sin, ps.cos)
+		if !drivable(m, pm, pb) {
+			return false
 		}
-		if collide != nil && (collide(&pb, slice) || collide(&pb, slice+1)) {
-			return s, false
+		if collide != nil && (collide(pb, slice) || collide(pb, slice+1)) {
+			return false
 		}
 	}
-	return s, true
+	return true
 }

@@ -1,0 +1,200 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// EpisodePoint is one smc.episode journal event distilled to the values the
+// training-curve panels plot.
+type EpisodePoint struct {
+	Episode float64
+	Reward  float64
+	Epsilon float64
+	Loss    float64
+}
+
+// EpisodePoints extracts the smc.episode events of a run journal, in
+// journal order. Events of other kinds are ignored; missing numeric fields
+// read as zero (encoding/json decodes journal numbers as float64).
+func EpisodePoints(events []telemetry.Event) []EpisodePoint {
+	var out []EpisodePoint
+	for _, ev := range events {
+		if ev.Event != "smc.episode" {
+			continue
+		}
+		num := func(key string) float64 {
+			v, _ := ev.Fields[key].(float64)
+			return v
+		}
+		out = append(out, EpisodePoint{
+			Episode: num("episode"),
+			Reward:  num("reward"),
+			Epsilon: num("epsilon"),
+			Loss:    num("loss"),
+		})
+	}
+	return out
+}
+
+// CurveOptions control training-curve rendering.
+type CurveOptions struct {
+	// Width is the SVG width in pixels (default 720).
+	Width int
+	// Smooth is the moving-average window drawn over the reward panel;
+	// 0 picks max(1, n/20).
+	Smooth int
+}
+
+// CurvesSVG renders the paper-style training curves of an SMC run — reward
+// (with a moving-average overlay), exploration ε and TD loss per episode —
+// as three stacked SVG panels sharing the episode axis. It fails only when
+// points is empty.
+func CurvesSVG(points []EpisodePoint, opt CurveOptions) (string, error) {
+	if len(points) == 0 {
+		return "", fmt.Errorf("render: no smc.episode events to plot")
+	}
+	width := opt.Width
+	if width <= 0 {
+		width = 720
+	}
+	const panelH, padT, padB, padL, padR = 150, 24, 28, 56, 16
+	height := 3*panelH + padT
+
+	xs := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.Episode
+	}
+	smooth := opt.Smooth
+	if smooth <= 0 {
+		smooth = len(points) / 20
+		if smooth < 1 {
+			smooth = 1
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" fill="#333">SMC training — %d episodes</text>`+"\n", padL, len(points))
+
+	panels := []struct {
+		label  string
+		color  string
+		series []float64
+		smooth bool
+	}{
+		{"reward", "#2c7fb8", collect(points, func(p EpisodePoint) float64 { return p.Reward }), true},
+		{"epsilon", "#35978f", collect(points, func(p EpisodePoint) float64 { return p.Epsilon }), false},
+		{"loss", "#d95f0e", collect(points, func(p EpisodePoint) float64 { return p.Loss }), false},
+	}
+	for i, p := range panels {
+		top := padT + i*panelH
+		drawPanel(&b, panel{
+			x0: padL, y0: top + 8, w: width - padL - padR, h: panelH - padB - 8,
+			label: p.label, color: p.color, xs: xs, ys: p.series,
+		})
+		if p.smooth && smooth > 1 {
+			sm := movingAverage(p.series, smooth)
+			drawPolyline(&b, panelGeom(panel{x0: padL, y0: top + 8, w: width - padL - padR, h: panelH - padB - 8, xs: xs, ys: p.series}), xs, sm, "#08306b", 2)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func collect(points []EpisodePoint, f func(EpisodePoint) float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = f(p)
+	}
+	return out
+}
+
+func movingAverage(ys []float64, window int) []float64 {
+	out := make([]float64, len(ys))
+	sum := 0.0
+	for i, y := range ys {
+		sum += y
+		if i >= window {
+			sum -= ys[i-window]
+		}
+		n := i + 1
+		if n > window {
+			n = window
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+type panel struct {
+	x0, y0, w, h int
+	label, color string
+	xs, ys       []float64
+}
+
+type geomFns struct {
+	toX, toY func(float64) float64
+}
+
+// panelGeom builds the data→pixel transforms for a panel, padding flat
+// series so a constant line still draws mid-panel.
+func panelGeom(p panel) geomFns {
+	xMin, xMax := minMax(p.xs)
+	yMin, yMax := minMax(p.ys)
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMin, yMax = yMin-1, yMax+1
+	} else {
+		pad := (yMax - yMin) * 0.08
+		yMin, yMax = yMin-pad, yMax+pad
+	}
+	return geomFns{
+		toX: func(x float64) float64 {
+			return float64(p.x0) + (x-xMin)/(xMax-xMin)*float64(p.w)
+		},
+		toY: func(y float64) float64 {
+			return float64(p.y0) + float64(p.h) - (y-yMin)/(yMax-yMin)*float64(p.h)
+		},
+	}
+}
+
+func drawPanel(b *strings.Builder, p panel) {
+	g := panelGeom(p)
+	yMin, yMax := minMax(p.ys)
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" stroke="#ccc"/>`+"\n", p.x0, p.y0, p.w, p.h)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="#555">%s</text>`+"\n", p.x0, p.y0-2, p.label)
+	// Min/max ticks on the value axis and the episode extent on x.
+	fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="9" fill="#888" text-anchor="end">%.3g</text>`+"\n", p.x0-4, g.toY(yMax)+3, yMax)
+	fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="9" fill="#888" text-anchor="end">%.3g</text>`+"\n", p.x0-4, g.toY(yMin)+3, yMin)
+	xMin, xMax := minMax(p.xs)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="9" fill="#888">%.0f</text>`+"\n", p.x0, p.y0+p.h+12, xMin)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="9" fill="#888" text-anchor="end">%.0f</text>`+"\n", p.x0+p.w, p.y0+p.h+12, xMax)
+	drawPolyline(b, g, p.xs, p.ys, p.color, 1)
+}
+
+func drawPolyline(b *strings.Builder, g geomFns, xs, ys []float64, color string, width int) {
+	var pts strings.Builder
+	for i := range xs {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", g.toX(xs[i]), g.toY(ys[i]))
+	}
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%d"/>`+"\n", pts.String(), color, width)
+}
+
+func minMax(vs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

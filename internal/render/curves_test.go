@@ -1,0 +1,122 @@
+package render
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// journalEvents builds a deterministic synthetic training journal: reward
+// climbs with noise, epsilon anneals, loss decays. Values mimic what
+// smc.Train emits but need no simulation.
+func journalEvents(n int) []telemetry.Event {
+	evs := make([]telemetry.Event, 0, n+2)
+	evs = append(evs, telemetry.Event{Event: "run.start", Fields: map[string]any{"cmd": "test"}})
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		evs = append(evs, telemetry.Event{
+			TS:    time.Unix(1700000000+int64(i), 0).UTC(),
+			Event: "smc.episode",
+			Fields: map[string]any{
+				"episode": x,
+				"reward":  -40 + x*0.9 + 12*math.Sin(x*0.7),
+				"epsilon": math.Max(0.05, 1-x*0.016),
+				"loss":    3.5*math.Exp(-x*0.04) + 0.3*math.Abs(math.Sin(x*1.3)),
+				"steps":   float64(100 + i),
+			},
+		})
+	}
+	evs = append(evs, telemetry.Event{Event: "run.end"})
+	return evs
+}
+
+func TestEpisodePoints(t *testing.T) {
+	pts := EpisodePoints(journalEvents(60))
+	if len(pts) != 60 {
+		t.Fatalf("points = %d, want 60 (non-episode events must be skipped)", len(pts))
+	}
+	if pts[0].Episode != 0 || pts[59].Episode != 59 {
+		t.Errorf("episode range = [%v, %v], want [0, 59]", pts[0].Episode, pts[59].Episode)
+	}
+	if pts[0].Epsilon != 1 {
+		t.Errorf("first epsilon = %v, want 1", pts[0].Epsilon)
+	}
+	if pts[59].Loss >= pts[0].Loss {
+		t.Errorf("loss did not decay: %v -> %v", pts[0].Loss, pts[59].Loss)
+	}
+}
+
+func TestEpisodePointsEmpty(t *testing.T) {
+	if pts := EpisodePoints([]telemetry.Event{{Event: "run.start"}}); pts != nil {
+		t.Errorf("no episodes should yield nil, got %d points", len(pts))
+	}
+	if _, err := CurvesSVG(nil, CurveOptions{}); err == nil {
+		t.Error("CurvesSVG on empty input should fail")
+	}
+}
+
+func TestCurvesSVGGolden(t *testing.T) {
+	svg, err := CurvesSVG(EpisodePoints(journalEvents(60)), CurveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "curves_golden.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(svg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if svg != string(want) {
+		t.Errorf("curves SVG drifted from %s (run with -update to accept); got %d bytes, want %d",
+			golden, len(svg), len(want))
+	}
+}
+
+func TestCurvesSVGStructure(t *testing.T) {
+	svg, err := CurvesSVG(EpisodePoints(journalEvents(60)), CurveOptions{Width: 400, Smooth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>",
+		">reward<", ">epsilon<", ">loss<", // panel labels
+		"60 episodes",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("curves SVG missing %q", want)
+		}
+	}
+	// Three series plus the reward moving-average overlay.
+	if got := strings.Count(svg, "<polyline"); got != 4 {
+		t.Errorf("polyline count = %d, want 4", got)
+	}
+	if got := strings.Count(svg, `stroke="#08306b"`); got != 1 {
+		t.Errorf("smoothed overlay count = %d, want 1", got)
+	}
+}
+
+func TestCurvesSVGFlatSeries(t *testing.T) {
+	pts := []EpisodePoint{{Episode: 0, Reward: 5}, {Episode: 1, Reward: 5}}
+	svg, err := CurvesSVG(pts, CurveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("flat series produced non-finite coordinates")
+	}
+}

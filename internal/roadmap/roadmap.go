@@ -158,12 +158,15 @@ func (r *RingRoad) DrivableBox(b geom.Box) bool {
 	return true
 }
 
-// DrivablePrepared implements PreparedMap using the cached corners.
+// DrivablePrepared implements PreparedMap, deriving the corners from the
+// cached axes (they are not stored in the prepared box).
 func (r *RingRoad) DrivablePrepared(b *geom.PreparedBox) bool {
 	if !r.Drivable(b.Box.Center) {
 		return false
 	}
-	for _, c := range b.Corners {
+	var cs [4]geom.Vec2
+	b.CornersInto(&cs)
+	for _, c := range cs {
 		if !r.Drivable(c) {
 			return false
 		}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/scene"
+	"repro/internal/vehicle"
+)
+
+// ParseTypology resolves a typology from a CLI-friendly name: display names
+// ("lead slowdown") and separator-free or hyphen/underscore variants
+// ("lead-slowdown", "ghost_cut_in") all match.
+func ParseTypology(name string) (Typology, error) {
+	want := normalizeTypology(name)
+	known := make([]string, 0, len(typologyByName))
+	for display, ty := range typologyByName {
+		if normalizeTypology(display) == want {
+			return ty, nil
+		}
+		known = append(known, display)
+	}
+	sort.Strings(known)
+	return 0, fmt.Errorf("scenario: unknown typology %q (one of: %s)", name, strings.Join(known, ", "))
+}
+
+// normalizeTypology strips everything but letters and digits, lowercased.
+func normalizeTypology(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Fixtures turns sampled scenario instances into wire-format scenes for
+// driving the scoring service (cmd/iprism-loadgen, verify.sh smoke). Each
+// scenario is built, advanced warmupSteps with a coasting ego (zero
+// control) so the threat manoeuvres are under way, then snapshotted.
+//
+// n scenes are produced per call: scenario i of ceil(n / len(warmups))
+// sampled instances is snapshotted at every warmup depth in warmups,
+// giving a mix of benign early frames and critical mid-manoeuvre frames.
+func Fixtures(t Typology, n int, seed int64) ([]scene.Scene, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("scenario: fixtures n must be positive, got %d", n)
+	}
+	// Snapshot depths in steps of the scenario Dt (0.1s): 0.5s through 8s,
+	// spanning scenario onset, the developing manoeuvre and the critical
+	// window every typology reaches by its final seconds.
+	warmups := []int{5, 20, 40, 60, 80}
+	perScenario := len(warmups)
+	instances := Generate(t, (n+perScenario-1)/perScenario, seed)
+	out := make([]scene.Scene, 0, n)
+	for _, inst := range instances {
+		w, err := inst.Build()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fixture build %s #%d: %w", t, inst.ID, err)
+		}
+		prev := 0
+		for _, steps := range warmups {
+			for s := prev; s < steps; s++ {
+				w.Advance(vehicle.Control{})
+			}
+			prev = steps
+			obs := w.Observe()
+			sc, err := scene.FromParts(obs.Map, obs.Ego, obs.Actors, obs.Time)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: fixture snapshot %s #%d: %w", t, inst.ID, err)
+			}
+			out = append(out, sc)
+			if len(out) == n {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}

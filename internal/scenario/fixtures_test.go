@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/scene"
+)
+
+func TestFixturesCountAndValidity(t *testing.T) {
+	for _, typ := range append(append([]Typology{}, Typologies...), RoundaboutCutIn) {
+		scenes, err := Fixtures(typ, 7, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		if len(scenes) != 7 {
+			t.Fatalf("%s: got %d scenes, want 7", typ, len(scenes))
+		}
+		for i, sc := range scenes {
+			if err := sc.Validate(); err != nil {
+				t.Errorf("%s scene %d invalid: %v", typ, i, err)
+			}
+			if _, _, _, _, _, err := sc.Materialize(); err != nil {
+				t.Errorf("%s scene %d does not materialize: %v", typ, i, err)
+			}
+		}
+		// Warmup depths differ, so snapshot times must not all coincide.
+		if scenes[0].Time == scenes[1].Time {
+			t.Errorf("%s: consecutive fixtures share time %v", typ, scenes[0].Time)
+		}
+	}
+}
+
+func TestFixturesDeterministic(t *testing.T) {
+	a, err := Fixtures(LeadSlowdown, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fixtures(LeadSlowdown, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ra, _ := scene.Encode(a[i])
+		rb, _ := scene.Encode(b[i])
+		if string(ra) != string(rb) {
+			t.Fatalf("fixture %d differs across same-seed runs", i)
+		}
+	}
+}

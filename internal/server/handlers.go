@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/scene"
+	"repro/internal/telemetry"
+)
+
+// ScoreVersion tags scoring responses, mirroring the request codec's
+// scene.Version.
+const ScoreVersion = "iprism.score/v1"
+
+// ScoreResponse is the JSON answer to one scored scene.
+type ScoreResponse struct {
+	Version  string  `json:"version"`
+	Combined float64 `json:"combined_sti"`
+	// MostThreatening is the ID of the highest-STI actor, or -1.
+	MostThreatening int          `json:"most_threatening"`
+	Actors          []ActorScore `json:"actors,omitempty"`
+	BaseVolume      float64      `json:"base_volume"`
+	EmptyVolume     float64      `json:"empty_volume"`
+	// Error is set instead of scores on per-scene failures inside batch
+	// responses.
+	Error string `json:"error,omitempty"`
+}
+
+// ActorScore is one actor's STI and backing counterfactual volume.
+type ActorScore struct {
+	ID            int     `json:"id"`
+	STI           float64 `json:"sti"`
+	WithoutVolume float64 `json:"without_volume"`
+}
+
+// BatchRequest scores many scenes in one round-trip; the scenes fan out
+// over the evaluator pool as independent jobs.
+type BatchRequest struct {
+	Scenes []scene.Scene `json:"scenes"`
+}
+
+// BatchResponse answers a BatchRequest, results index-aligned with the
+// request's scenes.
+type BatchResponse struct {
+	Version string          `json:"version"`
+	Results []ScoreResponse `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleSessionObserve)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/risk", s.handleSessionRisk)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.Handle("GET /metrics", telemetry.Default().MetricsHandler())
+	s.mux.Handle("GET /debug/telemetry", telemetry.Default().SnapshotHandler())
+}
+
+// handleScore scores one scene: 200 with a ScoreResponse, 400 on malformed
+// input, 429 under backpressure, 504 past the request deadline.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	defer telRequestSecs.Start().Stop()
+	telRequests.Inc()
+	sc, ok := s.readScene(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, status := s.scoreScene(ctx, sc)
+	writeJSON(w, status, resp)
+}
+
+// handleScoreBatch scores up to MaxBatchScenes scenes from one request.
+// Per-scene failures (saturation, invalid road) are reported per result;
+// the response is 200 unless every scene was rejected for saturation, in
+// which case it degrades to a plain 429 so clients back off.
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	defer telRequestSecs.Start().Stop()
+	telRequests.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
+		return
+	}
+	if len(req.Scenes) == 0 {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch has no scenes"})
+		return
+	}
+	for i := range req.Scenes {
+		if err := req.Scenes[i].Validate(); err != nil {
+			telRejectedBad.Inc()
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("scene %d: %v", i, err)})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// Fan the scenes out over the pool as independent jobs and gather.
+	resp := BatchResponse{Version: ScoreVersion, Results: make([]ScoreResponse, len(req.Scenes))}
+	statuses := make([]int, len(req.Scenes))
+	var wg sync.WaitGroup
+	for i := range req.Scenes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Results[i], statuses[i] = s.scoreScene(ctx, req.Scenes[i])
+		}(i)
+	}
+	wg.Wait()
+	saturated := 0
+	for _, st := range statuses {
+		switch st {
+		case http.StatusGatewayTimeout:
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "batch deadline exceeded"})
+			return
+		case http.StatusTooManyRequests:
+			saturated++
+		}
+	}
+	if saturated == len(req.Scenes) {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreScene runs one validated scene through the pool, mapping failures
+// onto HTTP statuses. The ScoreResponse always carries a usable body: a
+// result on 200, an Error field otherwise (for batch embedding).
+func (s *Server) scoreScene(ctx context.Context, sc scene.Scene) (ScoreResponse, int) {
+	m, ego, actors, trajs, hasTrajs, err := sc.Materialize()
+	if err != nil {
+		telRejectedBad.Inc()
+		return ScoreResponse{Version: ScoreVersion, Error: err.Error()}, http.StatusBadRequest
+	}
+	res, err := s.score(ctx, m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs))
+	switch {
+	case errors.Is(err, errSaturated):
+		telRejectedFull.Inc()
+		return ScoreResponse{Version: ScoreVersion, Error: "scoring queue full"}, http.StatusTooManyRequests
+	case err != nil:
+		return ScoreResponse{Version: ScoreVersion, Error: "deadline exceeded"}, http.StatusGatewayTimeout
+	}
+	out := ScoreResponse{
+		Version:         ScoreVersion,
+		Combined:        res.Combined,
+		MostThreatening: -1,
+		BaseVolume:      res.BaseVolume,
+		EmptyVolume:     res.EmptyVolume,
+	}
+	if idx, _ := res.MostThreatening(); idx >= 0 {
+		out.MostThreatening = actors[idx].ID
+	}
+	out.Actors = make([]ActorScore, len(actors))
+	for i, a := range actors {
+		out.Actors[i] = ActorScore{ID: a.ID, STI: res.PerActor[i], WithoutVolume: res.WithoutVolume[i]}
+	}
+	return out, http.StatusOK
+}
+
+// readScene decodes and validates the request body as one scene, answering
+// 400/413 itself when it fails.
+func (s *Server) readScene(w http.ResponseWriter, r *http.Request) (scene.Scene, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
+		return scene.Scene{}, false
+	}
+	sc, err := scene.Decode(body)
+	if err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return scene.Scene{}, false
+	}
+	return sc, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// queryThreshold parses the ?threshold= risky-interval cut-off (default
+// 0.2, the paper's risk threshold for interval extraction).
+func queryThreshold(r *http.Request) (float64, error) {
+	q := r.URL.Query().Get("threshold")
+	if q == "" {
+		return 0.2, nil
+	}
+	v, err := strconv.ParseFloat(q, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("threshold %q must be a number in [0, 1]", q)
+	}
+	return v, nil
+}

@@ -1,0 +1,324 @@
+// Package server is the online risk-scoring service: a stdlib net/http
+// JSON API over the STI evaluator (Eqs. 4–5 of the paper). It turns the
+// in-process evaluator into the network-facing runtime monitor of the
+// paper's lineage — accept a scene (ego state, actors with predicted
+// trajectories, road geometry), return per-actor and combined STI within a
+// request deadline.
+//
+// Architecture (see DESIGN.md "Serving"):
+//
+//   - a pool of sti.Evaluators, one per scoring worker, each with its own
+//     empty-world volume cache and pooled reach-tube scratch memory;
+//   - a bounded job queue in front of the pool: requests that find the
+//     queue full are rejected immediately with 429 + Retry-After instead
+//     of stacking latency (queue-depth backpressure);
+//   - per-request deadlines via context: a scene that cannot be scored in
+//     time answers 504 and its queued job is skipped, not computed;
+//   - opportunistic micro-batching: a worker waking up drains up to
+//     BatchMax queued jobs in one go, amortising scheduler wake-ups at
+//     high load while adding no latency at low load;
+//   - graceful shutdown: the listener closes first, every accepted request
+//     completes (zero dropped in-flight work), then the workers exit;
+//   - sessions: a rolling internal/monitor.Monitor per client episode so
+//     observations streamed over HTTP can be queried for PeakSTI and
+//     RiskyIntervals, the §V-A/V-B online assessor as a service.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/reach"
+	"repro/internal/roadmap"
+	"repro/internal/sti"
+	"repro/internal/telemetry"
+	"repro/internal/vehicle"
+)
+
+// Telemetry (collected only once telemetry.Enable has been called; visible
+// at /debug/telemetry and /metrics on the server itself).
+var (
+	telRequests      = telemetry.NewCounter("server.http.requests")
+	telScenes        = telemetry.NewCounter("server.scenes.scored")
+	telRejectedFull  = telemetry.NewCounter("server.rejected.saturated")
+	telRejectedBad   = telemetry.NewCounter("server.rejected.invalid")
+	telTimeouts      = telemetry.NewCounter("server.timeouts")
+	telRequestSecs   = telemetry.NewHistogram("server.request.seconds", telemetry.LatencyBuckets())
+	telScoreSecs     = telemetry.NewHistogram("server.score.seconds", telemetry.LatencyBuckets())
+	telQueueDepth    = telemetry.NewGauge("server.queue.depth")
+	telBatchSize     = telemetry.NewHistogram("server.batch.size", telemetry.LinearBuckets(1, 1, 16))
+	telSessionsGauge = telemetry.NewGauge("server.sessions.active")
+)
+
+// Config tunes the scoring service. The zero value serves with the paper's
+// reach-tube configuration and conservative capacity defaults.
+type Config struct {
+	// Reach is the reach-tube configuration every evaluator in the pool
+	// uses. The zero value means reach.DefaultConfig().
+	Reach reach.Config
+	// Workers is the number of scoring workers (and pooled evaluators).
+	// 0 resolves to runtime.GOMAXPROCS(0).
+	Workers int
+	// EvalWorkers bounds each evaluator's internal per-actor counterfactual
+	// fan-out. The default 0 resolves to 1 (serial) — the service already
+	// runs one evaluator per core, so nested fan-out oversubscribes.
+	EvalWorkers int
+	// QueueDepth bounds the jobs waiting for a worker beyond those being
+	// scored; enqueues past it answer 429. 0 resolves to 16×Workers.
+	QueueDepth int
+	// RequestTimeout bounds queue wait plus scoring per request; exceeding
+	// it answers 504. 0 resolves to 2s.
+	RequestTimeout time.Duration
+	// BatchMax is the most queued jobs one worker drains per wake-up
+	// (opportunistic micro-batching). 0 resolves to 8; 1 disables batching.
+	BatchMax int
+	// MaxSessions caps concurrently open sessions. 0 resolves to 1024.
+	MaxSessions int
+	// MaxBodyBytes caps request body size. 0 resolves to 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reach == (reach.Config{}) {
+		c.Reach = reach.DefaultConfig()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EvalWorkers <= 0 {
+		c.EvalWorkers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// job is one unit of scoring work bound for the evaluator pool. run is
+// executed by exactly one worker (unless the job's context expired first),
+// then done is closed; the submitting handler owns every variable run
+// writes, and reads them only after done.
+type job struct {
+	ctx  context.Context
+	run  func(ev *sti.Evaluator)
+	done chan struct{}
+}
+
+// Server is a running (or startable) scoring service.
+type Server struct {
+	cfg   Config
+	pool  []*sti.Evaluator
+	jobs  chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	mux   *http.ServeMux
+	http  *http.Server
+	ln    net.Listener
+	addr  atomic.Value // string
+	state atomic.Int32 // 0 idle, 1 serving, 2 shutting down
+
+	sessions sessionTable
+}
+
+// New builds the service: evaluator pool, queue, workers, routes. The
+// workers start immediately so Handler is usable without Start (tests,
+// in-process embedding).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Reach.Validate(); err != nil {
+		return nil, fmt.Errorf("server: reach config: %w", err)
+	}
+	s := &Server{
+		cfg:  cfg,
+		pool: make([]*sti.Evaluator, cfg.Workers),
+		jobs: make(chan *job, cfg.QueueDepth),
+		quit: make(chan struct{}),
+	}
+	for i := range s.pool {
+		ev, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: cfg.EvalWorkers})
+		if err != nil {
+			return nil, fmt.Errorf("server: evaluator %d: %w", i, err)
+		}
+		s.pool[i] = ev
+	}
+	s.sessions.init(cfg.MaxSessions)
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(s.pool[i])
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (scoring API, session API,
+// /healthz, /metrics, /debug/telemetry).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Addr returns the bound listen address after Start (useful with ":0").
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Start listens on addr and serves in the background until Shutdown.
+func (s *Server) Start(addr string) error {
+	if !s.state.CompareAndSwap(0, 1) {
+		return fmt.Errorf("server: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.addr.Store(ln.Addr().String())
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Shutdown drains the service: the listener closes immediately (new
+// connections refused), every in-flight request completes and is answered,
+// then the scoring workers exit. ctx bounds the drain; on expiry the
+// remaining connections are closed forcefully.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.state.Swap(2) == 1 && s.http != nil {
+		// Shutdown returns once every active request's handler has returned
+		// — and handlers return only after their job was answered, so no
+		// accepted work is dropped. The workers must therefore still be
+		// draining the queue here; they stop below.
+		err = s.http.Shutdown(ctx)
+		if err != nil {
+			s.http.Close()
+		}
+	}
+	close(s.quit)
+	s.wg.Wait()
+	return err
+}
+
+// worker scores jobs until quit. Each wake-up drains up to BatchMax queued
+// jobs (micro-batching); after quit it finishes whatever is still queued so
+// graceful shutdown never strands an accepted request.
+func (s *Server) worker(ev *sti.Evaluator) {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			n := 1
+			s.runJob(j, ev)
+			// Opportunistic drain: score queued siblings without another
+			// scheduler round-trip.
+			for n < s.cfg.BatchMax {
+				select {
+				case j := <-s.jobs:
+					s.runJob(j, ev)
+					n++
+				default:
+					n = s.cfg.BatchMax
+				}
+			}
+			telBatchSize.Observe(float64(n))
+			telQueueDepth.Set(float64(len(s.jobs)))
+		case <-s.quit:
+			// Drain the residue, then exit.
+			for {
+				select {
+				case j := <-s.jobs:
+					s.runJob(j, ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) runJob(j *job, ev *sti.Evaluator) {
+	defer close(j.done)
+	if j.ctx.Err() != nil {
+		return // requester gave up (timeout/disconnect); don't burn the pool
+	}
+	j.run(ev)
+}
+
+// errSaturated reports queue-full backpressure to the handlers.
+var errSaturated = fmt.Errorf("server: scoring queue full")
+
+// submit enqueues work for the evaluator pool without blocking: a full
+// queue fails fast with errSaturated (the 429 path). On success the caller
+// must wait for the returned job's done channel (or its context) before
+// reading anything run wrote.
+func (s *Server) submit(ctx context.Context, run func(ev *sti.Evaluator)) (*job, error) {
+	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+		telQueueDepth.Set(float64(len(s.jobs)))
+		return j, nil
+	default:
+		return nil, errSaturated
+	}
+}
+
+// score runs one scene evaluation on the pool and waits for it under ctx.
+func (s *Server) score(ctx context.Context, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) (sti.Result, error) {
+	var res sti.Result
+	j, err := s.submit(ctx, func(ev *sti.Evaluator) {
+		t := telScoreSecs.Start()
+		if trajs != nil {
+			res = ev.Evaluate(m, ego, actors, trajs)
+		} else {
+			res = ev.EvaluateWithPrediction(m, ego, actors)
+		}
+		t.Stop()
+		telScenes.Inc()
+	})
+	if err != nil {
+		return res, err
+	}
+	select {
+	case <-j.done:
+		return res, nil
+	case <-ctx.Done():
+		telTimeouts.Inc()
+		return res, ctx.Err()
+	}
+}
+
+// completeTrajs fills the gaps of a partial explicit-trajectory set with
+// CVTR predictions so every actor has a trajectory aligned to the reach
+// configuration. hasTrajs=false returns nil, selecting the evaluator's
+// prediction path wholesale.
+func completeTrajs(cfg reach.Config, actors []*actor.Actor, trajs []actor.Trajectory, hasTrajs bool) []actor.Trajectory {
+	if !hasTrajs {
+		return nil
+	}
+	steps := cfg.NumSlices()
+	for i, tr := range trajs {
+		if tr.Len() == 0 {
+			trajs[i] = actor.PredictCVTR(actors[i], steps, cfg.SliceDt)
+		}
+	}
+	return trajs
+}

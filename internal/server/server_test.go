@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scene"
+	"repro/internal/sti"
+	"repro/internal/telemetry"
+)
+
+func testScene() scene.Scene {
+	return scene.Scene{
+		Version: scene.Version,
+		Ego:     scene.State{X: 0, Y: 1.75, Speed: 10},
+		Road: scene.Road{Kind: "straight", Straight: &scene.StraightRoad{
+			Lanes: 2, LaneWidth: 3.5, XMin: -100, XMax: 400,
+		}},
+		Actors: []scene.Actor{
+			{ID: 1, Kind: "vehicle", State: scene.State{X: 14, Y: 1.75, Speed: 3}},
+			{ID: 2, Kind: "vehicle", State: scene.State{X: -40, Y: 5.25, Speed: 8}},
+		},
+	}
+}
+
+func sceneBody(t *testing.T) []byte {
+	t.Helper()
+	raw, err := scene.Encode(testScene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// gate occupies every pool worker with a job that blocks until release,
+// making saturation and timeout behaviour deterministic.
+func gate(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	ch := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		j, err := s.submit(context.Background(), func(*sti.Evaluator) {
+			wg.Done()
+			<-ch
+		})
+		if err != nil {
+			t.Fatalf("gate job %d rejected: %v", i, err)
+		}
+		_ = j
+	}
+	wg.Wait() // every worker is now parked inside a gate job
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+func TestScoreHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/score", sceneBody(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out ScoreResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != ScoreVersion {
+		t.Errorf("version = %q", out.Version)
+	}
+	if len(out.Actors) != 2 {
+		t.Fatalf("actors = %+v", out.Actors)
+	}
+	if out.EmptyVolume <= 0 || out.BaseVolume <= 0 {
+		t.Errorf("degenerate volumes: %+v", out)
+	}
+	if out.Combined < 0 || out.Combined > 1 {
+		t.Errorf("combined STI out of range: %v", out.Combined)
+	}
+	// The slow lead one stopping-distance ahead must be the threat.
+	if out.MostThreatening != 1 {
+		t.Errorf("most threatening = %d, want 1", out.MostThreatening)
+	}
+}
+
+func TestScoreMalformedJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct{ name, body string }{
+		{"truncated", `{"version":`},
+		{"missing version", `{"ego":{}}`},
+		{"future version", `{"version":"iprism.scene/v99","road":{"kind":"straight"}}`},
+		{"bad road", `{"version":"iprism.scene/v1","road":{"kind":"spiral"}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/score", []byte(tc.body))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400 (body %s)", resp.StatusCode, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("400 body not a JSON error: %s", body)
+			}
+		})
+	}
+}
+
+func TestScoreSaturationBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RequestTimeout: 5 * time.Second})
+	release := gate(t, s)
+	defer release()
+	// The single queue slot is free; one in-flight request takes it...
+	filled, err := s.submit(context.Background(), func(*sti.Evaluator) {})
+	if err != nil {
+		t.Fatalf("queue filler rejected: %v", err)
+	}
+	_ = filled
+	// ...so the next scene must bounce with 429 + Retry-After.
+	resp, body := postJSON(t, ts.URL+"/v1/score", sceneBody(t))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestScoreTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, RequestTimeout: 30 * time.Millisecond})
+	release := gate(t, s)
+	defer release()
+	// Queued behind the gate, the request exceeds its deadline: 504.
+	resp, body := postJSON(t, ts.URL+"/v1/score", sceneBody(t))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+}
+
+func TestBatchScoring(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := BatchRequest{Scenes: []scene.Scene{testScene(), testScene(), testScene()}}
+	raw, _ := json.Marshal(req)
+	resp, body := postJSON(t, ts.URL+"/v1/score/batch", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Error != "" {
+			t.Errorf("result %d errored: %s", i, r.Error)
+		}
+		if r.Combined != out.Results[0].Combined {
+			t.Errorf("identical scenes scored differently: %v vs %v", r.Combined, out.Results[0].Combined)
+		}
+	}
+	// Empty batches are client errors.
+	resp, _ = postJSON(t, ts.URL+"/v1/score/batch", []byte(`{"scenes":[]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sessions", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d, body %s", resp.StatusCode, body)
+	}
+	var created SessionCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		t.Fatalf("create body %s: %v", body, err)
+	}
+
+	// Stream three observations at increasing times; the middle one is the
+	// close-lead scene, so STI should be recorded and intervals non-trivial.
+	for i, tt := range []float64{0, 0.5, 1.0} {
+		sc := testScene()
+		sc.Time = tt
+		raw, _ := scene.Encode(sc)
+		resp, body = postJSON(t, ts.URL+"/v1/sessions/"+created.ID+"/observe", raw)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe %d status = %d, body %s", i, resp.StatusCode, body)
+		}
+		var obs SessionObserveResponse
+		if err := json.Unmarshal(body, &obs); err != nil {
+			t.Fatal(err)
+		}
+		if obs.Time != tt {
+			t.Errorf("observe %d time = %v, want %v", i, obs.Time, tt)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/v1/sessions/" + created.ID + "/risk?threshold=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var risk SessionRiskResponse
+	if err := json.NewDecoder(r.Body).Decode(&risk); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if risk.Samples != 3 {
+		t.Errorf("samples = %d, want 3", risk.Samples)
+	}
+	if risk.PeakSTI <= 0 {
+		t.Errorf("peak STI = %v, want > 0 for the close-lead scene", risk.PeakSTI)
+	}
+	if risk.Threshold != 0.05 {
+		t.Errorf("threshold = %v", risk.Threshold)
+	}
+	if len(risk.RiskyIntervals) == 0 {
+		t.Error("no risky intervals above 0.05")
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Errorf("delete status = %d, want 204", resp2.StatusCode)
+	}
+	// The session is gone: further observes are 404.
+	resp, _ = postJSON(t, ts.URL+"/v1/sessions/"+created.ID+"/observe", sceneBody(t))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("observe after delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/sessions", nil)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d status = %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/sessions", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-limit create status = %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownCompletesInFlight pins the acceptance criterion:
+// a request already accepted (queued behind a busy pool) when Shutdown
+// begins must still be answered 200, not dropped.
+func TestGracefulShutdownCompletesInFlight(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 4, RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	release := gate(t, s)
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+s.Addr()+"/v1/score", "application/json", bytes.NewReader(sceneBody(t)))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		got <- result{status: resp.StatusCode, body: buf.Bytes()}
+	}()
+
+	// Wait until the request's job is queued behind the gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.jobs) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to close the listener, then release the pool.
+	time.Sleep(20 * time.Millisecond)
+	release()
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request dropped: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d, body %s", r.status, r.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown error: %v", err)
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestConcurrentScoring hammers the service with parallel requests under
+// the race detector: every response must be 200 or a deliberate 429.
+func TestConcurrentScoring(t *testing.T) {
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, RequestTimeout: 10 * time.Second})
+	body := sceneBody(t)
+	const clients, perClient = 8, 5
+	var wg sync.WaitGroup
+	var ok, rejected, other int64
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+				case http.StatusTooManyRequests:
+					rejected++
+				default:
+					other++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Errorf("unexpected statuses: ok=%d rejected=%d other=%d", ok, rejected, other)
+	}
+	if ok == 0 {
+		t.Error("no request succeeded")
+	}
+	// The scrape endpoints must reflect the traffic just served.
+	for _, path := range []string{"/metrics", "/debug/telemetry"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		r.Body.Close()
+		want := "server.request.seconds"
+		if path == "/metrics" {
+			want = "iprism_server_request_seconds"
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s missing %s:\n%.400s", path, want, buf.String())
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", r.StatusCode)
+	}
+}

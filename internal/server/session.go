@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/monitor"
+	"repro/internal/sti"
+)
+
+// A session wraps one internal/monitor.Monitor — the paper's §V-A/V-B
+// online risk assessor — behind HTTP: the client streams observations of a
+// rolling episode and queries peak STI and risky intervals at any point.
+// Observations are scored on the shared evaluator pool like stateless
+// requests, so sessions obey the same backpressure and deadlines.
+type session struct {
+	ID  string
+	mon *monitor.Monitor
+}
+
+// sessionTable is the registry of open sessions.
+type sessionTable struct {
+	mu   sync.Mutex
+	next int
+	max  int
+	m    map[string]*session
+}
+
+func (t *sessionTable) init(max int) {
+	t.max = max
+	t.m = make(map[string]*session)
+}
+
+var errSessionLimit = errors.New("session limit reached")
+
+func (t *sessionTable) create(mon *monitor.Monitor) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.m) >= t.max {
+		return nil, errSessionLimit
+	}
+	t.next++
+	s := &session{ID: fmt.Sprintf("s%06d", t.next), mon: mon}
+	t.m[s.ID] = s
+	telSessionsGauge.Set(float64(len(t.m)))
+	return s, nil
+}
+
+func (t *sessionTable) get(id string) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	return s, ok
+}
+
+func (t *sessionTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[id]; !ok {
+		return false
+	}
+	delete(t.m, id)
+	telSessionsGauge.Set(float64(len(t.m)))
+	return true
+}
+
+// SessionCreateRequest opens a session. All fields are optional.
+type SessionCreateRequest struct {
+	// Stride is accepted for parity with the in-process monitor but the
+	// HTTP session records every observation the client sends (the client
+	// already chose what to send); it must be >= 0.
+	Stride int `json:"stride,omitempty"`
+}
+
+// SessionCreateResponse returns the new session's handle.
+type SessionCreateResponse struct {
+	ID string `json:"id"`
+}
+
+// SessionObserveResponse echoes the recorded sample.
+type SessionObserveResponse struct {
+	Version         string  `json:"version"`
+	Time            float64 `json:"time"`
+	STI             float64 `json:"sti"`
+	TTC             float64 `json:"ttc"`
+	DistCIPA        float64 `json:"dist_cipa"`
+	MostThreatening int     `json:"most_threatening"`
+}
+
+// SessionRiskResponse summarises the episode so far.
+type SessionRiskResponse struct {
+	Version        string       `json:"version"`
+	Samples        int          `json:"samples"`
+	PeakSTI        float64      `json:"peak_sti"`
+	Threshold      float64      `json:"threshold"`
+	RiskyIntervals [][2]float64 `json:"risky_intervals"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	defer telRequestSecs.Start().Stop()
+	telRequests.Inc()
+	var req SessionCreateRequest
+	// An empty body opens a default session; a malformed one is a 400.
+	if err := decodeJSONBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Stride < 0 {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stride must be >= 0"})
+		return
+	}
+	// Sessions share the pool's evaluators: observations are scored by
+	// whichever worker picks the job up, so the monitor only needs an
+	// evaluator for its reach configuration.
+	sess, err := s.sessions.create(monitor.NewWithEvaluator(s.pool[0], max(req.Stride, 1)))
+	if err != nil {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, SessionCreateResponse{ID: sess.ID})
+}
+
+func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+	defer telRequestSecs.Start().Stop()
+	telRequests.Inc()
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
+		return
+	}
+	sc, ok := s.readScene(w, r)
+	if !ok {
+		return
+	}
+	m, ego, actors, trajs, hasTrajs, err := sc.Materialize()
+	if err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	var sample monitor.Sample
+	j, err := s.submit(ctx, func(ev *sti.Evaluator) {
+		t := telScoreSecs.Start()
+		sample = sess.mon.Observe(m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs), sc.Time)
+		t.Stop()
+		telScenes.Inc()
+	})
+	if err != nil {
+		telRejectedFull.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full"})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		telTimeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionObserveResponse{
+		Version:         ScoreVersion,
+		Time:            sample.Time,
+		STI:             sample.STI,
+		TTC:             sample.TTC,
+		DistCIPA:        sample.DistCIPA,
+		MostThreatening: sample.MostThreatening,
+	})
+}
+
+func (s *Server) handleSessionRisk(w http.ResponseWriter, r *http.Request) {
+	defer telRequestSecs.Start().Stop()
+	telRequests.Inc()
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
+		return
+	}
+	threshold, err := queryThreshold(r)
+	if err != nil {
+		telRejectedBad.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	intervals := sess.mon.RiskyIntervals(threshold)
+	if intervals == nil {
+		intervals = [][2]float64{}
+	}
+	writeJSON(w, http.StatusOK, SessionRiskResponse{
+		Version:        ScoreVersion,
+		Samples:        sess.mon.Len(),
+		PeakSTI:        sess.mon.PeakSTI(),
+		Threshold:      threshold,
+		RiskyIntervals: intervals,
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	defer telRequestSecs.Start().Stop()
+	telRequests.Inc()
+	if !s.sessions.remove(r.PathValue("id")) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeJSONBody decodes an optional JSON body into v; an empty body
+// leaves v at its zero value.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		return fmt.Errorf("read body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	return nil
+}

@@ -35,6 +35,10 @@ var (
 	// observes (serial path included, so the histogram is always populated).
 	telParallelWorkers  = telemetry.NewGauge("sti.parallel.workers")
 	telActorTubeSeconds = telemetry.NewHistogram("sti.actor_tube.seconds", telemetry.LatencyBuckets())
+	// telElided counts per-actor counterfactual tubes skipped because the
+	// actor provably could not change the base tube (never an exclusive
+	// blocker, sole actor, or dead-band certificate).
+	telElided = telemetry.NewCounter("sti.counterfactuals.elided")
 )
 
 // Result holds STI values for one evaluation instant.
@@ -140,7 +144,14 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
 
 	emptyVol := e.emptyVolume(m, ego, scr)
-	base := reach.ComputeScratch(m, obs.Collide(), ego, e.cfg, scr)
+	// The base tube records which actors ever exclusively blocked a
+	// candidate footprint. An unmarked actor never changed a collision
+	// verdict on its own, so the deterministic expansion without it is
+	// identical: T^{/i} = T exactly, and its counterfactual tube can be
+	// skipped (the dominant cost on sparse scenes, where most actors never
+	// touch the tube).
+	marks := make([]bool, len(actors))
+	base := reach.ComputeScratch(m, obs.CollideRecording(marks), ego, e.cfg, scr)
 
 	res := Result{
 		PerActor:      make([]float64, len(actors)),
@@ -155,13 +166,48 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	}
 	res.Combined = snap(clamp01((emptyVol - base.Volume) / emptyVol))
 
-	// Fan the N independent |T^{/i}| counterfactuals out over a bounded
-	// worker pool. Each index is claimed atomically and written to its own
-	// slot of the pre-sized result slices, so the output is identical to
-	// the serial loop regardless of scheduling.
+	// Dead-band certificate: |T| ≤ |T^{/i}| ≤ |T^∅| (up to the dedup
+	// jitter the dead band exists to absorb), so every per-actor ratio is
+	// bounded by the combined ratio. A combined STI snapped to zero
+	// certifies every per-actor STI snaps to zero too — report |T| for the
+	// without-volumes (correct to within deadBand·|T^∅|) and skip all N
+	// counterfactual tubes.
+	if res.Combined == 0 {
+		telElided.Add(int64(len(actors)))
+		for i := range actors {
+			res.WithoutVolume[i] = base.Volume
+		}
+		return res
+	}
+
+	// work collects the actors whose counterfactual actually needs a tube.
+	work := make([]int, 0, len(actors))
+	for i := range actors {
+		switch {
+		case !marks[i]:
+			// Never an exclusive blocker: T^{/i} = T, STI exactly zero.
+			res.WithoutVolume[i] = base.Volume
+		case len(actors) == 1:
+			// Removing the only actor leaves the empty world: T^{/i} = T^∅,
+			// with the same cached |T^∅| the combined ratio uses.
+			res.WithoutVolume[i] = emptyVol
+			res.PerActor[i] = res.Combined
+		default:
+			work = append(work, i)
+		}
+	}
+	telElided.Add(int64(len(actors) - len(work)))
+	if len(work) == 0 {
+		return res
+	}
+
+	// Fan the remaining independent |T^{/i}| counterfactuals out over a
+	// bounded worker pool. Each index is claimed atomically and written to
+	// its own slot of the pre-sized result slices, so the output is
+	// identical to the serial loop regardless of scheduling.
 	workers := e.workers
-	if workers > len(actors) {
-		workers = len(actors)
+	if workers > len(work) {
+		workers = len(work)
 	}
 	telParallelWorkers.Set(float64(workers))
 	perActor := func(i int, ws *reach.Scratch) {
@@ -172,7 +218,7 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 		res.PerActor[i] = snap(clamp01((wo.Volume - base.Volume) / emptyVol))
 	}
 	if workers <= 1 {
-		for i := range actors {
+		for _, i := range work {
 			perActor(i, scr)
 		}
 		return res
@@ -186,11 +232,11 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 			ws := e.takeScratch()
 			defer e.putScratch(ws)
 			for {
-				i := int(nextIdx.Add(1)) - 1
-				if i >= len(actors) {
+				k := int(nextIdx.Add(1)) - 1
+				if k >= len(work) {
 					return
 				}
-				perActor(i, ws)
+				perActor(work[k], ws)
 			}
 		}()
 	}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal parser for the Prometheus text format:
+// sample name (with label set, if any) -> value, plus TYPE declarations.
+func parseExposition(t *testing.T, body string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		samples[line[:idx]] = v
+	}
+	return samples, types
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	Enable()
+	t.Cleanup(Disable)
+	reg := NewRegistry()
+	reg.Counter("prom.test.requests").Add(42)
+	reg.Gauge("prom.test.queue-depth").Set(3.5)
+	h := reg.Histogram("prom.test.seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	srv := httptest.NewServer(reg.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, sb.String())
+
+	if got := types["iprism_prom_test_requests_total"]; got != "counter" {
+		t.Errorf("counter TYPE = %q", got)
+	}
+	if got := samples["iprism_prom_test_requests_total"]; got != 42 {
+		t.Errorf("counter = %v, want 42", got)
+	}
+	// The '-' in the gauge name must be sanitised to '_'.
+	if got := types["iprism_prom_test_queue_depth"]; got != "gauge" {
+		t.Errorf("gauge TYPE = %q", got)
+	}
+	if got := samples["iprism_prom_test_queue_depth"]; got != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", got)
+	}
+
+	if got := types["iprism_prom_test_seconds"]; got != "histogram" {
+		t.Errorf("histogram TYPE = %q", got)
+	}
+	wantBuckets := map[string]float64{
+		`iprism_prom_test_seconds_bucket{le="0.1"}`:  1,
+		`iprism_prom_test_seconds_bucket{le="1"}`:    3,
+		`iprism_prom_test_seconds_bucket{le="10"}`:   4,
+		`iprism_prom_test_seconds_bucket{le="+Inf"}`: 5,
+	}
+	prev := -1.0
+	for name, want := range wantBuckets {
+		got, ok := samples[name]
+		if !ok {
+			t.Fatalf("missing bucket %s in:\n%s", name, sb.String())
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Cumulative buckets must be monotonic in le order.
+	for _, name := range []string{
+		`iprism_prom_test_seconds_bucket{le="0.1"}`,
+		`iprism_prom_test_seconds_bucket{le="1"}`,
+		`iprism_prom_test_seconds_bucket{le="10"}`,
+		`iprism_prom_test_seconds_bucket{le="+Inf"}`,
+	} {
+		if samples[name] < prev {
+			t.Errorf("bucket %s not monotonic (%v < %v)", name, samples[name], prev)
+		}
+		prev = samples[name]
+	}
+	if got := samples["iprism_prom_test_seconds_count"]; got != 5 {
+		t.Errorf("count = %v, want 5", got)
+	}
+	if got := samples["iprism_prom_test_seconds_sum"]; got != 0.05+0.5+0.5+5+50 {
+		t.Errorf("sum = %v", got)
+	}
+	// The +Inf bucket must equal the count, per the exposition contract.
+	if samples[`iprism_prom_test_seconds_bucket{le="+Inf"}`] != samples["iprism_prom_test_seconds_count"] {
+		t.Error("+Inf bucket != count")
+	}
+}
+
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("prom.empty.seconds", []float64{1, 2})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := parseExposition(t, sb.String())
+	if got := samples["iprism_prom_empty_seconds_count"]; got != 0 {
+		t.Errorf("count = %v, want 0", got)
+	}
+	if got := samples["iprism_prom_empty_seconds_sum"]; got != 0 {
+		t.Errorf("sum = %v, want 0 (never NaN/Inf for empty histograms)", got)
+	}
+}

@@ -18,11 +18,23 @@ type Server struct {
 	ln  net.Listener
 }
 
+// SnapshotHandler serves the registry snapshot as pretty-printed JSON;
+// mounted at /debug/telemetry by Serve and by the scoring service.
+func (r *Registry) SnapshotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
 // Serve publishes the default registry through expvar and starts an HTTP
 // server on addr exposing:
 //
 //	/debug/vars       expvar JSON (includes the "iprism" metric snapshot)
 //	/debug/telemetry  the bare registry snapshot, pretty-printed
+//	/metrics          Prometheus text-format exposition
 //	/debug/pprof/*    the standard net/http/pprof profiles
 //
 // The server runs until Close. Serving is opt-in and independent of
@@ -35,12 +47,8 @@ func Serve(addr string) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(std.Snapshot())
-	})
+	mux.Handle("/debug/telemetry", std.SnapshotHandler())
+	mux.Handle("/metrics", std.MetricsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

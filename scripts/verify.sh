@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate (referenced from ROADMAP.md): static checks,
-# a full build, the test suite under the race detector, and the perf
-# regression gate over the committed BENCH_*.json snapshots (passes when
-# fewer than two snapshots exist).
+# a full build, the test suite under the race detector, a serving-stack
+# smoke (real iprism-serve process driven by iprism-loadgen, then a
+# graceful SIGTERM drain), and the perf regression gate over the committed
+# BENCH_*.json snapshots (passes when a kind has fewer than two snapshots).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,4 +12,24 @@ go build ./...
 # The race detector is ~10x; internal/experiments alone runs ~20 min on a
 # 1-CPU container, past go test's default 10 min per-package timeout.
 go test -race -timeout 45m ./...
+
+# Serving smoke: ephemeral-port server, a short load burst, then SIGTERM.
+# The server must answer every accepted request and exit 0 from the drain.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+go build -o "$smoke_dir" ./cmd/iprism-serve ./cmd/iprism-loadgen
+"$smoke_dir/iprism-serve" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$smoke_dir/addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { echo "verify: iprism-serve died before listening" >&2; exit 1; }
+  sleep 0.1
+done
+[ -s "$smoke_dir/addr" ] || { echo "verify: iprism-serve never wrote addr-file" >&2; exit 1; }
+"$smoke_dir/iprism-loadgen" -target "http://$(cat "$smoke_dir/addr")" \
+  -requests 200 -concurrency 4 -batch 8 -scenes 20 -min-rate 100
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+echo "verify: serving smoke passed (graceful drain exit 0)"
+
 go run ./cmd/iprism-benchdiff -dir .
