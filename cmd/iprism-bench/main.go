@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/actor"
@@ -46,10 +47,11 @@ type report struct {
 	NumCPU    int    `json:"num_cpu"`
 
 	Config struct {
-		STIIters   int   `json:"sti_iters"`
-		STIWorkers int   `json:"sti_workers"`
-		Episodes   int   `json:"episodes"`
-		Seed       int64 `json:"seed"`
+		STIIters        int   `json:"sti_iters"`
+		STIWorkers      int   `json:"sti_workers"`
+		SharedExpansion bool  `json:"shared_expansion"`
+		Episodes        int   `json:"episodes"`
+		Seed            int64 `json:"seed"`
 	} `json:"config"`
 
 	// Workloads holds wall-clock totals per workload; the per-operation
@@ -67,12 +69,15 @@ type workload struct {
 
 func run() error {
 	var (
-		stiIters = flag.Int("sti-iters", 300, "STI evaluations per variant")
-		episodes = flag.Int("episodes", 20, "ghost cut-in episodes to simulate")
-		seed     = flag.Int64("seed", 2024, "scenario generation seed")
-		workers  = flag.Int("sti-workers", 0, "STI counterfactual fan-out width (0 = GOMAXPROCS, 1 = serial)")
-		outDir   = flag.String("o", ".", "directory for the BENCH_<date>.json snapshot")
-		telAddr  = flag.String("telemetry", "", "additionally serve expvar and pprof on this address while benchmarking")
+		stiIters   = flag.Int("sti-iters", 300, "STI evaluations per variant")
+		episodes   = flag.Int("episodes", 20, "ghost cut-in episodes to simulate")
+		seed       = flag.Int64("seed", 2024, "scenario generation seed")
+		workers    = flag.Int("sti-workers", 0, "STI counterfactual fan-out width (0 = GOMAXPROCS, 1 = serial)")
+		shared     = flag.Bool("shared", true, "evaluate STI with the shared-expansion counterfactual engine (false = legacy per-actor tubes)")
+		outDir     = flag.String("o", ".", "directory for the BENCH_<date>.json snapshot")
+		telAddr    = flag.String("telemetry", "", "additionally serve expvar and pprof on this address while benchmarking")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -84,6 +89,18 @@ func run() error {
 	telemetry.Enable()
 	telemetry.Default().Reset()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var rep report
 	rep.Kind = "bench"
 	rep.Date = time.Now().Format(time.RFC3339)
@@ -94,13 +111,25 @@ func run() error {
 	rep.Config.Seed = *seed
 	rep.Workloads = make(map[string]workload)
 
+	// Per-workload latency distributions: the process-wide
+	// "sti.evaluate.seconds" histogram mixes every Evaluate call in the run,
+	// so each workload also records its own distribution under
+	// "bench.<workload>.seconds". cmd/iprism-benchdiff gates the dense
+	// twelve-actor one — the workload the shared-expansion engine targets.
+	var (
+		histFull3   = telemetry.NewHistogram("bench.sti_evaluate_full.seconds", telemetry.LatencyBuckets())
+		histFull6   = telemetry.NewHistogram("bench.sti_evaluate_full_6actor.seconds", telemetry.LatencyBuckets())
+		histDense12 = telemetry.NewHistogram("bench.sti_evaluate_dense12.seconds", telemetry.LatencyBuckets())
+	)
+
 	// Workload 1: STI evaluation on the canonical three-actor straight-road
 	// scene (mirrors BenchmarkSTIEvaluation / BenchmarkEvaluateCombined).
-	eval, err := sti.NewEvaluatorOptions(reach.DefaultConfig(), sti.Options{Workers: *workers})
+	eval, err := sti.NewEvaluatorOptions(reach.DefaultConfig(), sti.Options{Workers: *workers, SharedExpansion: *shared})
 	if err != nil {
 		return err
 	}
 	rep.Config.STIWorkers = eval.Workers()
+	rep.Config.SharedExpansion = eval.SharedExpansion()
 	road := roadmap.MustStraightRoad(2, 3.5, -100, 1000)
 	actors := []*actor.Actor{
 		actor.NewVehicle(1, vehicle.State{Pos: geom.V(14, 1.75), Speed: 3}),
@@ -111,7 +140,9 @@ func run() error {
 
 	start := time.Now()
 	for i := 0; i < *stiIters; i++ {
+		t := histFull3.Start()
 		eval.EvaluateWithPrediction(road, ego, actors)
+		t.Stop()
 	}
 	rep.Workloads["sti_evaluate_full"] = timed(*stiIters, time.Since(start))
 
@@ -133,9 +164,45 @@ func run() error {
 	}
 	start = time.Now()
 	for i := 0; i < *stiIters; i++ {
+		t := histFull6.Start()
 		eval.EvaluateWithPrediction(road, ego, dense)
+		t.Stop()
 	}
 	rep.Workloads["sti_evaluate_full_6actor"] = timed(*stiIters, time.Since(start))
+
+	// Workload 1c: the dense twelve-actor scene (mirrors
+	// BenchmarkEvaluateDense12*): a fast ego rolling up on two ranks of slow
+	// traffic across three lanes with fast vehicles closing from behind, so
+	// ~6 actors genuinely carve the reach-tube. This is the workload class
+	// where the legacy path pays a near-full-size counterfactual tube per
+	// blocker and the shared expansion covers the union once.
+	denseRoad := roadmap.MustStraightRoad(3, 3.5, -100, 1000)
+	denseEgo := vehicle.State{Pos: geom.V(0, 5.25), Speed: 12}
+	dense12 := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(30, 1.75), Speed: 6}),
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(36, 5.25), Speed: 6}),
+		actor.NewVehicle(3, vehicle.State{Pos: geom.V(33, 8.75), Speed: 6}),
+		actor.NewVehicle(4, vehicle.State{Pos: geom.V(40, 1.75), Speed: 6}),
+		actor.NewVehicle(5, vehicle.State{Pos: geom.V(46, 5.25), Speed: 6}),
+		actor.NewVehicle(6, vehicle.State{Pos: geom.V(43, 8.75), Speed: 6}),
+		actor.NewVehicle(7, vehicle.State{Pos: geom.V(-14, 5.25), Speed: 15}),
+		actor.NewVehicle(8, vehicle.State{Pos: geom.V(-18, 1.75), Speed: 16}),
+		actor.NewVehicle(9, vehicle.State{Pos: geom.V(-16, 8.75), Speed: 17}),
+		actor.NewVehicle(10, vehicle.State{Pos: geom.V(55, 5.25), Speed: 5}),
+		actor.NewVehicle(11, vehicle.State{Pos: geom.V(52, 1.75), Speed: 5}),
+		actor.NewVehicle(12, vehicle.State{Pos: geom.V(53, 8.75), Speed: 5}),
+	}
+	dense12Iters := *stiIters / 3
+	if dense12Iters < 1 {
+		dense12Iters = 1
+	}
+	start = time.Now()
+	for i := 0; i < dense12Iters; i++ {
+		t := histDense12.Start()
+		eval.EvaluateWithPrediction(denseRoad, denseEgo, dense12)
+		t.Stop()
+	}
+	rep.Workloads["sti_evaluate_dense12"] = timed(dense12Iters, time.Since(start))
 
 	// Workload 2: full LBC episodes over a ghost cut-in suite, populating
 	// the sim-step latency distribution and the reach/collision counters.
@@ -166,12 +233,28 @@ func run() error {
 		return err
 	}
 
-	for _, name := range []string{"sti.evaluate.seconds", "sti.evaluate_combined.seconds", "sim.step.seconds"} {
+	for _, name := range []string{
+		"sti.evaluate.seconds", "sti.evaluate_combined.seconds", "sim.step.seconds",
+		"bench.sti_evaluate_full.seconds", "bench.sti_evaluate_full_6actor.seconds",
+		"bench.sti_evaluate_dense12.seconds",
+	} {
 		h := rep.Telemetry.Histograms[name]
-		fmt.Printf("%-30s n=%-6d p50 %s  p95 %s  p99 %s\n",
+		fmt.Printf("%-40s n=%-6d p50 %s  p95 %s  p99 %s\n",
 			name, h.Count, fmtSec(h.P50), fmtSec(h.P95), fmtSec(h.P99))
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/telemetry"
@@ -31,7 +32,7 @@ import (
 // simulator step for core bench runs, the client-observed request latency
 // for serving runs.
 var gatedHistograms = map[string][]string{
-	"bench": {"sti.evaluate.seconds", "sim.step.seconds"},
+	"bench": {"sti.evaluate.seconds", "sim.step.seconds", "bench.sti_evaluate_dense12.seconds"},
 	"serve": {"loadgen.request.seconds"},
 }
 
@@ -106,44 +107,83 @@ func run() error {
 	return nil
 }
 
-// diff prints the gated-histogram and informational workload comparison for
-// one snapshot pair and reports whether any gated p95 regressed.
+// diff prints the full per-metric old→new comparison for one snapshot pair
+// — every latency histogram the two snapshots share, gated or not, plus the
+// informational workload per-op times — and reports whether any gated p95
+// regressed. The table always prints, pass or fail, so every snapshot pair
+// in the history documents its delta.
 func diff(oldSnap, newSnap snapshot, gated []string, tolerance float64) bool {
-	failed := false
+	isGated := make(map[string]bool, len(gated))
 	for _, name := range gated {
+		isGated[name] = true
+	}
+
+	// All latency histograms in the new snapshot, gated ones first (in
+	// their gate order), then the rest alphabetically. Non-latency
+	// histograms (volumes, actor counts) are skipped: their values are not
+	// durations and their buckets don't move with performance.
+	rest := make([]string, 0, len(newSnap.Telemetry.Histograms))
+	for name := range newSnap.Telemetry.Histograms {
+		if !isGated[name] && strings.HasSuffix(name, ".seconds") {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	names := append(append([]string{}, gated...), rest...)
+
+	failed := false
+	for _, name := range names {
 		o, oOK := oldSnap.Telemetry.Histograms[name]
 		n, nOK := newSnap.Telemetry.Histograms[name]
-		if !oOK || !nOK || o.Count == 0 || n.Count == 0 {
-			fmt.Printf("  %-28s missing or empty in a snapshot, skipping\n", name)
+		label := "    "
+		if isGated[name] {
+			label = "gate"
+		}
+		switch {
+		case !nOK || n.Count == 0:
+			if isGated[name] {
+				fmt.Printf("  %s %-36s missing or empty in the new snapshot, skipping\n", label, name)
+			}
+			continue
+		case !oOK || o.Count == 0:
+			// A metric the old snapshot predates cannot regress yet: report
+			// its first measurement; gated ones start gating at the next pair.
+			if isGated[name] {
+				fmt.Printf("  %s %-36s p50 %s  p95 %s (new metric — gating starts next snapshot)\n",
+					label, name, fmtSec(n.P50), fmtSec(n.P95))
+			}
 			continue
 		}
-		ratio := n.P95 / o.P95
 		status := "ok"
 		if n.P95 > o.P95*(1+tolerance) {
-			status = "REGRESSED"
-			failed = true
+			if isGated[name] {
+				status = "REGRESSED"
+				failed = true
+			} else {
+				status = "regressed (not gated)"
+			}
 		}
-		fmt.Printf("  %-28s p50 %s -> %s   p95 %s -> %s (%+.1f%%) %s\n",
-			name, fmtSec(o.P50), fmtSec(n.P50), fmtSec(o.P95), fmtSec(n.P95),
-			(ratio-1)*100, status)
+		fmt.Printf("  %s %-36s p50 %s -> %s   p95 %s -> %s (%+.1f%%) %s\n",
+			label, name, fmtSec(o.P50), fmtSec(n.P50), fmtSec(o.P95), fmtSec(n.P95),
+			(n.P95/o.P95-1)*100, status)
 	}
 
 	// Workload per-op times are informational: totals over a whole workload
 	// are steadier than tail percentiles, but scenario mixes may change
 	// between snapshots, so they do not gate.
-	names := make([]string, 0, len(newSnap.Workloads))
+	wnames := make([]string, 0, len(newSnap.Workloads))
 	for name := range newSnap.Workloads {
 		if _, ok := oldSnap.Workloads[name]; ok {
-			names = append(names, name)
+			wnames = append(wnames, name)
 		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
+	sort.Strings(wnames)
+	for _, name := range wnames {
 		o, n := oldSnap.Workloads[name], newSnap.Workloads[name]
 		if o.PerOp <= 0 || n.PerOp <= 0 {
 			continue
 		}
-		fmt.Printf("  %-28s per-op %s -> %s (%+.1f%%)\n",
+		fmt.Printf("       %-36s per-op %s -> %s (%+.1f%%)\n",
 			name, fmtSec(o.PerOp), fmtSec(n.PerOp), (n.PerOp/o.PerOp-1)*100)
 	}
 	return failed

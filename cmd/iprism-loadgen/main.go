@@ -66,6 +66,9 @@ type report struct {
 		Batch       int    `json:"batch"`
 		RPS         int    `json:"rps"`
 		SelfServe   bool   `json:"self_serve"`
+		// SharedExpansion records the self-serve server's engine choice;
+		// false for -target runs, whose server config is not observable.
+		SharedExpansion bool `json:"shared_expansion"`
 	} `json:"config"`
 
 	Results struct {
@@ -94,6 +97,7 @@ func run() error {
 		seed        = flag.Int64("seed", 2024, "fixture generation seed")
 		minRate     = flag.Float64("min-rate", 0, "fail if scored scenes/sec falls below this (0 = off)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		shared      = flag.Bool("shared-expansion", true, "self-serve server scores with the shared-expansion engine (false = legacy per-actor tubes)")
 		outDir      = flag.String("o", "", "directory for a BENCH_serve_<date>.json snapshot (empty = skip)")
 	)
 	flag.Parse()
@@ -118,7 +122,7 @@ func run() error {
 
 	base := *target
 	if *selfServe {
-		srv, err := server.New(server.Config{RequestTimeout: *timeout})
+		srv, err := server.New(server.Config{RequestTimeout: *timeout, SharedExpansion: *shared})
 		if err != nil {
 			return err
 		}
@@ -222,6 +226,7 @@ func run() error {
 		rep.Config.Batch = perReq
 		rep.Config.RPS = *rps
 		rep.Config.SelfServe = *selfServe
+		rep.Config.SharedExpansion = *selfServe && *shared
 		rep.Results.OK = ok
 		rep.Results.Rejected = rejected
 		rep.Results.Errors = errs

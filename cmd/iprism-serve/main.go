@@ -37,6 +37,7 @@ func main() {
 		sessions = flag.Int("max-sessions", 0, "max concurrently open sessions (0 = 1024)")
 		journal  = flag.String("journal", "", "append JSONL telemetry events to this file")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before connections are force-closed")
+		shared   = flag.Bool("shared-expansion", true, "score with the shared-expansion counterfactual engine (false = legacy per-actor tubes)")
 	)
 	flag.Parse()
 
@@ -53,11 +54,12 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		BatchMax:       *batchMax,
-		MaxSessions:    *sessions,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RequestTimeout:  *timeout,
+		BatchMax:        *batchMax,
+		MaxSessions:     *sessions,
+		SharedExpansion: *shared,
 	})
 	if err != nil {
 		log.Fatalf("iprism-serve: %v", err)

@@ -1,0 +1,126 @@
+package geom
+
+// MaskGrid is an OccupancyGrid whose cells carry a 64-bit mask instead of a
+// single occupied bit. The shared-expansion counterfactual engine (package
+// reach) uses one MaskGrid to measure up to 64 reach-tube volumes in a
+// single pass: bit w of a cell's mask records that the cell was traversed
+// by a state surviving in counterfactual world w, so the per-world cell
+// count — and with it the paper's |T|, |T^{/i}| — falls out of one grid.
+//
+// Cell addressing is identical to OccupancyGrid (exact packed cell indices,
+// open addressing, generation-stamped O(1) Reset), so a MaskGrid restricted
+// to one bit marks exactly the cells an OccupancyGrid would.
+//
+// The zero value is not usable; construct with NewMaskGrid.
+type MaskGrid struct {
+	cellSize float64
+	cells    []uint64 // packed (ix, iy) cell indices
+	masks    []uint64 // accumulated per-cell world masks
+	gen      []uint32
+	cur      uint32
+	count    int
+}
+
+// NewMaskGrid creates a masked grid with the given cell edge length in
+// metres. cellSize must be positive.
+func NewMaskGrid(cellSize float64) *MaskGrid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &MaskGrid{cellSize: cellSize, cur: 1}
+}
+
+// CellSize returns the grid resolution in metres.
+func (g *MaskGrid) CellSize() float64 { return g.cellSize }
+
+// MarkBits ORs bits into the mask of the cell containing p and returns the
+// bits that were not yet set there — the worlds for which this cell is
+// newly occupied. Callers tally per-world cell counts from the return
+// value, so a cell is counted exactly once per world.
+func (g *MaskGrid) MarkBits(p Vec2, mask uint64) uint64 {
+	if 2*(g.count+1) > len(g.cells) {
+		g.grow()
+	}
+	k := g.key(p)
+	slot := uint64(len(g.cells) - 1)
+	for i := hashCell(k) & slot; ; i = (i + 1) & slot {
+		if g.gen[i] != g.cur {
+			g.cells[i] = k
+			g.masks[i] = mask
+			g.gen[i] = g.cur
+			g.count++
+			return mask
+		}
+		if g.cells[i] == k {
+			newBits := mask &^ g.masks[i]
+			g.masks[i] |= mask
+			return newBits
+		}
+	}
+}
+
+// BitsAt returns the accumulated mask of the cell containing p (zero if the
+// cell was never marked).
+func (g *MaskGrid) BitsAt(p Vec2) uint64 {
+	if len(g.cells) == 0 {
+		return 0
+	}
+	k := g.key(p)
+	slot := uint64(len(g.cells) - 1)
+	for i := hashCell(k) & slot; ; i = (i + 1) & slot {
+		if g.gen[i] != g.cur {
+			return 0
+		}
+		if g.cells[i] == k {
+			return g.masks[i]
+		}
+	}
+}
+
+// Cells returns the number of cells with at least one bit set.
+func (g *MaskGrid) Cells() int { return g.count }
+
+// Reset clears every cell while retaining allocated capacity.
+func (g *MaskGrid) Reset() {
+	g.cur++
+	g.count = 0
+	if g.cur == 0 { // stamp wrapped: old entries would look live again
+		clear(g.gen)
+		g.cur = 1
+	}
+}
+
+func (g *MaskGrid) grow() {
+	capOld := len(g.cells)
+	capNew := 1024
+	if capOld > 0 {
+		capNew = capOld * 2
+	}
+	oldCells, oldMasks, oldGen := g.cells, g.masks, g.gen
+	g.cells = make([]uint64, capNew)
+	g.masks = make([]uint64, capNew)
+	g.gen = make([]uint32, capNew)
+	slot := uint64(capNew - 1)
+	for i, gen := range oldGen {
+		if gen != g.cur {
+			continue
+		}
+		k := oldCells[i]
+		for j := hashCell(k) & slot; ; j = (j + 1) & slot {
+			if g.gen[j] != g.cur {
+				g.cells[j] = k
+				g.masks[j] = oldMasks[i]
+				g.gen[j] = g.cur
+				break
+			}
+		}
+	}
+}
+
+// key packs the cell indices of p into one 64-bit value, exactly as
+// OccupancyGrid does, so both grids agree on cell membership.
+func (g *MaskGrid) key(p Vec2) uint64 {
+	ix := uint32(int32(floorDiv(p.X, g.cellSize)))
+	iy := uint32(int32(floorDiv(p.Y, g.cellSize)))
+	return uint64(ix) | uint64(iy)<<32
+}

@@ -1,0 +1,81 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaskGridMarkBitsReturnsNewBits(t *testing.T) {
+	g := NewMaskGrid(1)
+	p := V(0.5, 0.5)
+	if got := g.MarkBits(p, 0b0101); got != 0b0101 {
+		t.Fatalf("first mark returned %b, want 0101", got)
+	}
+	if got := g.MarkBits(p, 0b0011); got != 0b0010 {
+		t.Fatalf("overlapping mark returned %b, want 0010", got)
+	}
+	if got := g.MarkBits(p, 0b0111); got != 0 {
+		t.Fatalf("fully covered mark returned %b, want 0", got)
+	}
+	if got := g.BitsAt(p); got != 0b0111 {
+		t.Fatalf("accumulated mask %b, want 0111", got)
+	}
+	if g.Cells() != 1 {
+		t.Fatalf("cells %d, want 1", g.Cells())
+	}
+}
+
+func TestMaskGridCellAddressingMatchesOccupancyGrid(t *testing.T) {
+	// A MaskGrid restricted to one bit must mark exactly the cells an
+	// OccupancyGrid marks: same floor division, same packed key, so the
+	// shared-expansion volumes equal the legacy Area counts cell-for-cell.
+	rng := rand.New(rand.NewSource(8))
+	mg := NewMaskGrid(0.75)
+	og := NewOccupancyGrid(0.75)
+	for i := 0; i < 5000; i++ {
+		p := V((rng.Float64()-0.5)*200, (rng.Float64()-0.5)*200)
+		newBit := mg.MarkBits(p, 1) != 0
+		fresh := og.Mark(p)
+		if newBit != fresh {
+			t.Fatalf("point %v: MaskGrid new=%v OccupancyGrid new=%v", p, newBit, fresh)
+		}
+	}
+	if mg.Cells() != og.Count() {
+		t.Fatalf("cell counts diverge: %d vs %d", mg.Cells(), og.Count())
+	}
+}
+
+func TestMaskGridResetReuse(t *testing.T) {
+	g := NewMaskGrid(1)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			g.MarkBits(V(float64(i), float64(round)), uint64(1)<<uint(i%64))
+		}
+		if g.Cells() != 100 {
+			t.Fatalf("round %d: cells %d, want 100", round, g.Cells())
+		}
+		g.Reset()
+		if g.Cells() != 0 {
+			t.Fatalf("round %d: cells after reset %d", round, g.Cells())
+		}
+		if g.BitsAt(V(0, float64(round))) != 0 {
+			t.Fatalf("round %d: stale bits survive reset", round)
+		}
+	}
+}
+
+func TestMaskGridGrowthPreservesMasks(t *testing.T) {
+	g := NewMaskGrid(1)
+	const n = 3000 // well past the initial table size, forcing rehashes
+	for i := 0; i < n; i++ {
+		g.MarkBits(V(float64(i), 0), uint64(i)|1)
+	}
+	if g.Cells() != n {
+		t.Fatalf("cells %d, want %d", g.Cells(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := g.BitsAt(V(float64(i), 0)), uint64(i)|1; got != want {
+			t.Fatalf("cell %d: mask %b, want %b after growth", i, got, want)
+		}
+	}
+}

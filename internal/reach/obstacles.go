@@ -101,6 +101,108 @@ func (o *Obstacles) CollideRecording(marks []bool) CollisionFunc {
 	}
 }
 
+// maskHits scans the actors whose slice-s footprint collides with b and
+// strikes each blocker's victims from the possible-world mask: a hit by
+// represented actor i (i < rep) removes every world actor i is present in,
+// leaving at most world /i (bit 1+i); a hit by a spillover actor removes
+// every represented world, and is recorded in spill so the caller can elide
+// or compute that actor's legacy counterfactual tube. The scan stops once
+// no world survives — safe for spill bookkeeping because a path that
+// already has one blocker cannot make any later actor a sole blocker, and
+// only sole blockers can change a collision verdict on their own.
+func (o *Obstacles) maskHits(b *geom.PreparedBox, slice, rep int, possible uint64, spill []bool) uint64 {
+	if slice > o.numSlices {
+		slice = o.numSlices
+	}
+	for i := range o.boxes {
+		if b.Intersects(&o.boxes[i][slice]) {
+			if i < rep {
+				possible &= uint64(1) << uint(1+i)
+			} else {
+				spill[i-rep] = true
+				possible = 0
+			}
+			if possible == 0 {
+				return 0
+			}
+		}
+	}
+	return possible
+}
+
+// activeInto appends to act the actors whose footprint during slice s or
+// s+1 could intersect an ego footprint inside the window [min, max], judged
+// by AABB overlap. The shared expansion derives the window from the
+// frontier's swept envelope each slice, so the per-candidate collision scan
+// (maskHitsActive) only visits actors near the tube instead of all of them.
+// The filter is conservative: a rejected actor's AABB is disjoint from every
+// footprint the slice can produce, so it cannot change any verdict.
+func (o *Obstacles) activeInto(act []int32, min, max geom.Vec2, slice int) []int32 {
+	s0 := slice
+	if s0 > o.numSlices {
+		s0 = o.numSlices
+	}
+	s1 := slice + 1
+	if s1 > o.numSlices {
+		s1 = o.numSlices
+	}
+	for i := range o.boxes {
+		a := &o.boxes[i][s0]
+		if a.Min.X <= max.X && min.X <= a.Max.X && a.Min.Y <= max.Y && min.Y <= a.Max.Y {
+			act = append(act, int32(i))
+			continue
+		}
+		a = &o.boxes[i][s1]
+		if a.Min.X <= max.X && min.X <= a.Max.X && a.Min.Y <= max.Y && min.Y <= a.Max.Y {
+			act = append(act, int32(i))
+		}
+	}
+	return act
+}
+
+// maskHitsPath is the per-footprint collision scan of the shared
+// expansion's path sweep: one pass over the broad-phase survivors in act,
+// testing each actor's slice-s and slice-(s+1) footprints (the same pair
+// pathOK tests) with an inlined AABB rejection before the SAT call. Whether
+// an actor hits at s, at s+1, or both, the world-mask effect is the same
+// single intersection (&= its own world bit), so folding the two scans into
+// one preserves every per-world verdict; the early return once no world
+// survives is sound for spill bookkeeping because a footprint that already
+// has one blocker cannot make any later actor a sole blocker.
+func (o *Obstacles) maskHitsPath(b *geom.PreparedBox, slice, rep int, possible uint64, spill []bool, act []int32) uint64 {
+	s0 := slice
+	if s0 > o.numSlices {
+		s0 = o.numSlices
+	}
+	s1 := slice + 1
+	if s1 > o.numSlices {
+		s1 = o.numSlices
+	}
+	for _, i := range act {
+		bs := o.boxes[i]
+		a := &bs[s0]
+		hit := b.Min.X <= a.Max.X && a.Min.X <= b.Max.X &&
+			b.Min.Y <= a.Max.Y && a.Min.Y <= b.Max.Y && b.Intersects(a)
+		if !hit {
+			a = &bs[s1]
+			hit = b.Min.X <= a.Max.X && a.Min.X <= b.Max.X &&
+				b.Min.Y <= a.Max.Y && a.Min.Y <= b.Max.Y && b.Intersects(a)
+		}
+		if hit {
+			if int(i) < rep {
+				possible &= uint64(1) << uint(1+i)
+			} else {
+				spill[int(i)-rep] = true
+				possible = 0
+			}
+			if possible == 0 {
+				return 0
+			}
+		}
+	}
+	return possible
+}
+
 // BoxAt returns actor i's footprint at slice s (clamped to the horizon).
 func (o *Obstacles) BoxAt(i, s int) geom.Box {
 	if s > o.numSlices {

@@ -291,6 +291,16 @@ type Scratch struct {
 	next     []vehicle.State
 	visited  *keySet
 	grid     *geom.OccupancyGrid
+
+	// Shared-expansion working memory (ComputeCounterfactuals); allocated
+	// lazily on first shared use so legacy-only scratches stay slim.
+	mfrontier []maskedState
+	mnext     []maskedState
+	claimed   *maskedKeySet
+	mgrid     *geom.MaskGrid
+	wvol      []int   // per-world marked-cell counts
+	wslice    []int   // per-world accepted states in the current slice
+	mactive   []int32 // actors surviving the per-slice broad phase
 }
 
 // NewScratch returns an empty scratch ready for ComputeScratch.
@@ -314,6 +324,28 @@ func (s *Scratch) reset(cellSize float64) {
 	} else {
 		s.grid.Reset()
 	}
+}
+
+// resetShared readies the shared-expansion working memory for a
+// ComputeCounterfactuals call with numWorlds counterfactual worlds.
+func (s *Scratch) resetShared(cellSize float64, numWorlds int) {
+	if s.claimed == nil {
+		s.claimed = newMaskedKeySet()
+	}
+	s.claimed.reset()
+	if s.mgrid == nil || s.mgrid.CellSize() != cellSize {
+		s.mgrid = geom.NewMaskGrid(cellSize)
+	} else {
+		s.mgrid.Reset()
+	}
+	if cap(s.wvol) < numWorlds {
+		s.wvol = make([]int, numWorlds)
+		s.wslice = make([]int, numWorlds)
+	}
+	s.wvol = s.wvol[:numWorlds]
+	s.wslice = s.wslice[:numWorlds]
+	clear(s.wvol)
+	clear(s.wslice)
 }
 
 // Compute runs Algorithm 1: it returns the reach-tube of the ego vehicle on

@@ -1,0 +1,338 @@
+package reach
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/telemetry"
+	"repro/internal/vehicle"
+)
+
+// Telemetry for the shared-expansion engine (flushed once per call, like
+// ComputeScratch's counters).
+var (
+	telSharedComputes = telemetry.NewCounter("reach.shared.computes")
+	telSharedStates   = telemetry.NewCounter("reach.shared.states_expanded")
+	telSharedWorlds   = telemetry.NewHistogram("reach.shared.worlds", telemetry.LinearBuckets(0, 4, 17))
+)
+
+// MaxSharedActors is the number of actors one shared expansion can carry a
+// dedicated counterfactual world for: 63 actor worlds plus the base world
+// fill the 64-bit state mask. Actors beyond it ("spillover") are handled by
+// the caller with legacy per-actor tubes, guided by SpillBlocked.
+const MaxSharedActors = 63
+
+// SharedTubes is the result of ComputeCounterfactuals: every reach-tube
+// volume the STI per-actor evaluation needs (Eq. 4), derived from a single
+// expansion instead of one expansion per counterfactual world.
+type SharedTubes struct {
+	// BaseVolume is |T|, the tube volume with every actor present —
+	// bit-for-bit the volume ComputeScratch returns with Obstacles.Collide.
+	BaseVolume float64
+	// WithoutVolume[i] is |T^{/i}| for each represented actor i —
+	// bit-for-bit the volume ComputeScratch returns with CollideWithout(i).
+	WithoutVolume []float64
+	// Represented is the number of leading actors carried as explicit
+	// counterfactual worlds: min(NumActors, MaxSharedActors).
+	Represented int
+	// SpillBlocked[j] reports whether spillover actor Represented+j ever
+	// collided with a footprint examined during the expansion. A false
+	// entry certifies T^{/(Represented+j)} = T exactly (the actor never
+	// changed a collision verdict anywhere the base expansion looked), so
+	// the caller can skip its legacy tube; a true entry requires one.
+	SpillBlocked []bool
+	// States is the number of masked states expanded (diagnostics).
+	States int
+}
+
+// maskedState is one state of the shared frontier: the kinematic state plus
+// the set of counterfactual worlds in which it is a live, dedup-winning
+// member of the tube (bit 0 = base world, bit 1+i = world without actor i).
+type maskedState struct {
+	st vehicle.State
+	w  uint64
+}
+
+// maskedKeySet maps dedup keys to the mask of worlds that have claimed the
+// key in the current slice. It is the per-world visited set of Algorithm 1,
+// collapsed: world w treats key k as visited iff bit w of bitsAt(k) is set.
+// Same open-addressing discipline as keySet (exact key equality, generation
+// stamped O(1) reset).
+type maskedKeySet struct {
+	keys  []stateKey
+	masks []uint64
+	gen   []uint32
+	cur   uint32
+	n     int
+}
+
+func newMaskedKeySet() *maskedKeySet { return &maskedKeySet{cur: 1} }
+
+func (ks *maskedKeySet) reset() {
+	ks.cur++
+	ks.n = 0
+	if ks.cur == 0 { // stamp wrapped: old entries would look live again
+		clear(ks.gen)
+		ks.cur = 1
+	}
+}
+
+// bitsAt returns the claimed-world mask for k (zero when unclaimed).
+func (ks *maskedKeySet) bitsAt(k stateKey) uint64 {
+	if len(ks.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			return 0
+		}
+		if ks.keys[i] == k {
+			return ks.masks[i]
+		}
+	}
+}
+
+// or claims the worlds in bits for key k.
+func (ks *maskedKeySet) or(k stateKey, bits uint64) {
+	if 2*(ks.n+1) > len(ks.keys) {
+		ks.grow()
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			ks.keys[i] = k
+			ks.masks[i] = bits
+			ks.gen[i] = ks.cur
+			ks.n++
+			return
+		}
+		if ks.keys[i] == k {
+			ks.masks[i] |= bits
+			return
+		}
+	}
+}
+
+func (ks *maskedKeySet) grow() {
+	capOld := len(ks.keys)
+	capNew := 1024
+	if capOld > 0 {
+		capNew = capOld * 2
+	}
+	oldKeys, oldMasks, oldGen := ks.keys, ks.masks, ks.gen
+	ks.keys = make([]stateKey, capNew)
+	ks.masks = make([]uint64, capNew)
+	ks.gen = make([]uint32, capNew)
+	mask := uint64(capNew - 1)
+	for i, g := range oldGen {
+		if g != ks.cur {
+			continue
+		}
+		k := oldKeys[i]
+		for j := hashKey(k) & mask; ; j = (j + 1) & mask {
+			if ks.gen[j] != ks.cur {
+				ks.keys[j] = k
+				ks.masks[j] = oldMasks[i]
+				ks.gen[j] = ks.cur
+				break
+			}
+		}
+	}
+}
+
+// ComputeCounterfactuals expands the reach-tubes of every counterfactual
+// world the STI per-actor evaluation needs — the base world (all actors)
+// and each single-actor-removed world /i — in ONE pass over the state
+// space, instead of the N+1 independent ComputeScratch calls of the naive
+// Algorithm 1 loop.
+//
+// Each frontier state carries a world mask: the set of worlds in which the
+// state is a live, dedup-winning member of that world's expansion. A
+// candidate transition is integrated and collision-swept once; the actors
+// blocking its path determine which worlds it survives in (no blocker →
+// every world; exactly actor i → only world /i; two or more distinct
+// blockers → none of the represented worlds), and per-world dedup and the
+// MaxStates cap are replayed exactly through the claimed-key mask and
+// per-world slice counters. Because the per-world decisions — expansion
+// order, ε-dedup claims, path pruning, cap cut-offs, grid cells marked —
+// are replicated exactly (see DESIGN.md §8 for the induction), the
+// resulting volumes are bit-for-bit equal to the legacy per-world tubes,
+// not merely equal up to dedup jitter.
+//
+// Cost: one expansion over the union of the per-world tubes (≈ the largest
+// single tube) with one collision sweep per candidate, making the STI
+// evaluation ~O(1) in the number of actors rather than O(N).
+//
+// scr may be nil; as with ComputeScratch the result is identical either
+// way. Actors beyond MaxSharedActors spill over: they get no world bit, any
+// collision by them removes a path from every represented world (exactly
+// what their presence does in those worlds), and SpillBlocked reports
+// whether they ever blocked anything so the caller can elide or compute
+// their legacy tubes.
+func ComputeCounterfactuals(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch) SharedTubes {
+	n := obs.NumActors()
+	rep := n
+	if rep > MaxSharedActors {
+		rep = MaxSharedActors
+	}
+	numWorlds := 1 + rep
+	allMask := ^uint64(0) >> (64 - uint(numWorlds))
+
+	res := SharedTubes{
+		WithoutVolume: make([]float64, rep),
+		Represented:   rep,
+	}
+	if n > rep {
+		res.SpillBlocked = make([]bool, n-rep)
+	}
+	if scr == nil {
+		scr = NewScratch()
+	}
+	scr.resetShared(cfg.CellSize, numWorlds)
+	grid := scr.mgrid
+	claimed := scr.claimed
+	volCount := scr.wvol
+	sliceCount := scr.wslice
+	numSlices := cfg.NumSlices()
+	pm, _ := m.(roadmap.PreparedMap)
+
+	telSharedComputes.Inc()
+	telSharedWorlds.Observe(float64(numWorlds))
+
+	finish := func(states, propagations, pruned int) SharedTubes {
+		cs := cfg.CellSize
+		// Same expression OccupancyGrid.Area evaluates, so per-world
+		// volumes are bitwise what the legacy tubes report.
+		res.BaseVolume = float64(volCount[0]) * cs * cs
+		for i := 0; i < rep; i++ {
+			res.WithoutVolume[i] = float64(volCount[1+i]) * cs * cs
+		}
+		res.States = states
+		telSharedStates.Add(int64(states))
+		telPropagations.Add(int64(propagations))
+		telPruned.Add(int64(pruned))
+		return res
+	}
+
+	// Root: each world checks the ego's starting footprint on its own
+	// obstacle set (legacy: drivability, then one collide at slice 0).
+	egoPb := cfg.Params.Footprint(ego).Prepare()
+	live := uint64(0)
+	if drivable(m, pm, &egoPb) {
+		live = obs.maskHits(&egoPb, 0, rep, allMask, res.SpillBlocked)
+	}
+	if live == 0 {
+		return finish(0, 0, 0)
+	}
+
+	controls := cfg.controls()
+	tans := make([]float64, len(controls))
+	for i, u := range controls {
+		tans[i] = math.Tan(u.Steer)
+	}
+	pb := egoPb
+	path := make([]pathState, cfg.SubSteps)
+	frontier := append(scr.mfrontier[:0], maskedState{st: ego, w: live})
+	next := scr.mnext[:0]
+	act := scr.mactive
+	states, propagations, pruned := 0, 0, 0
+
+	for slice := 0; slice < numSlices && len(frontier) > 0; slice++ {
+		claimed.reset()
+		clear(sliceCount)
+		// Broad phase: every footprint swept this slice stays within the
+		// frontier's AABB grown by the worst-case travel (speed is clamped
+		// to [0, MaxSpeed] and gains at most MaxAccel·SliceDt) plus the ego
+		// footprint's bounding radius. Actors outside that window cannot
+		// change any verdict, so the per-candidate scan skips them.
+		fmin, fmax := frontier[0].st.Pos, frontier[0].st.Pos
+		vmax := frontier[0].st.Speed
+		for fi := 1; fi < len(frontier); fi++ {
+			p := frontier[fi].st.Pos
+			if p.X < fmin.X {
+				fmin.X = p.X
+			}
+			if p.Y < fmin.Y {
+				fmin.Y = p.Y
+			}
+			if p.X > fmax.X {
+				fmax.X = p.X
+			}
+			if p.Y > fmax.Y {
+				fmax.Y = p.Y
+			}
+			if v := frontier[fi].st.Speed; v > vmax {
+				vmax = v
+			}
+		}
+		travel := math.Min(vmax+cfg.Params.MaxAccel*cfg.SliceDt, cfg.Params.MaxSpeed) * cfg.SliceDt
+		margin := travel + egoPb.Radius + 1e-6
+		act = obs.activeInto(act[:0],
+			geom.V(fmin.X-margin, fmin.Y-margin), geom.V(fmax.X+margin, fmax.Y+margin), slice)
+		// capMask accumulates worlds whose per-slice expansion hit
+		// MaxStates: legacy breaks out of the slice, so every later
+		// candidate is invisible to those worlds.
+		capMask := uint64(0)
+		next = next[:0]
+		for fi := range frontier {
+			f := &frontier[fi]
+			if f.w&^capMask == 0 {
+				continue // every world of this parent already capped
+			}
+			sin0, cos0 := math.Sincos(f.st.Heading)
+			for ui, u := range controls {
+				s2, nsub := cfg.integrate(f.st, sin0, cos0, u, tans[ui], path)
+				propagations++
+				k := cfg.key(s2)
+				// possible = worlds whose legacy expansion reaches this
+				// candidate and has not already ε-visited its key.
+				possible := f.w &^ capMask
+				possible &^= claimed.bitsAt(k)
+				if possible == 0 {
+					continue
+				}
+				// One footprint sweep decides every world: drivability is
+				// world-independent; each blocking actor strikes the worlds
+				// it is present in. The sweep stops as soon as no candidate
+				// world survives — by then every world has either pruned
+				// the path or never examined it.
+				for j := 0; j < nsub; j++ {
+					ps := &path[j]
+					pb.MoveTo(ps.st.Pos, ps.st.Heading, ps.sin, ps.cos)
+					if !drivable(m, pm, &pb) {
+						possible = 0
+						break
+					}
+					possible = obs.maskHitsPath(&pb, slice, rep, possible, res.SpillBlocked, act)
+					if possible == 0 {
+						break
+					}
+				}
+				if possible == 0 {
+					pruned++
+					continue
+				}
+				claimed.or(k, possible)
+				for b := grid.MarkBits(s2.Pos, possible); b != 0; b &= b - 1 {
+					volCount[bits.TrailingZeros64(b)]++
+				}
+				for b := possible; b != 0; b &= b - 1 {
+					w := bits.TrailingZeros64(b)
+					sliceCount[w]++
+					if sliceCount[w] >= cfg.MaxStates {
+						capMask |= uint64(1) << uint(w)
+					}
+				}
+				next = append(next, maskedState{st: s2, w: possible})
+				states++
+			}
+		}
+		frontier, next = next, frontier[:0]
+	}
+	// Hand the (possibly re-grown) slices back for the next reuse.
+	scr.mfrontier, scr.mnext, scr.mactive = frontier, next, act
+	return finish(states, propagations, pruned)
+}

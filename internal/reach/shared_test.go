@@ -1,0 +1,162 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// randomScene builds a scene with n actors scattered around the test road,
+// biased towards the ego's lane so a good fraction actually block paths.
+func randomScene(rng *rand.Rand, n int) (vehicle.State, []*actor.Actor) {
+	ego := vehicle.State{
+		Pos:   geom.V(0, 1.0+rng.Float64()*5),
+		Speed: rng.Float64() * 20,
+	}
+	actors := make([]*actor.Actor, n)
+	for i := range actors {
+		actors[i] = actor.NewVehicle(i+1, vehicle.State{
+			Pos:     geom.V(-20+rng.Float64()*60, 0.8+rng.Float64()*5.4),
+			Speed:   rng.Float64() * 15,
+			Heading: (rng.Float64() - 0.5) * 0.4,
+		})
+	}
+	return ego, actors
+}
+
+// requireSharedMatchesLegacy checks every volume ComputeCounterfactuals
+// reports against the legacy per-world tubes, bit for bit, and that every
+// false SpillBlocked entry really certifies T^{/i} = T.
+func requireSharedMatchesLegacy(t *testing.T, tag string, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, cfg Config) {
+	t.Helper()
+	trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
+	obs := BuildObstacles(actors, trajs, cfg)
+	sh := ComputeCounterfactuals(m, obs, ego, cfg, nil)
+
+	base := Compute(m, obs.Collide(), ego, cfg)
+	if sh.BaseVolume != base.Volume {
+		t.Errorf("%s: base volume %v, legacy %v", tag, sh.BaseVolume, base.Volume)
+	}
+	for i := 0; i < sh.Represented; i++ {
+		wo := Compute(m, obs.CollideWithout(i), ego, cfg)
+		if sh.WithoutVolume[i] != wo.Volume {
+			t.Errorf("%s: world /%d volume %v, legacy %v", tag, i, sh.WithoutVolume[i], wo.Volume)
+		}
+	}
+	for j, blocked := range sh.SpillBlocked {
+		i := sh.Represented + j
+		wo := Compute(m, obs.CollideWithout(i), ego, cfg)
+		if !blocked && wo.Volume != base.Volume {
+			t.Errorf("%s: spill actor %d unblocked but |T^{/i}|=%v != |T|=%v",
+				tag, i, wo.Volume, base.Volume)
+		}
+	}
+}
+
+// The core differential property: on random scenes every per-world volume
+// from the single shared expansion equals the corresponding legacy tube
+// exactly — not within tolerance.
+func TestSharedMatchesLegacyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := DefaultConfig()
+	road := testRoad()
+	for iter := 0; iter < 30; iter++ {
+		ego, actors := randomScene(rng, 1+rng.Intn(8))
+		requireSharedMatchesLegacy(t, "random", road, ego, actors, cfg)
+	}
+}
+
+// Tiny MaxStates forces the per-slice cap to bite at different points in
+// different worlds — the hardest part of the replay argument (DESIGN.md §8).
+func TestSharedMatchesLegacyUnderCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	road := testRoad()
+	for _, maxStates := range []int{1, 2, 3, 8, 40} {
+		cfg := DefaultConfig()
+		cfg.MaxStates = maxStates
+		for iter := 0; iter < 12; iter++ {
+			ego, actors := randomScene(rng, 2+rng.Intn(5))
+			requireSharedMatchesLegacy(t, "cap", road, ego, actors, cfg)
+		}
+	}
+}
+
+// Coarse ε-dedup makes claim ordering decisive: many candidates share keys,
+// so any deviation from the legacy per-world visit order shows up here.
+func TestSharedMatchesLegacyCoarseDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	road := testRoad()
+	cfg := DefaultConfig()
+	cfg.PosEps = 3.0
+	cfg.HeadingEps = 0.5
+	cfg.SpeedEps = 4.0
+	for iter := 0; iter < 12; iter++ {
+		ego, actors := randomScene(rng, 2+rng.Intn(5))
+		requireSharedMatchesLegacy(t, "coarse", road, ego, actors, cfg)
+	}
+}
+
+// A blocked root (ego starting in contact) must zero the affected worlds
+// before any expansion happens, exactly like the legacy slice-0 check.
+func TestSharedRootBlocked(t *testing.T) {
+	cfg := DefaultConfig()
+	road := testRoad()
+	ego := egoState(0, 1.75, 10)
+	actors := []*actor.Actor{
+		actor.NewVehicle(1, vehicle.State{Pos: geom.V(0.5, 1.75)}), // on top of ego
+		actor.NewVehicle(2, vehicle.State{Pos: geom.V(20, 5.25), Speed: 5}),
+	}
+	requireSharedMatchesLegacy(t, "root-blocked", road, ego, actors, cfg)
+}
+
+// Spillover: with more actors than mask bits, represented worlds must stay
+// exact and SpillBlocked's false entries must certify tube equality. 70
+// actors exceed MaxSharedActors=63.
+func TestSharedSpillover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("70-actor differential scene")
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig()
+	road := testRoad()
+	ego, actors := randomScene(rng, 70)
+	trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
+	obs := BuildObstacles(actors, trajs, cfg)
+	sh := ComputeCounterfactuals(road, obs, ego, cfg, nil)
+	if sh.Represented != MaxSharedActors {
+		t.Fatalf("represented %d, want %d", sh.Represented, MaxSharedActors)
+	}
+	if len(sh.SpillBlocked) != 70-MaxSharedActors {
+		t.Fatalf("spill slots %d, want %d", len(sh.SpillBlocked), 70-MaxSharedActors)
+	}
+	requireSharedMatchesLegacy(t, "spill", road, ego, actors, cfg)
+}
+
+// Scratch reuse across calls (the serving hot path) must not leak state
+// between evaluations, including across changing world counts.
+func TestSharedScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := DefaultConfig()
+	road := testRoad()
+	scr := NewScratch()
+	for iter := 0; iter < 10; iter++ {
+		ego, actors := randomScene(rng, 1+rng.Intn(8))
+		trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
+		obs := BuildObstacles(actors, trajs, cfg)
+		fresh := ComputeCounterfactuals(road, obs, ego, cfg, nil)
+		reused := ComputeCounterfactuals(road, obs, ego, cfg, scr)
+		if fresh.BaseVolume != reused.BaseVolume {
+			t.Fatalf("iter %d: base %v vs %v with reused scratch", iter, fresh.BaseVolume, reused.BaseVolume)
+		}
+		for i := range fresh.WithoutVolume {
+			if fresh.WithoutVolume[i] != reused.WithoutVolume[i] {
+				t.Fatalf("iter %d world /%d: %v vs %v with reused scratch",
+					iter, i, fresh.WithoutVolume[i], reused.WithoutVolume[i])
+			}
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// fan-out. The default 0 resolves to 1 (serial) — the service already
 	// runs one evaluator per core, so nested fan-out oversubscribes.
 	EvalWorkers int
+	// SharedExpansion scores multi-actor requests with the shared-expansion
+	// counterfactual engine (one masked reach-tube expansion for |T| and
+	// every |T^{/i}|, bitwise-identical results; see sti.Options). It cuts
+	// dense-scene scoring cost from O(actors) tubes to ~one and is
+	// recommended for serving; the legacy per-actor path remains available
+	// as the reference oracle.
+	SharedExpansion bool
 	// QueueDepth bounds the jobs waiting for a worker beyond those being
 	// scored; enqueues past it answer 429. 0 resolves to 16×Workers.
 	QueueDepth int
@@ -154,7 +161,7 @@ func New(cfg Config) (*Server, error) {
 		quit: make(chan struct{}),
 	}
 	for i := range s.pool {
-		ev, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: cfg.EvalWorkers})
+		ev, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: cfg.EvalWorkers, SharedExpansion: cfg.SharedExpansion})
 		if err != nil {
 			return nil, fmt.Errorf("server: evaluator %d: %w", i, err)
 		}

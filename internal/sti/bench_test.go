@@ -42,3 +42,36 @@ func BenchmarkEvaluateFull(b *testing.B) {
 		e.EvaluateWithPrediction(m, egoS, actors)
 	}
 }
+
+// benchmarkDense12 measures the full evaluation on the dense 12-actor
+// scene — the workload class the shared-expansion engine targets — with the
+// engine on or off. Compare:
+//
+//	go test -bench 'EvaluateDense12' -run - ./internal/sti
+func benchmarkDense12(b *testing.B, opts Options) {
+	e, err := NewEvaluatorOptions(reach.DefaultConfig(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, egoS, actors := dense12Scene()
+	trajs := actor.PredictAll(actors, e.cfg.NumSlices(), e.cfg.SliceDt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate(m, egoS, actors, trajs)
+	}
+}
+
+func BenchmarkEvaluateDense12Legacy(b *testing.B) {
+	benchmarkDense12(b, Options{Workers: 1})
+}
+
+func BenchmarkEvaluateDense12Shared(b *testing.B) {
+	benchmarkDense12(b, Options{Workers: 1, SharedExpansion: true})
+}
+
+// The parallel legacy path is the strongest baseline: even against a
+// worker-per-counterfactual fan-out, one shared expansion should win on
+// total work (it runs the state space once instead of N+1 times).
+func BenchmarkEvaluateDense12LegacyParallel(b *testing.B) {
+	benchmarkDense12(b, Options{Workers: 8})
+}

@@ -39,6 +39,13 @@ var (
 	// actor provably could not change the base tube (never an exclusive
 	// blocker, sole actor, or dead-band certificate).
 	telElided = telemetry.NewCounter("sti.counterfactuals.elided")
+	// Shared-expansion path (Options.SharedExpansion): evaluation latency,
+	// how many actors each evaluation carried as explicit world-mask bits,
+	// and how many spillover actors still needed a legacy per-actor tube.
+	telSharedSeconds   = telemetry.NewHistogram("sti.shared_expansion.seconds", telemetry.LatencyBuckets())
+	telSharedEvals     = telemetry.NewCounter("sti.shared_expansion.evals")
+	telSharedMaskWidth = telemetry.NewHistogram("sti.shared_expansion.mask_width", telemetry.LinearBuckets(0, 4, 17))
+	telSharedFallback  = telemetry.NewCounter("sti.shared_expansion.fallback_tubes")
 )
 
 // Result holds STI values for one evaluation instant.
@@ -78,6 +85,18 @@ type Options struct {
 	// episodes on their own worker pool (experiment suites, SMC training)
 	// should pass 1 to avoid oversubscription.
 	Workers int
+
+	// SharedExpansion selects the shared-expansion counterfactual engine
+	// (reach.ComputeCounterfactuals): the base tube |T| and every per-actor
+	// tube |T^{/i}| are derived from ONE masked expansion instead of up to
+	// N+1 independent ones, making Evaluate ~O(1) in the number of actors.
+	// Results are bitwise-identical to the legacy path — each world's
+	// expansion order, ε-dedup, pruning and MaxStates cut-off are replayed
+	// exactly through per-state world masks (DESIGN.md §8) — so the knob
+	// trades nothing but memory locality for a superlinear speedup on
+	// multi-actor scenes. Actors beyond reach.MaxSharedActors fall back to
+	// legacy per-actor tubes (fanned out over Workers).
+	SharedExpansion bool
 }
 
 // Evaluator computes STI for scenes. It is stateless apart from
@@ -86,6 +105,7 @@ type Options struct {
 type Evaluator struct {
 	cfg     reach.Config
 	workers int
+	shared  bool
 	cache   *emptyCache
 	// scratch pools *reach.Scratch so the N+2 tube computations per
 	// evaluation reuse frontier slices, dedup maps and occupancy grids
@@ -108,7 +128,7 @@ func NewEvaluatorOptions(cfg reach.Config, opts Options) (*Evaluator, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Evaluator{cfg: cfg, workers: workers, cache: newEmptyCache()}
+	e := &Evaluator{cfg: cfg, workers: workers, shared: opts.SharedExpansion, cache: newEmptyCache()}
 	e.scratch.New = func() any { return reach.NewScratch() }
 	return e, nil
 }
@@ -128,6 +148,10 @@ func (e *Evaluator) Config() reach.Config { return e.cfg }
 // Workers returns the resolved counterfactual fan-out bound.
 func (e *Evaluator) Workers() int { return e.workers }
 
+// SharedExpansion reports whether the evaluator uses the shared-expansion
+// counterfactual engine.
+func (e *Evaluator) SharedExpansion() bool { return e.shared }
+
 // Evaluate computes per-actor and combined STI for the ego at state ego on
 // map m, given each actor's (predicted or ground-truth) trajectory.
 // trajs[i] must correspond to actors[i].
@@ -140,6 +164,13 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	if len(actors) == 0 {
 		vol := reach.ComputeScratch(m, nil, ego, e.cfg, scr).Volume
 		return Result{BaseVolume: vol, EmptyVolume: vol}
+	}
+	// Single-actor scenes stay on the legacy path even under
+	// SharedExpansion: |T^{/0}| = |T^∅| comes from the empty-volume cache,
+	// so the legacy path is already two tubes (one on a cache hit) and the
+	// masked expansion has nothing to share.
+	if e.shared && len(actors) > 1 {
+		return e.evaluateShared(m, ego, actors, trajs, scr)
 	}
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
 
@@ -205,23 +236,31 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	// bounded worker pool. Each index is claimed atomically and written to
 	// its own slot of the pre-sized result slices, so the output is
 	// identical to the serial loop regardless of scheduling.
-	workers := e.workers
-	if workers > len(work) {
-		workers = len(work)
-	}
-	telParallelWorkers.Set(float64(workers))
-	perActor := func(i int, ws *reach.Scratch) {
+	e.fanOut(work, scr, func(i int, ws *reach.Scratch) {
 		t := telActorTubeSeconds.Start()
 		wo := reach.ComputeScratch(m, obs.CollideWithout(i), ego, e.cfg, ws)
 		t.Stop()
 		res.WithoutVolume[i] = wo.Volume
 		res.PerActor[i] = snap(clamp01((wo.Volume - base.Volume) / emptyVol))
+	})
+	return res
+}
+
+// fanOut runs fn(i, scratch) for every index in work over the evaluator's
+// bounded worker pool, serially (reusing the caller's scratch) when the
+// bound or the workload is 1. fn must confine its writes to index-owned
+// slots; the output is then identical regardless of scheduling.
+func (e *Evaluator) fanOut(work []int, scr *reach.Scratch, fn func(i int, ws *reach.Scratch)) {
+	workers := e.workers
+	if workers > len(work) {
+		workers = len(work)
 	}
+	telParallelWorkers.Set(float64(workers))
 	if workers <= 1 {
 		for _, i := range work {
-			perActor(i, scr)
+			fn(i, scr)
 		}
-		return res
+		return
 	}
 	var nextIdx atomic.Int64
 	var wg sync.WaitGroup
@@ -236,11 +275,81 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 				if k >= len(work) {
 					return
 				}
-				perActor(work[k], ws)
+				fn(work[k], ws)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// evaluateShared is Evaluate on the shared-expansion engine: one masked
+// expansion (reach.ComputeCounterfactuals) yields |T| and every
+// represented |T^{/i}| at once; only spillover actors beyond
+// reach.MaxSharedActors can still cost legacy tubes. The observable Result
+// is bitwise-identical to the legacy path, including its reporting
+// conventions: the cached |T^∅| backs every ratio, and the dead-band
+// certificate reports |T| for the without-volumes it skips.
+func (e *Evaluator) evaluateShared(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, scr *reach.Scratch) Result {
+	defer telSharedSeconds.Start().Stop()
+	telSharedEvals.Inc()
+	obs := reach.BuildObstacles(actors, trajs, e.cfg)
+	emptyVol := e.emptyVolume(m, ego, scr)
+	sh := reach.ComputeCounterfactuals(m, obs, ego, e.cfg, scr)
+	telSharedMaskWidth.Observe(float64(sh.Represented))
+
+	res := Result{
+		PerActor:      make([]float64, len(actors)),
+		WithoutVolume: make([]float64, len(actors)),
+		BaseVolume:    sh.BaseVolume,
+		EmptyVolume:   emptyVol,
+	}
+	if emptyVol <= 0 {
+		// No escape routes even in an empty world; STI is defined as zero.
+		return res
+	}
+	res.Combined = snap(clamp01((emptyVol - sh.BaseVolume) / emptyVol))
+
+	// Dead-band certificate (see Evaluate): a combined STI snapped to zero
+	// certifies every per-actor STI snaps to zero. Match the legacy
+	// reporting exactly — |T| stands in for the without-volumes.
+	if res.Combined == 0 {
+		telElided.Add(int64(len(actors)))
+		for i := range actors {
+			res.WithoutVolume[i] = sh.BaseVolume
+		}
+		return res
+	}
+
+	for i := 0; i < sh.Represented; i++ {
+		wo := sh.WithoutVolume[i]
+		res.WithoutVolume[i] = wo
+		res.PerActor[i] = snap(clamp01((wo - sh.BaseVolume) / emptyVol))
+	}
+
+	// Spillover actors (beyond the 63 world-mask bits): never-blocking ones
+	// are elided exactly like the legacy marks pass (T^{/i} = T); the rest
+	// fall back to one legacy counterfactual tube each, fanned out over the
+	// worker bound.
+	if len(sh.SpillBlocked) > 0 {
+		work := make([]int, 0, len(sh.SpillBlocked))
+		for j, blocked := range sh.SpillBlocked {
+			i := sh.Represented + j
+			if !blocked {
+				res.WithoutVolume[i] = sh.BaseVolume
+				continue
+			}
+			work = append(work, i)
+		}
+		telElided.Add(int64(len(sh.SpillBlocked) - len(work)))
+		telSharedFallback.Add(int64(len(work)))
+		e.fanOut(work, scr, func(i int, ws *reach.Scratch) {
+			t := telActorTubeSeconds.Start()
+			wo := reach.ComputeScratch(m, obs.CollideWithout(i), ego, e.cfg, ws)
+			t.Stop()
+			res.WithoutVolume[i] = wo.Volume
+			res.PerActor[i] = snap(clamp01((wo.Volume - sh.BaseVolume) / emptyVol))
+		})
+	}
 	return res
 }
 

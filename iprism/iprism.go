@@ -55,8 +55,10 @@ type (
 	ReachConfig = reach.Config
 	// Evaluator computes STI (Eqs. 4–5).
 	Evaluator = sti.Evaluator
-	// EvaluatorOptions tunes the evaluator, e.g. the per-actor
-	// counterfactual fan-out width.
+	// EvaluatorOptions tunes the evaluator: the per-actor counterfactual
+	// fan-out width, and SharedExpansion, which derives every
+	// counterfactual tube from one masked expansion (bitwise-identical
+	// results, ~O(1) in actor count instead of O(N)).
 	EvaluatorOptions = sti.Options
 	// Result holds per-actor and combined STI for one instant.
 	Result = sti.Result
@@ -108,7 +110,9 @@ func DefaultVehicleParams() VehicleParams { return vehicle.DefaultParams() }
 func NewEvaluator(cfg ReachConfig) *Evaluator { return sti.MustNewEvaluator(cfg) }
 
 // NewEvaluatorWithOptions constructs an STI evaluator with explicit
-// options. Evaluation results are identical at any worker count.
+// options. Evaluation results are identical at any worker count and with
+// SharedExpansion on or off; the shared-expansion engine only changes how
+// fast dense scenes evaluate.
 func NewEvaluatorWithOptions(cfg ReachConfig, opts EvaluatorOptions) (*Evaluator, error) {
 	return sti.NewEvaluatorOptions(cfg, opts)
 }

@@ -13,6 +13,11 @@ go build ./...
 # 1-CPU container, past go test's default 10 min per-package timeout.
 go test -race -timeout 45m ./...
 
+# Differential suite: the shared-expansion counterfactual engine must match
+# the legacy per-actor oracle bit-for-bit (already part of ./... above, but
+# run explicitly so a perf-motivated edit cannot silently drop the proof).
+go test -race -count=1 -run 'Shared|MaskGrid' ./internal/reach ./internal/sti ./internal/geom ./internal/server
+
 # Serving smoke: ephemeral-port server, a short load burst, then SIGTERM.
 # The server must answer every accepted request and exit 0 from the drain.
 smoke_dir="$(mktemp -d)"
