@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/scene"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 var (
@@ -97,6 +99,7 @@ func run() error {
 		seed        = flag.Int64("seed", 2024, "fixture generation seed")
 		minRate     = flag.Float64("min-rate", 0, "fail if scored scenes/sec falls below this (0 = off)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		topSlow     = flag.Int("slowest", 5, "slowest requests to report with their trace IDs (0 = off)")
 		shared      = flag.Bool("shared-expansion", true, "self-serve server scores with the shared-expansion engine (false = legacy per-actor tubes)")
 		outDir      = flag.String("o", "", "directory for a BENCH_serve_<date>.json snapshot (empty = skip)")
 	)
@@ -164,6 +167,7 @@ func run() error {
 	}
 
 	var next, ok, rejected, errs, scored int64
+	slow := &slowTracker{k: *topSlow}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *concurrency; c++ {
@@ -178,7 +182,9 @@ func run() error {
 				if pace != nil {
 					<-pace
 				}
-				status, err := post(client, url, bodies[i%int64(len(bodies))])
+				reqStart := time.Now()
+				status, tid, err := post(client, url, bodies[i%int64(len(bodies))])
+				slow.note(time.Since(reqStart).Seconds(), tid, status)
 				switch {
 				case err != nil:
 					telErrors.Inc()
@@ -211,6 +217,15 @@ func run() error {
 	fmt.Printf("  latency p50 %s  p95 %s  p99 %s  max %s\n",
 		fmtSec(lat.P50), fmtSec(lat.P95), fmtSec(lat.P99), fmtSec(lat.Max))
 	fmt.Printf("  throughput %.0f scored scenes/sec\n", rate)
+	if rs := slow.slowest(); len(rs) > 0 {
+		// The trace IDs resolve server-side: /debug/requests?trace_id=…, the
+		// journal's wide events, or iprism-risktrace -trace <journal>.
+		fmt.Printf("  slowest requests:\n")
+		for _, r := range rs {
+			fmt.Printf("    %-10s status %d  trace %s\n",
+				time.Duration(r.seconds*float64(time.Second)).Round(time.Microsecond), r.status, r.traceID)
+		}
+	}
 
 	if *outDir != "" {
 		var rep report
@@ -284,12 +299,22 @@ func encodeBodies(fixtures []scene.Scene, batch int) (bodies [][]byte, perReq in
 	return bodies, batch, "/v1/score/batch", nil
 }
 
-func post(client *http.Client, url string, body []byte) (int, error) {
+// post sends one request stamped with a fresh X-Trace-Id so every scored
+// scene is resolvable server-side (/debug/requests, journal wide events,
+// /metrics exemplars). It returns the status and the trace ID it minted.
+func post(client *http.Client, url string, body []byte) (int, string, error) {
+	tid := trace.NewID().String()
 	t := telReqSecs.Start()
 	defer t.Stop()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, tid, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", tid)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, tid, err
 	}
 	defer resp.Body.Close()
 	// Drain so the connection is reusable.
@@ -299,7 +324,37 @@ func post(client *http.Client, url string, body []byte) (int, error) {
 			break
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, tid, nil
+}
+
+// slowTracker retains the k slowest requests so their trace IDs can be
+// printed after the run and resolved against the server's flight recorder.
+type slowTracker struct {
+	mu sync.Mutex
+	k  int
+	rs []slowReq
+}
+
+type slowReq struct {
+	seconds float64
+	traceID string
+	status  int
+}
+
+func (s *slowTracker) note(seconds float64, traceID string, status int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rs = append(s.rs, slowReq{seconds, traceID, status})
+	sort.Slice(s.rs, func(i, j int) bool { return s.rs[i].seconds > s.rs[j].seconds })
+	if len(s.rs) > s.k {
+		s.rs = s.rs[:s.k]
+	}
+}
+
+func (s *slowTracker) slowest() []slowReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]slowReq(nil), s.rs...)
 }
 
 func fmtSec(s float64) string {

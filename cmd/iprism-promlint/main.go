@@ -1,0 +1,87 @@
+// Command iprism-promlint checks a Prometheus/OpenMetrics exposition for
+// structural conformance: metric and label naming, HELP/TYPE ordering,
+// counter _total suffixes, histogram completeness (le="+Inf", _sum/_count),
+// exemplar placement, and OpenMetrics EOF termination. It exits 1 when any
+// finding is reported, so scripts can gate /metrics in CI.
+//
+//	iprism-promlint -url http://localhost:8377/metrics
+//	iprism-promlint -url http://localhost:8377/metrics -openmetrics
+//	curl -s localhost:8377/metrics | iprism-promlint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iprism-promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url         = flag.String("url", "", "fetch the exposition from this endpoint (empty = read -f)")
+		file        = flag.String("f", "-", "read the exposition from this file (\"-\" = stdin)")
+		openMetrics = flag.Bool("openmetrics", false, "lint under OpenMetrics 1.0 rules (exemplars, # EOF) instead of text 0.0.4")
+		timeout     = flag.Duration("timeout", 10*time.Second, "fetch timeout for -url")
+	)
+	flag.Parse()
+
+	data, om, err := load(*url, *file, *openMetrics, *timeout)
+	if err != nil {
+		return err
+	}
+	if errs := telemetry.LintExposition(data, om); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "  ", e)
+		}
+		return fmt.Errorf("%d finding(s)", len(errs))
+	}
+	format := "text/plain 0.0.4"
+	if om {
+		format = "OpenMetrics 1.0"
+	}
+	fmt.Printf("ok: %d bytes conform (%s)\n", len(data), format)
+	return nil
+}
+
+// load fetches the exposition. With -url and -openmetrics it negotiates the
+// OpenMetrics content type so the endpoint serves (and is linted for)
+// exemplars and the # EOF terminator.
+func load(url, file string, openMetrics bool, timeout time.Duration) ([]byte, bool, error) {
+	if url == "" {
+		if file == "-" {
+			data, err := io.ReadAll(os.Stdin)
+			return data, openMetrics, err
+		}
+		data, err := os.ReadFile(file)
+		return data, openMetrics, err
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if openMetrics {
+		req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return data, openMetrics, err
+}

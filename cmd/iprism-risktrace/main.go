@@ -2,17 +2,28 @@
 // (mean±SD of STI/PKL/TTC over time, split safe vs accident) and, with
 // -mitigated, the Fig. 5 STI comparison (LBC vs LBC+iPrism on ghost
 // cut-in) as CSV on stdout.
+//
+// With -trace <journal.jsonl> it instead replays the wide events captured
+// by a serving journal, rendering one span waterfall per request so a
+// TraceID taken from an X-Trace-Id header, a /metrics exemplar, or a
+// loadgen "slowest requests" report can be inspected offline:
+//
+//	iprism-risktrace -trace serve-journal.jsonl -trace-id 4bf9…
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -30,8 +41,15 @@ func run() error {
 		episodes  = flag.Int("episodes", 60, "SMC training episodes for -mitigated")
 		telAddr   = flag.String("telemetry", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		journal   = flag.String("journal", "", "write a JSONL telemetry journal to this path")
+		traceFile = flag.String("trace", "", "replay the wide events of this serving journal instead of running experiments")
+		traceID   = flag.String("trace-id", "", "with -trace: only requests carrying this trace ID")
+		slowest   = flag.Int("slowest", 0, "with -trace: only the N slowest requests")
 	)
 	flag.Parse()
+
+	if *traceFile != "" {
+		return replayTrace(*traceFile, *traceID, *slowest)
+	}
 
 	telCleanup, err := telemetry.Setup(*telAddr, *journal)
 	if err != nil {
@@ -105,6 +123,96 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// replayTrace renders the wide events of a serving journal as span
+// waterfalls: one block per request with its identity, outcome, risk
+// annotations, and the server → evaluator → reach span chain laid out on a
+// shared time axis.
+func replayTrace(path, wantID string, slowest int) error {
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		return err
+	}
+	var wides []trace.WideEvent
+	for _, ev := range events {
+		if ev.Event != "wide_event" {
+			continue
+		}
+		// The journal flattened the event into Fields with the WideEvent JSON
+		// tags, so a marshal round-trip recovers the typed record.
+		raw, err := json.Marshal(ev.Fields)
+		if err != nil {
+			return err
+		}
+		var w trace.WideEvent
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return fmt.Errorf("wide event in %s: %w", path, err)
+		}
+		if wantID == "" || w.TraceID == wantID {
+			wides = append(wides, w)
+		}
+	}
+	if len(wides) == 0 {
+		if wantID != "" {
+			return fmt.Errorf("no wide event with trace %s in %s", wantID, path)
+		}
+		return fmt.Errorf("no wide events in %s (was the server run with -journal?)", path)
+	}
+	if slowest > 0 {
+		sort.SliceStable(wides, func(i, j int) bool { return wides[i].Seconds > wides[j].Seconds })
+		if slowest < len(wides) {
+			wides = wides[:slowest]
+		}
+	}
+	for _, w := range wides {
+		printWaterfall(w)
+	}
+	return nil
+}
+
+func printWaterfall(w trace.WideEvent) {
+	fmt.Printf("trace %s  request %s  %s  status %d  %.3fms\n",
+		w.TraceID, w.RequestID, w.Route, w.Status, w.Seconds*1e3)
+	if len(w.Attrs) > 0 {
+		keys := make([]string, 0, len(w.Attrs))
+		for k := range w.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, w.Attrs[k])
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, "  "))
+	}
+	spans := append([]trace.Span(nil), w.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+	totalUS := int64(w.Seconds * 1e6)
+	for _, sp := range spans {
+		if end := sp.StartUS + sp.DurUS; end > totalUS {
+			totalUS = end
+		}
+	}
+	const width = 40
+	for _, sp := range spans {
+		bar := [width]byte{}
+		for i := range bar {
+			bar[i] = ' '
+		}
+		if totalUS > 0 {
+			lo := int(sp.StartUS * width / totalUS)
+			hi := int((sp.StartUS + sp.DurUS) * width / totalUS)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				bar[i] = '#'
+			}
+		}
+		fmt.Printf("  %-28s %9dus +%8dus |%s|\n", sp.Name, sp.StartUS, sp.DurUS, bar[:])
+	}
+	fmt.Println()
 }
 
 func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

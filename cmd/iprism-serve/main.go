@@ -28,16 +28,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8377", "listen address (use 127.0.0.1:0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
-		workers  = flag.Int("workers", 0, "scoring workers / pooled evaluators (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "queued jobs beyond in-flight before 429 (0 = 16x workers)")
-		timeout  = flag.Duration("timeout", 2*time.Second, "per-request scoring deadline")
-		batchMax = flag.Int("batch-max", 0, "max queued jobs one worker drains per wake-up (0 = 8, 1 = off)")
-		sessions = flag.Int("max-sessions", 0, "max concurrently open sessions (0 = 1024)")
-		journal  = flag.String("journal", "", "append JSONL telemetry events to this file")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before connections are force-closed")
-		shared   = flag.Bool("shared-expansion", true, "score with the shared-expansion counterfactual engine (false = legacy per-actor tubes)")
+		addr       = flag.String("addr", ":8377", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+		workers    = flag.Int("workers", 0, "scoring workers / pooled evaluators (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "queued jobs beyond in-flight before 429 (0 = 16x workers)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-request scoring deadline")
+		batchMax   = flag.Int("batch-max", 0, "max queued jobs one worker drains per wake-up (0 = 8, 1 = off)")
+		sessions   = flag.Int("max-sessions", 0, "max concurrently open sessions (0 = 1024)")
+		journal    = flag.String("journal", "", "append JSONL telemetry events (including per-request wide events) to this file")
+		journalMax = flag.Int64("journal-max-bytes", 64<<20, "rotate the journal to <path>.1 past this size (0 = unbounded)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before connections are force-closed")
+		shared     = flag.Bool("shared-expansion", true, "score with the shared-expansion counterfactual engine (false = legacy per-actor tubes)")
+		sloAvail   = flag.Float64("slo-availability", 0.999, "availability objective: fraction of requests answered without server error")
+		sloLat     = flag.Float64("slo-latency", 0.99, "latency objective: fraction of requests answered within -slo-latency-target")
+		sloLatTgt  = flag.Duration("slo-latency-target", 250*time.Millisecond, "latency threshold backing the latency SLO")
+		flightSize = flag.Int("flight-recorder-size", 256, "wide events retained in memory for /debug/requests")
 	)
 	flag.Parse()
 
@@ -45,7 +50,7 @@ func main() {
 	// collection is always on for the serve command.
 	telemetry.Enable()
 	if *journal != "" {
-		j, err := telemetry.OpenJournal(*journal)
+		j, err := telemetry.OpenJournalRotating(*journal, *journalMax)
 		if err != nil {
 			log.Fatalf("iprism-serve: journal: %v", err)
 		}
@@ -54,12 +59,16 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		RequestTimeout:  *timeout,
-		BatchMax:        *batchMax,
-		MaxSessions:     *sessions,
-		SharedExpansion: *shared,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		BatchMax:           *batchMax,
+		MaxSessions:        *sessions,
+		SharedExpansion:    *shared,
+		SLOAvailability:    *sloAvail,
+		SLOLatency:         *sloLat,
+		SLOLatencyTarget:   *sloLatTgt,
+		FlightRecorderSize: *flightSize,
 	})
 	if err != nil {
 		log.Fatalf("iprism-serve: %v", err)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/scene"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // ScoreVersion tags scoring responses, mirroring the request codec's
@@ -27,6 +28,9 @@ type ScoreResponse struct {
 	Actors          []ActorScore `json:"actors,omitempty"`
 	BaseVolume      float64      `json:"base_volume"`
 	EmptyVolume     float64      `json:"empty_volume"`
+	// Provenance explains how the score was derived; present only when the
+	// client asked with ?explain=1.
+	Provenance *scene.Provenance `json:"provenance,omitempty"`
 	// Error is set instead of scores on per-scene failures inside batch
 	// responses.
 	Error string `json:"error,omitempty"`
@@ -58,32 +62,37 @@ type errorResponse struct {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/score", s.handleScore)
-	s.mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
-	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleSessionObserve)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/risk", s.handleSessionRisk)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	// The scoring/session API gets the full observability envelope (wide
+	// events, SLO accounting); the health/debug surface propagates trace
+	// headers but does not pollute the flight recorder or the SLOs.
+	s.mux.HandleFunc("POST /v1/score", s.traced("/v1/score", true, s.handleScore))
+	s.mux.HandleFunc("POST /v1/score/batch", s.traced("/v1/score/batch", true, s.handleScoreBatch))
+	s.mux.HandleFunc("POST /v1/sessions", s.traced("/v1/sessions", true, s.handleSessionCreate))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.traced("/v1/sessions/observe", true, s.handleSessionObserve))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/risk", s.traced("/v1/sessions/risk", true, s.handleSessionRisk))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.traced("/v1/sessions/delete", true, s.handleSessionDelete))
+	s.mux.HandleFunc("GET /healthz", s.traced("/healthz", false, func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
-	})
+	}))
 	s.mux.Handle("GET /metrics", telemetry.Default().MetricsHandler())
 	s.mux.Handle("GET /debug/telemetry", telemetry.Default().SnapshotHandler())
+	s.mux.HandleFunc("GET /debug/requests", s.traced("/debug/requests", false, s.handleDebugRequests))
+	s.mux.HandleFunc("GET /debug/slo", s.traced("/debug/slo", false, s.handleDebugSLO))
 }
 
 // handleScore scores one scene: 200 with a ScoreResponse, 400 on malformed
-// input, 429 under backpressure, 504 past the request deadline.
+// input, 429 under backpressure, 504 past the request deadline. ?explain=1
+// adds the risk-provenance block to the response.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	defer telRequestSecs.Start().Stop()
-	telRequests.Inc()
 	sc, ok := s.readScene(w, r)
 	if !ok {
 		return
 	}
+	explain := r.URL.Query().Get("explain") == "1"
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	resp, status := s.scoreScene(ctx, sc)
-	writeJSON(w, status, resp)
+	resp, status := s.scoreScene(ctx, sc, explain)
+	s.writeJSON(w, status, resp)
 }
 
 // handleScoreBatch scores up to MaxBatchScenes scenes from one request.
@@ -91,29 +100,27 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // the response is 200 unless every scene was rejected for saturation, in
 // which case it degrades to a plain 429 so clients back off.
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
-	defer telRequestSecs.Start().Stop()
-	telRequests.Inc()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
 		return
 	}
 	var req BatchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode batch: %v", err)})
 		return
 	}
 	if len(req.Scenes) == 0 {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch has no scenes"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch has no scenes"})
 		return
 	}
 	for i := range req.Scenes {
 		if err := req.Scenes[i].Validate(); err != nil {
 			telRejectedBad.Inc()
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("scene %d: %v", i, err)})
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("scene %d: %v", i, err)})
 			return
 		}
 	}
@@ -127,7 +134,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp.Results[i], statuses[i] = s.scoreScene(ctx, req.Scenes[i])
+			resp.Results[i], statuses[i] = s.scoreScene(ctx, req.Scenes[i], false)
 		}(i)
 	}
 	wg.Wait()
@@ -135,29 +142,31 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	for _, st := range statuses {
 		switch st {
 		case http.StatusGatewayTimeout:
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "batch deadline exceeded"})
+			s.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "batch deadline exceeded"})
 			return
 		case http.StatusTooManyRequests:
 			saturated++
 		}
 	}
 	if saturated == len(req.Scenes) {
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full"})
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full"})
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // scoreScene runs one validated scene through the pool, mapping failures
 // onto HTTP statuses. The ScoreResponse always carries a usable body: a
-// result on 200, an Error field otherwise (for batch embedding).
-func (s *Server) scoreScene(ctx context.Context, sc scene.Scene) (ScoreResponse, int) {
+// result on 200, an Error field otherwise (for batch embedding). explain
+// attaches the provenance block (per-actor contributions, engine path,
+// span waterfall) to successful responses.
+func (s *Server) scoreScene(ctx context.Context, sc scene.Scene, explain bool) (ScoreResponse, int) {
 	m, ego, actors, trajs, hasTrajs, err := sc.Materialize()
 	if err != nil {
 		telRejectedBad.Inc()
 		return ScoreResponse{Version: ScoreVersion, Error: err.Error()}, http.StatusBadRequest
 	}
-	res, err := s.score(ctx, m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs))
+	res, prov, err := s.score(ctx, m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs))
 	switch {
 	case errors.Is(err, errSaturated):
 		telRejectedFull.Inc()
@@ -179,6 +188,25 @@ func (s *Server) scoreScene(ctx context.Context, sc scene.Scene) (ScoreResponse,
 	for i, a := range actors {
 		out.Actors[i] = ActorScore{ID: a.ID, STI: res.PerActor[i], WithoutVolume: res.WithoutVolume[i]}
 	}
+	if explain {
+		rec := trace.FromContext(ctx)
+		p := &scene.Provenance{
+			TraceID:        rec.TraceID().String(),
+			Engine:         prov.Engine,
+			CacheState:     prov.CacheState,
+			MaskWidth:      prov.MaskWidth,
+			SpilloverTubes: prov.SpilloverTubes,
+			ElidedActors:   prov.ElidedActors,
+		}
+		p.Actors = make([]scene.ActorProvenance, len(actors))
+		for i, a := range actors {
+			p.Actors[i] = scene.ActorProvenance{ID: a.ID, STI: res.PerActor[i], WithoutVolume: res.WithoutVolume[i]}
+		}
+		for _, sp := range rec.Spans() {
+			p.Spans = append(p.Spans, scene.SpanTiming{Name: sp.Name, StartUS: sp.StartUS, DurUS: sp.DurUS})
+		}
+		out.Provenance = p
+	}
 	return out, http.StatusOK
 }
 
@@ -188,21 +216,24 @@ func (s *Server) readScene(w http.ResponseWriter, r *http.Request) (scene.Scene,
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("read body: %v", err)})
 		return scene.Scene{}, false
 	}
 	sc, err := scene.Decode(body)
 	if err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return scene.Scene{}, false
 	}
 	return sc, true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON answers with a JSON body. 429 responses carry a Retry-After
+// estimated from the live queue depth and the observed per-scene scoring
+// time, so backed-off clients return when capacity is actually likely.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
+)
+
+// statusWriter captures the response status code for wide events and SLO
+// accounting. A handler that never calls WriteHeader answered 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// traced wraps an endpoint with the request-observability envelope:
+//
+//   - ingest X-Trace-Id (or mint one) and propagate it on the response —
+//     headers are set before the handler runs, so every path including
+//     400/429/504 carries X-Trace-Id and X-Request-Id;
+//   - carry a trace.Recorder in the request context for the evaluator
+//     layers to annotate;
+//   - observe the request latency with the trace ID as exemplar, so a p99
+//     histogram bucket resolves to a replayable request;
+//   - when wide is set (the scoring/session API, not the debug surface):
+//     record the request against both SLOs, append one wide event to the
+//     flight recorder, and journal it as event "wide_event".
+func (s *Server) traced(route string, wide bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		telRequests.Inc()
+		id, honoured := trace.ParseOrNew(r.Header.Get("X-Trace-Id"))
+		rec := trace.NewRecorder(id)
+		reqID := rec.RootSpanID().String()
+		w.Header().Set("X-Trace-Id", id.String())
+		w.Header().Set("X-Request-Id", reqID)
+		if honoured {
+			rec.Annotate("trace_id_source", "caller")
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(trace.NewContext(r.Context(), rec)))
+		d := time.Since(start)
+		telRequestSecs.ObserveExemplar(d.Seconds(), id.String())
+		if !wide {
+			return
+		}
+		// Availability counts deliberate backpressure (429) as good — the
+		// service answered as designed; only 5xx burns that budget. Latency
+		// is judged against the configured target.
+		s.sloAvailability.Record(sw.status < http.StatusInternalServerError)
+		s.sloLatency.Record(d <= s.cfg.SLOLatencyTarget)
+		ev := rec.WideEvent(route, reqID, sw.status, d)
+		s.flight.Add(ev)
+		telemetry.Emit("wide_event", ev.Fields())
+	}
+}
+
+// noteScore feeds one scene-scoring duration into the EWMA backing
+// Retry-After estimates.
+func (s *Server) noteScore(d time.Duration) {
+	const alpha = 8 // EWMA weight 1/8 on the newest sample
+	for {
+		old := s.avgScoreNS.Load()
+		nw := old + (d.Nanoseconds()-old)/alpha
+		if old == 0 {
+			nw = d.Nanoseconds()
+		}
+		if s.avgScoreNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should back off:
+// the queued backlog divided over the workers, priced at the observed
+// per-scene EWMA, clamped to [1, 30] seconds. A cold server (no scenes
+// scored yet) assumes 50ms per scene.
+func (s *Server) retryAfterSeconds() int {
+	avg := time.Duration(s.avgScoreNS.Load())
+	if avg <= 0 {
+		avg = 50 * time.Millisecond
+	}
+	backlog := len(s.jobs)/s.cfg.Workers + 1
+	secs := int(math.Ceil((time.Duration(backlog) * avg).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/roadmap"
 	"repro/internal/sti"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/vehicle"
 )
 
@@ -90,6 +91,20 @@ type Config struct {
 	MaxSessions int
 	// MaxBodyBytes caps request body size. 0 resolves to 1 MiB.
 	MaxBodyBytes int64
+
+	// SLOAvailability is the availability objective (good = the request was
+	// answered without a 5xx; deliberate 429 backpressure counts good).
+	// 0 resolves to 0.999.
+	SLOAvailability float64
+	// SLOLatency is the latency objective: the fraction of requests that
+	// must finish within SLOLatencyTarget. 0 resolves to 0.99.
+	SLOLatency float64
+	// SLOLatencyTarget is the per-request latency goal the latency SLO
+	// judges against. 0 resolves to 250ms.
+	SLOLatencyTarget time.Duration
+	// FlightRecorderSize is how many recent wide events /debug/requests
+	// retains in memory. 0 resolves to 256.
+	FlightRecorderSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +131,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.SLOAvailability <= 0 || c.SLOAvailability >= 1 {
+		c.SLOAvailability = 0.999
+	}
+	if c.SLOLatency <= 0 || c.SLOLatency >= 1 {
+		c.SLOLatency = 0.99
+	}
+	if c.SLOLatencyTarget <= 0 {
+		c.SLOLatencyTarget = 250 * time.Millisecond
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
 	}
 	return c
 }
@@ -144,6 +171,13 @@ type Server struct {
 	state atomic.Int32 // 0 idle, 1 serving, 2 shutting down
 
 	sessions sessionTable
+
+	// Observability: per-request wide events (flight recorder), the two
+	// serving SLOs, and the EWMA of scene-scoring time backing Retry-After.
+	flight          *trace.FlightRecorder
+	sloAvailability *telemetry.SLOTracker
+	sloLatency      *telemetry.SLOTracker
+	avgScoreNS      atomic.Int64
 }
 
 // New builds the service: evaluator pool, queue, workers, routes. The
@@ -168,6 +202,17 @@ func New(cfg Config) (*Server, error) {
 		s.pool[i] = ev
 	}
 	s.sessions.init(cfg.MaxSessions)
+	s.flight = trace.NewFlightRecorder(cfg.FlightRecorderSize)
+	s.sloAvailability = telemetry.MustNewSLOTracker(telemetry.SLOConfig{
+		Name: "availability", Objective: cfg.SLOAvailability,
+	})
+	s.sloLatency = telemetry.MustNewSLOTracker(telemetry.SLOConfig{
+		Name: "latency", Objective: cfg.SLOLatency,
+	})
+	// The burn-rate gauges ride the same default registry /metrics serves;
+	// collectors refresh them at scrape time so they decay without traffic.
+	s.sloAvailability.Register(telemetry.Default())
+	s.sloLatency.Register(telemetry.Default())
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -289,27 +334,46 @@ func (s *Server) submit(ctx context.Context, run func(ev *sti.Evaluator)) (*job,
 }
 
 // score runs one scene evaluation on the pool and waits for it under ctx.
-func (s *Server) score(ctx context.Context, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) (sti.Result, error) {
+// The recorder carried by ctx (if any) receives the queue wait, the
+// evaluation spans and the risk provenance, so the request's wide event
+// links server → evaluator → reach timings.
+func (s *Server) score(ctx context.Context, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) (sti.Result, sti.Provenance, error) {
 	var res sti.Result
+	var prov sti.Provenance
+	rec := trace.FromContext(ctx)
+	enq := time.Now()
 	j, err := s.submit(ctx, func(ev *sti.Evaluator) {
+		rec.Annotate("queue_wait_seconds", time.Since(enq).Seconds())
 		t := telScoreSecs.Start()
-		if trajs != nil {
-			res = ev.Evaluate(m, ego, actors, trajs)
-		} else {
-			res = ev.EvaluateWithPrediction(m, ego, actors)
+		start := time.Now()
+		tt := trajs
+		if tt == nil {
+			sp := rec.StartSpan("server.predict")
+			tt = actor.PredictAll(actors, s.cfg.Reach.NumSlices(), s.cfg.Reach.SliceDt)
+			sp.End()
 		}
+		sp := rec.StartSpan("server.evaluate")
+		res, prov = ev.EvaluateTraced(ctx, m, ego, actors, tt)
+		sp.End()
 		t.Stop()
+		s.noteScore(time.Since(start))
 		telScenes.Inc()
 	})
 	if err != nil {
-		return res, err
+		return res, prov, err
 	}
 	select {
 	case <-j.done:
-		return res, nil
+		rec.Annotate("engine", prov.Engine)
+		rec.Annotate("cache_state", prov.CacheState)
+		rec.Annotate("combined_sti", res.Combined)
+		if len(res.PerActor) > 0 {
+			rec.Annotate("per_actor_sti", append([]float64(nil), res.PerActor...))
+		}
+		return res, prov, nil
 	case <-ctx.Done():
 		telTimeouts.Inc()
-		return res, ctx.Err()
+		return res, prov, ctx.Err()
 	}
 }
 

@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/monitor"
 	"repro/internal/sti"
+	"repro/internal/telemetry/trace"
 )
 
 // A session wraps one internal/monitor.Monitor — the paper's §V-A/V-B
@@ -102,18 +104,16 @@ type SessionRiskResponse struct {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	defer telRequestSecs.Start().Stop()
-	telRequests.Inc()
 	var req SessionCreateRequest
 	// An empty body opens a default session; a malformed one is a 400.
 	if err := decodeJSONBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	if req.Stride < 0 {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stride must be >= 0"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stride must be >= 0"})
 		return
 	}
 	// Sessions share the pool's evaluators: observations are scored by
@@ -121,18 +121,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// evaluator for its reach configuration.
 	sess, err := s.sessions.create(monitor.NewWithEvaluator(s.pool[0], max(req.Stride, 1)))
 	if err != nil {
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusCreated, SessionCreateResponse{ID: sess.ID})
+	s.writeJSON(w, http.StatusCreated, SessionCreateResponse{ID: sess.ID})
 }
 
 func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
-	defer telRequestSecs.Start().Stop()
-	telRequests.Inc()
 	sess, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
 		return
 	}
 	sc, ok := s.readScene(w, r)
@@ -142,31 +140,38 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 	m, ego, actors, trajs, hasTrajs, err := sc.Materialize()
 	if err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	rec := trace.FromContext(ctx)
+	enq := time.Now()
 	var sample monitor.Sample
 	j, err := s.submit(ctx, func(ev *sti.Evaluator) {
+		rec.Annotate("queue_wait_seconds", time.Since(enq).Seconds())
 		t := telScoreSecs.Start()
+		start := time.Now()
+		sp := rec.StartSpan("server.observe")
 		sample = sess.mon.Observe(m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs), sc.Time)
+		sp.End()
 		t.Stop()
+		s.noteScore(time.Since(start))
 		telScenes.Inc()
 	})
 	if err != nil {
 		telRejectedFull.Inc()
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full"})
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full"})
 		return
 	}
 	select {
 	case <-j.done:
 	case <-ctx.Done():
 		telTimeouts.Inc()
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+		s.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
 		return
 	}
-	writeJSON(w, http.StatusOK, SessionObserveResponse{
+	s.writeJSON(w, http.StatusOK, SessionObserveResponse{
 		Version:         ScoreVersion,
 		Time:            sample.Time,
 		STI:             sample.STI,
@@ -177,24 +182,22 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionRisk(w http.ResponseWriter, r *http.Request) {
-	defer telRequestSecs.Start().Stop()
-	telRequests.Inc()
 	sess, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
 		return
 	}
 	threshold, err := queryThreshold(r)
 	if err != nil {
 		telRejectedBad.Inc()
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	intervals := sess.mon.RiskyIntervals(threshold)
 	if intervals == nil {
 		intervals = [][2]float64{}
 	}
-	writeJSON(w, http.StatusOK, SessionRiskResponse{
+	s.writeJSON(w, http.StatusOK, SessionRiskResponse{
 		Version:        ScoreVersion,
 		Samples:        sess.mon.Len(),
 		PeakSTI:        sess.mon.PeakSTI(),
@@ -204,10 +207,8 @@ func (s *Server) handleSessionRisk(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	defer telRequestSecs.Start().Stop()
-	telRequests.Inc()
 	if !s.sessions.remove(r.PathValue("id")) {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session"})
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -64,6 +64,13 @@ func newEmptyCache() *emptyCache {
 // translation-invariant map families. scr is the caller's scratch; it is
 // only used if this goroutine ends up computing a tube itself.
 func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State, scr *reach.Scratch) float64 {
+	v, _ := e.emptyVolumeState(m, ego, scr)
+	return v
+}
+
+// emptyVolumeState is emptyVolume plus the cache outcome (CacheHit,
+// CacheMiss or CacheBypass) for risk provenance.
+func (e *Evaluator) emptyVolumeState(m roadmap.Map, ego vehicle.State, scr *reach.Scratch) (float64, string) {
 	switch road := m.(type) {
 	case *roadmap.StraightRoad:
 		// The cached volume is computed at the segment centre, so it is only
@@ -88,9 +95,10 @@ func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State, scr *reach.Scr
 		}
 		// Normalise x to the segment centre so the key is position-free.
 		rep.Pos.X = (road.XMin + road.XMax) / 2
-		return e.cache.lookup(key, func() float64 {
+		v, hit := e.cache.lookup(key, func() float64 {
 			return reach.ComputeScratch(m, nil, rep, e.cfg, scr).Volume
 		})
+		return v, cacheStateOf(hit)
 	case *roadmap.RingRoad:
 		radial := ego.Pos.Dist(road.Center)
 		tangent := geom.NormalizeAngle(road.AngleOf(ego.Pos) + math.Pi/2)
@@ -103,12 +111,20 @@ func (e *Evaluator) emptyVolume(m roadmap.Map, ego vehicle.State, scr *reach.Scr
 		rep := vehicle.State{Speed: dequantize(key.speed, cacheSpeedQ)}
 		rep.Pos, rep.Heading = road.PoseAt(dequantize(key.lat, cacheLatQ), 0)
 		rep.Heading = geom.NormalizeAngle(rep.Heading + dequantize(key.heading, cacheHeadingQ))
-		return e.cache.lookup(key, func() float64 {
+		v, hit := e.cache.lookup(key, func() float64 {
 			return reach.ComputeScratch(m, nil, rep, e.cfg, scr).Volume
 		})
+		return v, cacheStateOf(hit)
 	}
 	telCacheBypass.Inc()
-	return reach.ComputeScratch(m, nil, ego, e.cfg, scr).Volume
+	return reach.ComputeScratch(m, nil, ego, e.cfg, scr).Volume, CacheBypass
+}
+
+func cacheStateOf(hit bool) string {
+	if hit {
+		return CacheHit
+	}
+	return CacheMiss
 }
 
 // xClearance bounds how far a reach tube rooted at ego can extend along the
@@ -149,17 +165,18 @@ func minTurnRadius(p vehicle.Params) float64 {
 }
 
 // lookup returns the cached value for key, computing it via compute on the
-// first request. Concurrent misses on the same key are collapsed
-// (singleflight): exactly one caller runs compute, the others block until
-// the value is published. compute runs outside the cache mutex so distinct
-// keys compute concurrently.
-func (c *emptyCache) lookup(key emptyKey, compute func() float64) float64 {
+// first request, plus whether the lookup was a hit (a wait on another
+// goroutine's in-flight computation counts as one). Concurrent misses on
+// the same key are collapsed (singleflight): exactly one caller runs
+// compute, the others block until the value is published. compute runs
+// outside the cache mutex so distinct keys compute concurrently.
+func (c *emptyCache) lookup(key emptyKey, compute func() float64) (float64, bool) {
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
 		c.mu.Unlock()
 		telCacheHits.Inc()
 		<-e.done
-		return e.val
+		return e.val, true
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.m[key] = e
@@ -167,7 +184,7 @@ func (c *emptyCache) lookup(key emptyKey, compute func() float64) float64 {
 	telCacheMisses.Inc()
 	defer close(e.done)
 	e.val = compute()
-	return e.val
+	return e.val, false
 }
 
 // Len returns the number of cached buckets (diagnostics).

@@ -85,7 +85,7 @@ func TestEmptyCacheSingleflight(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			started.Done()
-			results[i] = c.lookup(key, compute)
+			results[i], _ = c.lookup(key, compute)
 		}(i)
 	}
 	started.Wait()

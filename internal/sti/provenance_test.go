@@ -1,0 +1,107 @@
+package sti
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/reach"
+	"repro/internal/telemetry/trace"
+	"repro/internal/vehicle"
+)
+
+func blockingActors(n int) []*actor.Actor {
+	actors := make([]*actor.Actor, n)
+	for i := range actors {
+		// Stopped vehicles straddling the ego's lane directly ahead, so every
+		// one of them blocks escape routes and the counterfactuals matter.
+		actors[i] = actor.NewVehicle(i, vehicle.State{Pos: ego(12+float64(6*i), 1.75, 0).Pos})
+	}
+	return actors
+}
+
+// TestEvaluateTracedMatchesEvaluate: tracing must observe, never perturb.
+func TestEvaluateTracedMatchesEvaluate(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		e, err := NewEvaluatorOptions(reach.DefaultConfig(), Options{SharedExpansion: shared})
+		if err != nil {
+			t.Fatal(err)
+		}
+		actors := blockingActors(3)
+		trajs := groundTruth(e, actors)
+		want := e.Evaluate(testRoad(), ego(0, 1.75, 10), actors, trajs)
+		ctx := trace.NewContext(context.Background(), trace.NewRecorder(trace.NewID()))
+		got, _ := e.EvaluateTraced(ctx, testRoad(), ego(0, 1.75, 10), actors, trajs)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shared=%v: traced result diverged:\nwant %+v\ngot  %+v", shared, want, got)
+		}
+	}
+}
+
+func TestProvenanceEngines(t *testing.T) {
+	ctxOf := func() (context.Context, *trace.Recorder) {
+		rec := trace.NewRecorder(trace.NewID())
+		return trace.NewContext(context.Background(), rec), rec
+	}
+	spanNames := func(rec *trace.Recorder) map[string]bool {
+		names := map[string]bool{}
+		for _, sp := range rec.Spans() {
+			names[sp.Name] = true
+		}
+		return names
+	}
+
+	legacy := MustNewEvaluator(reach.DefaultConfig())
+	shared, err := NewEvaluatorOptions(reach.DefaultConfig(), Options{SharedExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actors := blockingActors(3)
+	trajs := groundTruth(legacy, actors)
+
+	ctx, rec := ctxOf()
+	_, prov := legacy.EvaluateTraced(ctx, testRoad(), ego(0, 1.75, 10), actors, trajs)
+	if prov.Engine != EngineLegacy {
+		t.Errorf("legacy engine = %q", prov.Engine)
+	}
+	if prov.CacheState != CacheMiss {
+		t.Errorf("first legacy eval cache state = %q, want %q", prov.CacheState, CacheMiss)
+	}
+	if names := spanNames(rec); !names["reach.empty_tube"] || !names["reach.base_tube"] || !names["reach.counterfactual_tubes"] {
+		t.Errorf("legacy spans = %v", names)
+	}
+
+	ctx, rec = ctxOf()
+	_, prov = shared.EvaluateTraced(ctx, testRoad(), ego(0, 1.75, 10), actors, trajs)
+	if prov.Engine != EngineShared {
+		t.Errorf("shared engine = %q", prov.Engine)
+	}
+	if prov.MaskWidth != len(actors) {
+		t.Errorf("mask width = %d, want %d", prov.MaskWidth, len(actors))
+	}
+	if names := spanNames(rec); !names["reach.empty_tube"] || !names["reach.shared_expansion"] {
+		t.Errorf("shared spans = %v", names)
+	}
+	// Second evaluation of the same pose hits the empty-volume cache.
+	ctx, _ = ctxOf()
+	_, prov = shared.EvaluateTraced(ctx, testRoad(), ego(0, 1.75, 10), actors, trajs)
+	if prov.CacheState != CacheHit {
+		t.Errorf("repeat cache state = %q, want %q", prov.CacheState, CacheHit)
+	}
+
+	ctx, _ = ctxOf()
+	_, prov = legacy.EvaluateTraced(ctx, testRoad(), ego(0, 1.75, 10), nil, nil)
+	if prov.Engine != EngineEmpty || prov.CacheState != CacheBypass {
+		t.Errorf("empty-scene provenance = %+v", prov)
+	}
+
+	// No recorder in context: identical results, no spans, no panic.
+	res, prov := shared.EvaluateTraced(context.Background(), testRoad(), ego(0, 1.75, 10), actors, trajs)
+	if prov.Engine != EngineShared {
+		t.Errorf("untraced ctx engine = %q", prov.Engine)
+	}
+	if want := shared.Evaluate(testRoad(), ego(0, 1.75, 10), actors, trajs); !reflect.DeepEqual(res, want) {
+		t.Error("untraced-ctx result diverged from Evaluate")
+	}
+}

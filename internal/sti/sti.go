@@ -11,6 +11,7 @@
 package sti
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/reach"
 	"repro/internal/roadmap"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/vehicle"
 )
 
@@ -156,25 +158,48 @@ func (e *Evaluator) SharedExpansion() bool { return e.shared }
 // map m, given each actor's (predicted or ground-truth) trajectory.
 // trajs[i] must correspond to actors[i].
 func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) Result {
+	res, _ := e.evaluate(nil, m, ego, actors, trajs)
+	return res
+}
+
+// EvaluateTraced is Evaluate with request-scoped tracing and risk
+// provenance: spans land on the trace.Recorder carried by ctx (if any), and
+// the returned Provenance reports which engine scored the scene, the
+// empty-volume cache outcome and the certificate work skipped. With no
+// recorder in ctx the result is identical to Evaluate.
+func (e *Evaluator) EvaluateTraced(ctx context.Context, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) (Result, Provenance) {
+	return e.evaluate(trace.FromContext(ctx), m, ego, actors, trajs)
+}
+
+// evaluate is the shared body of Evaluate and EvaluateTraced. rec may be
+// nil (the common untraced path); every span call is nil-safe, so tracing
+// costs the hot path one pointer check per call site.
+func (e *Evaluator) evaluate(rec *trace.Recorder, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory) (Result, Provenance) {
 	defer telEvalSeconds.Start().Stop()
 	telEvaluations.Inc()
 	telActorsPerEval.Observe(float64(len(actors)))
 	scr := e.takeScratch()
 	defer e.putScratch(scr)
 	if len(actors) == 0 {
+		sp := rec.StartSpan("reach.empty_tube")
 		vol := reach.ComputeScratch(m, nil, ego, e.cfg, scr).Volume
-		return Result{BaseVolume: vol, EmptyVolume: vol}
+		sp.End()
+		return Result{BaseVolume: vol, EmptyVolume: vol}, Provenance{Engine: EngineEmpty, CacheState: CacheBypass}
 	}
 	// Single-actor scenes stay on the legacy path even under
 	// SharedExpansion: |T^{/0}| = |T^∅| comes from the empty-volume cache,
 	// so the legacy path is already two tubes (one on a cache hit) and the
 	// masked expansion has nothing to share.
 	if e.shared && len(actors) > 1 {
-		return e.evaluateShared(m, ego, actors, trajs, scr)
+		return e.evaluateShared(rec, m, ego, actors, trajs, scr)
 	}
+	prov := Provenance{Engine: EngineLegacy}
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
 
-	emptyVol := e.emptyVolume(m, ego, scr)
+	sp := rec.StartSpan("reach.empty_tube")
+	emptyVol, cacheState := e.emptyVolumeState(m, ego, scr)
+	sp.Annotate("cache_state", cacheState).End()
+	prov.CacheState = cacheState
 	// The base tube records which actors ever exclusively blocked a
 	// candidate footprint. An unmarked actor never changed a collision
 	// verdict on its own, so the deterministic expansion without it is
@@ -182,7 +207,9 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	// skipped (the dominant cost on sparse scenes, where most actors never
 	// touch the tube).
 	marks := make([]bool, len(actors))
+	sp = rec.StartSpan("reach.base_tube")
 	base := reach.ComputeScratch(m, obs.CollideRecording(marks), ego, e.cfg, scr)
+	sp.End()
 
 	res := Result{
 		PerActor:      make([]float64, len(actors)),
@@ -193,7 +220,7 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	if emptyVol <= 0 {
 		// The ego has no escape routes even in an empty world (off-road or
 		// wedged); actors cannot be responsible, so STI is defined as zero.
-		return res
+		return res, prov
 	}
 	res.Combined = snap(clamp01((emptyVol - base.Volume) / emptyVol))
 
@@ -205,10 +232,11 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 	// counterfactual tubes.
 	if res.Combined == 0 {
 		telElided.Add(int64(len(actors)))
+		prov.ElidedActors = len(actors)
 		for i := range actors {
 			res.WithoutVolume[i] = base.Volume
 		}
-		return res
+		return res, prov
 	}
 
 	// work collects the actors whose counterfactual actually needs a tube.
@@ -228,14 +256,16 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 		}
 	}
 	telElided.Add(int64(len(actors) - len(work)))
+	prov.ElidedActors = len(actors) - len(work)
 	if len(work) == 0 {
-		return res
+		return res, prov
 	}
 
 	// Fan the remaining independent |T^{/i}| counterfactuals out over a
 	// bounded worker pool. Each index is claimed atomically and written to
 	// its own slot of the pre-sized result slices, so the output is
 	// identical to the serial loop regardless of scheduling.
+	sp = rec.StartSpan("reach.counterfactual_tubes")
 	e.fanOut(work, scr, func(i int, ws *reach.Scratch) {
 		t := telActorTubeSeconds.Start()
 		wo := reach.ComputeScratch(m, obs.CollideWithout(i), ego, e.cfg, ws)
@@ -243,7 +273,8 @@ func (e *Evaluator) Evaluate(m roadmap.Map, ego vehicle.State, actors []*actor.A
 		res.WithoutVolume[i] = wo.Volume
 		res.PerActor[i] = snap(clamp01((wo.Volume - base.Volume) / emptyVol))
 	})
-	return res
+	sp.Annotate("tubes", len(work)).End()
+	return res, prov
 }
 
 // fanOut runs fn(i, scratch) for every index in work over the evaluator's
@@ -289,13 +320,18 @@ func (e *Evaluator) fanOut(work []int, scr *reach.Scratch, fn func(i int, ws *re
 // is bitwise-identical to the legacy path, including its reporting
 // conventions: the cached |T^∅| backs every ratio, and the dead-band
 // certificate reports |T| for the without-volumes it skips.
-func (e *Evaluator) evaluateShared(m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, scr *reach.Scratch) Result {
+func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, scr *reach.Scratch) (Result, Provenance) {
 	defer telSharedSeconds.Start().Stop()
 	telSharedEvals.Inc()
+	prov := Provenance{Engine: EngineShared}
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
-	emptyVol := e.emptyVolume(m, ego, scr)
-	sh := reach.ComputeCounterfactuals(m, obs, ego, e.cfg, scr)
+	sp := rec.StartSpan("reach.empty_tube")
+	emptyVol, cacheState := e.emptyVolumeState(m, ego, scr)
+	sp.Annotate("cache_state", cacheState).End()
+	prov.CacheState = cacheState
+	sh := reach.ComputeCounterfactualsTraced(rec, m, obs, ego, e.cfg, scr)
 	telSharedMaskWidth.Observe(float64(sh.Represented))
+	prov.MaskWidth = sh.Represented
 
 	res := Result{
 		PerActor:      make([]float64, len(actors)),
@@ -305,7 +341,7 @@ func (e *Evaluator) evaluateShared(m roadmap.Map, ego vehicle.State, actors []*a
 	}
 	if emptyVol <= 0 {
 		// No escape routes even in an empty world; STI is defined as zero.
-		return res
+		return res, prov
 	}
 	res.Combined = snap(clamp01((emptyVol - sh.BaseVolume) / emptyVol))
 
@@ -314,10 +350,11 @@ func (e *Evaluator) evaluateShared(m roadmap.Map, ego vehicle.State, actors []*a
 	// reporting exactly — |T| stands in for the without-volumes.
 	if res.Combined == 0 {
 		telElided.Add(int64(len(actors)))
+		prov.ElidedActors = len(actors)
 		for i := range actors {
 			res.WithoutVolume[i] = sh.BaseVolume
 		}
-		return res
+		return res, prov
 	}
 
 	for i := 0; i < sh.Represented; i++ {
@@ -342,6 +379,9 @@ func (e *Evaluator) evaluateShared(m roadmap.Map, ego vehicle.State, actors []*a
 		}
 		telElided.Add(int64(len(sh.SpillBlocked) - len(work)))
 		telSharedFallback.Add(int64(len(work)))
+		prov.ElidedActors = len(sh.SpillBlocked) - len(work)
+		prov.SpilloverTubes = len(work)
+		sp = rec.StartSpan("reach.fallback_tubes")
 		e.fanOut(work, scr, func(i int, ws *reach.Scratch) {
 			t := telActorTubeSeconds.Start()
 			wo := reach.ComputeScratch(m, obs.CollideWithout(i), ego, e.cfg, ws)
@@ -349,8 +389,9 @@ func (e *Evaluator) evaluateShared(m roadmap.Map, ego vehicle.State, actors []*a
 			res.WithoutVolume[i] = wo.Volume
 			res.PerActor[i] = snap(clamp01((wo.Volume - sh.BaseVolume) / emptyVol))
 		})
+		sp.Annotate("tubes", len(work)).End()
 	}
-	return res
+	return res, prov
 }
 
 // deadBand absorbs the bounded quantisation error of the cached empty-world

@@ -24,27 +24,49 @@ type Event struct {
 // per-event call sites stay unconditional.
 type Journal struct {
 	mu     sync.Mutex
-	enc    *json.Encoder
+	w      io.Writer
 	closer io.Closer
 	err    error
+
+	// Size-capped rotation (OpenJournalRotating): when appending would push
+	// the current file past maxBytes it is renamed to path+".1" (replacing
+	// any previous rotation) and a fresh file is started, bounding a
+	// long-running iprism-serve's disk use at ~2x the cap.
+	path     string
+	maxBytes int64
+	written  int64
+	bw       *bufio.Writer
+	f        *os.File
 }
 
 // NewJournal wraps an existing writer. The caller keeps ownership of w.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{enc: json.NewEncoder(w)}
+	return &Journal{w: w}
 }
 
-// OpenJournal creates (truncating) a journal file at path. Close flushes
-// and closes the file.
+// OpenJournal creates (truncating) a journal file at path with no size cap.
+// Close flushes and closes the file.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalRotating(path, 0)
+}
+
+// OpenJournalRotating creates (truncating) a journal file at path that
+// rotates to path+".1" whenever appending would exceed maxBytes (0
+// disables rotation). At most two files exist at any time: the live
+// journal and the previous generation, so disk use stays bounded on
+// long-running services.
+func OpenJournalRotating(path string, maxBytes int64) (*Journal, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: open journal: %w", err)
 	}
 	bw := bufio.NewWriter(f)
-	j := NewJournal(bw)
-	j.closer = &flushCloser{bw: bw, f: f}
-	return j, nil
+	return &Journal{
+		w:      bw,
+		closer: &flushCloser{bw: bw, f: f},
+		path:   path, maxBytes: maxBytes,
+		bw: bw, f: f,
+	}, nil
 }
 
 type flushCloser struct {
@@ -67,7 +89,42 @@ func (j *Journal) Emit(event string, fields map[string]any) {
 	if j.err != nil {
 		return
 	}
-	j.err = j.enc.Encode(Event{TS: time.Now(), Event: event, Fields: fields})
+	line, err := json.Marshal(Event{TS: time.Now(), Event: event, Fields: fields})
+	if err != nil {
+		j.err = err
+		return
+	}
+	line = append(line, '\n')
+	if j.maxBytes > 0 && j.written > 0 && j.written+int64(len(line)) > j.maxBytes {
+		if err := j.rotate(); err != nil {
+			j.err = err
+			return
+		}
+	}
+	_, j.err = j.w.Write(line)
+	j.written += int64(len(line))
+}
+
+// rotate closes the live file, shifts it to path+".1" (replacing the
+// previous generation) and starts a fresh file. Callers hold j.mu.
+func (j *Journal) rotate() error {
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(j.path, j.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.Create(j.path)
+	if err != nil {
+		return err
+	}
+	j.f, j.bw, j.written = f, bufio.NewWriter(f), 0
+	j.w = j.bw
+	j.closer = &flushCloser{bw: j.bw, f: f}
+	return nil
 }
 
 // Err returns the first write error, if any.

@@ -60,13 +60,28 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// ex[i] is the latest exemplar landing in bucket i (last-write-wins),
+	// linking the bucket — a p99 spike, say — to the TraceID that caused it.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it, exposed in
+// the OpenMetrics exposition as `# {trace_id="..."} value timestamp`.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	TS      time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
 	sort.Float64s(bs)
-	h := &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h := &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 	h.resetExtrema()
 	return h
 }
@@ -88,6 +103,34 @@ func (h *Histogram) Observe(v float64) {
 	atomicMaxFloat(&h.maxBits, v)
 }
 
+// ObserveExemplar records one sample like Observe and, when traceID is
+// non-empty, additionally stamps the sample's bucket with an exemplar so
+// the exposition can link latency buckets to offending traces. It belongs
+// on request-scoped paths (one call per HTTP request), not per-tick inner
+// loops: each call allocates one Exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if !enabled.Load() || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v, TS: time.Now()})
+	}
+}
+
+// exemplarAt returns bucket i's latest exemplar, or nil.
+func (h *Histogram) exemplarAt(i int) *Exemplar {
+	if i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
+}
+
 // Count returns the total number of samples observed.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -95,6 +138,9 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) Reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)
+	}
+	for i := range h.ex {
+		h.ex[i].Store(nil)
 	}
 	h.count.Store(0)
 	h.sumBits.Store(0)

@@ -9,9 +9,16 @@ import (
 	"strings"
 )
 
-// Prometheus text-format exposition (version 0.0.4) for the registry, so
-// the production service story can be scraped by any Prometheus-compatible
-// collector without adding a client-library dependency.
+// Prometheus exposition for the registry, so the production service story
+// can be scraped by any Prometheus-compatible collector without adding a
+// client-library dependency. Two wire formats are spoken:
+//
+//   - text format 0.0.4 (the default): HELP/TYPE comments and plain
+//     samples, safe for every scraper;
+//   - OpenMetrics 1.0 (negotiated via `Accept: application/openmetrics-text`):
+//     adds histogram bucket exemplars — `# {trace_id="..."} value ts` —
+//     linking latency buckets to the TraceIDs that landed in them, and the
+//     mandatory `# EOF` terminator.
 //
 // Metric names are sanitised to the Prometheus charset and prefixed with
 // "iprism_": the counter "sti.evaluations" becomes
@@ -19,9 +26,20 @@ import (
 // becomes "iprism_sti_evaluate_seconds" with cumulative _bucket/_sum/_count
 // series.
 
-// WritePrometheus writes every registered metric in Prometheus text format.
-// Output is sorted by metric name so scrapes are deterministic.
+// WritePrometheus writes every registered metric in Prometheus text format
+// 0.0.4. Output is sorted by metric name so scrapes are deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the registry in OpenMetrics format, including
+// histogram exemplars and the `# EOF` terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
+	r.collect()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
@@ -35,32 +53,71 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	help := make(map[string]string, len(r.help))
+	for name, h := range r.help {
+		help[name] = h
+	}
 	r.mu.Unlock()
 
 	for _, name := range sortedKeys(counters) {
-		pn := promName(name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value()); err != nil {
+		// The text format conventionally declares the full sample name; the
+		// OpenMetrics metric family drops the _total suffix, which reappears
+		// on the sample line.
+		family := promName(name) + "_total"
+		sample := family
+		if openMetrics {
+			family = promName(name)
+		}
+		if err := writeHeader(w, family, "counter", helpFor(help, name, "counter")); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", sample, counters[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(gauges) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gauges[name].Value())); err != nil {
+		if err := writeHeader(w, pn, "gauge", helpFor(help, name, "gauge")); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", pn, promFloat(gauges[name].Value())); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(hists) {
-		if err := writePromHistogram(w, promName(name), hists[name]); err != nil {
+		pn := promName(name)
+		if err := writeHeader(w, pn, "histogram", helpFor(help, name, "histogram")); err != nil {
+			return err
+		}
+		if err := writePromHistogram(w, pn, hists[name], openMetrics); err != nil {
+			return err
+		}
+	}
+	if openMetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
-		return err
+// writeHeader emits the HELP then TYPE comment pair for one metric family
+// (HELP first, the order promlint and the OpenMetrics ABNF require).
+func writeHeader(w io.Writer, family, typ, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", family, escapeHelp(help), family, typ)
+	return err
+}
+
+// helpFor resolves a metric's HELP text: the registered string, or a
+// generated default naming the registry metric.
+func helpFor(help map[string]string, name, kind string) string {
+	if h, ok := help[name]; ok && h != "" {
+		return h
 	}
+	return fmt.Sprintf("iprism %s %s.", kind, name)
+}
+
+func writePromHistogram(w io.Writer, pn string, h *Histogram, exemplars bool) error {
 	cum := uint64(0)
 	for i := range h.counts {
 		cum += h.counts[i].Load()
@@ -68,7 +125,18 @@ func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
 		if i < len(h.bounds) {
 			le = promFloat(h.bounds[i])
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d", pn, le, cum); err != nil {
+			return err
+		}
+		if exemplars {
+			if ex := h.exemplarAt(i); ex != nil {
+				if _, err := fmt.Fprintf(w, " # {trace_id=\"%s\"} %s %.3f",
+					escapeLabelValue(ex.TraceID), promFloat(ex.Value), float64(ex.TS.UnixMilli())/1000); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}
@@ -80,10 +148,16 @@ func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
 	return err
 }
 
-// MetricsHandler serves the registry in Prometheus text format; mounted at
+// MetricsHandler serves the registry in Prometheus text format, upgrading
+// to OpenMetrics (with exemplars) when the scraper asks for it; mounted at
 // /metrics by telemetry.Serve and by the scoring service.
 func (r *Registry) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
@@ -117,6 +191,21 @@ func promFloat(v float64) string {
 		return "NaN"
 	}
 	return fmt.Sprintf("%g", v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash
+// and newline (HELP text may contain raw double quotes).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, newline and double
+// quote.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -1,0 +1,440 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition is a promlint-style conformance checker for the /metrics
+// output: it validates the structural contract scrapers rely on, so a
+// regression in the hand-rolled exposition writer fails a table test (and
+// the verify.sh observability smoke) instead of a production scrape.
+//
+// Checks, per metric family:
+//
+//   - `# HELP` precedes `# TYPE`; each is declared at most once;
+//   - TYPE is a known metric type; sample names match the Prometheus
+//     charset; counters end in `_total`;
+//   - samples follow their family's declaration without interleaving, and
+//     no sample (name + label set) repeats;
+//   - label syntax is well-formed, with escape sequences limited to
+//     \\ \" \n;
+//   - histograms expose `_sum` and `_count`, a `+Inf` bucket equal to
+//     `_count`, and cumulative bucket counts that are monotone in le order;
+//   - in OpenMetrics mode: the exposition ends with `# EOF`, and bucket
+//     exemplars (` # {...} value [ts]`) carry well-formed label sets.
+//
+// The returned slice is empty for a conformant exposition.
+func LintExposition(data []byte, openMetrics bool) []error {
+	l := &linter{openMetrics: openMetrics, types: map[string]string{}, help: map[string]bool{}}
+	lines := strings.Split(string(data), "\n")
+	sawEOF := false
+	for i, line := range lines {
+		no := i + 1
+		switch {
+		case line == "":
+			if i != len(lines)-1 && openMetrics {
+				l.errf(no, "blank line inside OpenMetrics exposition")
+			}
+		case sawEOF:
+			l.errf(no, "content after # EOF")
+		case line == "# EOF":
+			if !openMetrics {
+				l.errf(no, "# EOF terminator in text-format exposition")
+			}
+			sawEOF = true
+		case strings.HasPrefix(line, "# HELP "):
+			l.helpLine(no, line)
+		case strings.HasPrefix(line, "# TYPE "):
+			l.typeLine(no, line)
+		case strings.HasPrefix(line, "#"):
+			if openMetrics {
+				l.errf(no, "comment %q not allowed in OpenMetrics", line)
+			}
+		default:
+			l.sampleLine(no, line)
+		}
+	}
+	if openMetrics && !sawEOF {
+		l.errf(len(lines), "missing # EOF terminator")
+	}
+	l.finishFamily()
+	return l.errs
+}
+
+type linter struct {
+	openMetrics bool
+	errs        []error
+	types       map[string]string // family -> type
+	help        map[string]bool
+	seen        map[string]bool // samples of the current family
+
+	family     string // family currently accepting samples
+	histBucket histState
+}
+
+// histState accumulates histogram-shape evidence while a histogram
+// family's samples stream by.
+type histState struct {
+	prevLe  float64
+	prev    float64
+	started bool
+	infSeen bool
+	inf     float64
+	sum     bool
+	count   float64
+	hasCnt  bool
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true,
+	"untyped": true, "unknown": true,
+}
+
+func validName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func (l *linter) helpLine(no int, line string) {
+	rest := strings.TrimPrefix(line, "# HELP ")
+	name, _, ok := strings.Cut(rest, " ")
+	if !ok || !validName(name) {
+		l.errf(no, "malformed HELP line %q", line)
+		return
+	}
+	if l.help[name] {
+		l.errf(no, "duplicate HELP for %s", name)
+	}
+	if _, declared := l.types[name]; declared {
+		l.errf(no, "HELP for %s after its TYPE (HELP must come first)", name)
+	}
+	l.help[name] = true
+}
+
+func (l *linter) typeLine(no int, line string) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		l.errf(no, "malformed TYPE line %q", line)
+		return
+	}
+	name, typ := fields[2], fields[3]
+	if !validName(name) {
+		l.errf(no, "invalid metric name %q", name)
+	}
+	if !validTypes[typ] {
+		l.errf(no, "unknown metric type %q", typ)
+	}
+	if _, dup := l.types[name]; dup {
+		l.errf(no, "duplicate TYPE for %s", name)
+	}
+	if !l.help[name] {
+		l.errf(no, "TYPE for %s without preceding HELP", name)
+	}
+	if typ == "counter" && !l.openMetrics && !strings.HasSuffix(name, "_total") {
+		// In the text format the declared sample name carries the suffix;
+		// OpenMetrics families drop it.
+		l.errf(no, "counter %s should end in _total", name)
+	}
+	l.types[name] = typ
+	l.finishFamily()
+	l.family = name
+	l.seen = map[string]bool{}
+	l.histBucket = histState{prevLe: math.Inf(-1)}
+}
+
+// familyOf maps a sample name onto the family it must belong to, given the
+// declared families.
+func (l *linter) familyOf(sample string) (string, bool) {
+	if _, ok := l.types[sample]; ok {
+		return sample, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count", "_total"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base != sample {
+			if _, ok := l.types[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (l *linter) sampleLine(no int, line string) {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		l.errf(no, "%v", err)
+		return
+	}
+	if !validName(name) {
+		l.errf(no, "invalid sample name %q", name)
+		return
+	}
+	family, ok := l.familyOf(name)
+	if !ok {
+		l.errf(no, "sample %s without a TYPE declaration", name)
+		return
+	}
+	if family != l.family {
+		l.errf(no, "sample %s interleaved: family %s is not the most recently declared (%s)", name, family, l.family)
+	}
+	if l.seen != nil {
+		key := name + "{" + labels + "}"
+		if l.seen[key] {
+			l.errf(no, "duplicate sample %s", key)
+		}
+		l.seen[key] = true
+	}
+	labelMap, err := parseLabels(labels)
+	if err != nil {
+		l.errf(no, "sample %s: %v", name, err)
+		return
+	}
+
+	// Value, optionally followed by a timestamp, optionally followed by an
+	// exemplar (OpenMetrics buckets only).
+	valuePart, exemplar, hasExemplar := strings.Cut(rest, " # ")
+	if hasExemplar {
+		if !l.openMetrics {
+			l.errf(no, "exemplar on %s in text-format exposition", name)
+		} else if !strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_total") {
+			l.errf(no, "exemplar on %s (only buckets and counters may carry exemplars)", name)
+		} else if err := lintExemplar(exemplar); err != nil {
+			l.errf(no, "sample %s exemplar: %v", name, err)
+		}
+	}
+	valueFields := strings.Fields(valuePart)
+	if len(valueFields) < 1 || len(valueFields) > 2 {
+		l.errf(no, "sample %s: want 'value [timestamp]', got %q", name, valuePart)
+		return
+	}
+	value, err := parsePromFloat(valueFields[0])
+	if err != nil {
+		l.errf(no, "sample %s: bad value %q", name, valueFields[0])
+		return
+	}
+
+	// Histogram-shape accounting for the current family.
+	if l.types[family] == "histogram" {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, ok := labelMap["le"]
+			if !ok {
+				l.errf(no, "bucket %s without le label", name)
+				return
+			}
+			leV, err := parsePromFloat(le)
+			if err != nil {
+				l.errf(no, "bucket %s: bad le %q", name, le)
+				return
+			}
+			hb := &l.histBucket
+			if hb.started && leV <= hb.prevLe {
+				l.errf(no, "bucket le=%q out of order", le)
+			}
+			if value < hb.prev {
+				l.errf(no, "bucket le=%q count %v below previous bucket %v (not cumulative)", le, value, hb.prev)
+			}
+			hb.prev, hb.prevLe, hb.started = value, leV, true
+			if math.IsInf(leV, 1) {
+				hb.infSeen, hb.inf = true, value
+			}
+		case strings.HasSuffix(name, "_sum"):
+			l.histBucket.sum = true
+		case strings.HasSuffix(name, "_count"):
+			l.histBucket.count, l.histBucket.hasCnt = value, true
+		}
+	}
+}
+
+// finishFamily closes out histogram-shape checks for the family whose
+// samples just ended.
+func (l *linter) finishFamily() {
+	if l.family == "" {
+		return
+	}
+	if l.types[l.family] == "histogram" {
+		hb := l.histBucket
+		if !hb.infSeen {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: missing +Inf bucket", l.family))
+		}
+		if !hb.sum {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: missing _sum", l.family))
+		}
+		if !hb.hasCnt {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: missing _count", l.family))
+		} else if hb.infSeen && hb.inf != hb.count {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", l.family, hb.inf, hb.count))
+		}
+	}
+	l.family = ""
+}
+
+// splitSample splits `name{labels} value ...` into its parts; labels is the
+// raw text between the braces ("" when absent).
+func splitSample(line string) (name, labels, rest string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		// The closing brace must be found outside quoted label values.
+		j, e := closingBrace(line, i)
+		if e != nil {
+			return "", "", "", e
+		}
+		labels = line[i+1 : j]
+		rest = strings.TrimPrefix(line[j+1:], " ")
+		return name, labels, rest, nil
+	}
+	name, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, "", rest, nil
+}
+
+// closingBrace finds the index of the brace closing the label set opened at
+// open, skipping quoted values.
+func closingBrace(line string, open int) (int, error) {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unterminated label set in %q", line)
+}
+
+// parseLabels parses `k="v",k2="v2"` (trailing comma tolerated in the text
+// format) into a map, validating names, quoting and escape sequences.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	s = strings.TrimSuffix(s, ",")
+	if s == "" {
+		return out, nil
+	}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		name := s[:eq]
+		if !validName(name) || strings.ContainsRune(name, ':') {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		val, remainder, err := unquoteLabel(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val
+		s = remainder
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return nil, fmt.Errorf("unexpected %q after label value", s)
+		}
+	}
+	return out, nil
+}
+
+// unquoteLabel consumes a quoted label value, validating escapes (\\ \" \n
+// only), returning the decoded value and the unconsumed remainder.
+func unquoteLabel(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			switch s[i+1] {
+			case '\\', '"':
+				b.WriteByte(s[i+1])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i+1])
+			}
+			i++
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote")
+}
+
+// lintExemplar validates ` # {labels} value [ts]` payload after the ` # `.
+func lintExemplar(s string) error {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("want '{' opening exemplar labels, got %q", s)
+	}
+	j, err := closingBrace(s, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := parseLabels(s[1:j]); err != nil {
+		return err
+	}
+	fields := strings.Fields(s[j+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want 'value [timestamp]' after labels, got %q", s[j+1:])
+	}
+	for _, f := range fields {
+		if _, err := parsePromFloat(f); err != nil {
+			return fmt.Errorf("bad number %q", f)
+		}
+	}
+	return nil
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// LintErrors renders lint findings one per line (empty string when clean),
+// for the promlint CLI and test failure messages.
+func LintErrors(errs []error) string {
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	sort.Strings(msgs)
+	return strings.Join(msgs, "\n")
+}

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildRegistry populates a registry the way the serving tier does:
+// counters, gauges, histograms, an exemplar and SLO gauges.
+func buildLintRegistry(t *testing.T) *Registry {
+	t.Helper()
+	Enable()
+	t.Cleanup(Disable)
+	reg := NewRegistry()
+	reg.Counter("lint.requests").Add(17)
+	reg.Gauge("lint.queue.depth").Set(3)
+	h := reg.Histogram("lint.request.seconds", []float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+	reg.SetHelp("lint.requests", `HTTP requests with "quotes" and a \ backslash`)
+	MustNewSLOTracker(SLOConfig{Name: "lint", Objective: 0.99}).Register(reg)
+	return reg
+}
+
+// TestExpositionConformance is the promlint-style table test over
+// MetricsHandler output: both wire formats the handler speaks must pass
+// every structural check the linter knows.
+func TestExpositionConformance(t *testing.T) {
+	reg := buildLintRegistry(t)
+	for _, tc := range []struct {
+		name        string
+		openMetrics bool
+	}{
+		{"text-0.0.4", false},
+		{"openmetrics", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			var err error
+			if tc.openMetrics {
+				err = reg.WriteOpenMetrics(&sb)
+			} else {
+				err = reg.WritePrometheus(&sb)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs := LintExposition([]byte(sb.String()), tc.openMetrics); len(errs) > 0 {
+				t.Errorf("exposition not conformant:\n%s\n---\n%s", LintErrors(errs), sb.String())
+			}
+		})
+	}
+}
+
+func TestOpenMetricsExemplar(t *testing.T) {
+	reg := buildLintRegistry(t)
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="0123456789abcdef0123456789abcdef"} 0.5`) {
+		t.Errorf("OpenMetrics output missing exemplar:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("OpenMetrics output missing # EOF terminator")
+	}
+	// The default text format must NOT leak exemplars (scrapers of 0.0.4
+	// reject them) nor the EOF terminator.
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "trace_id=") || strings.Contains(sb.String(), "# EOF") {
+		t.Errorf("text exposition leaked OpenMetrics syntax:\n%s", sb.String())
+	}
+}
+
+func TestHelpPrecedesType(t *testing.T) {
+	reg := buildLintRegistry(t)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	helpSeen := map[string]int{}
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			helpSeen[strings.Fields(line)[2]] = i
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			hi, ok := helpSeen[name]
+			if !ok || hi != i-1 {
+				t.Errorf("TYPE %s at line %d without HELP immediately before", name, i+1)
+			}
+		}
+	}
+	// Registered help text must be escaped, not raw.
+	if !strings.Contains(sb.String(), `with "quotes" and a \\ backslash`) {
+		t.Errorf("help escaping wrong:\n%s", sb.String())
+	}
+}
+
+// TestLintCatchesViolations feeds the linter hand-broken expositions; a
+// checker that passes everything would make the conformance test above
+// meaningless.
+func TestLintCatchesViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body string
+		om   bool
+		want string
+	}{
+		{
+			name: "type-before-help",
+			body: "# TYPE x_total counter\n# HELP x_total help\nx_total 1\n",
+			want: "without preceding HELP",
+		},
+		{
+			name: "counter-missing-total",
+			body: "# HELP x help\n# TYPE x counter\nx 1\n",
+			want: "should end in _total",
+		},
+		{
+			name: "undeclared-sample",
+			body: "# HELP x_total help\n# TYPE x_total counter\nx_total 1\ny 2\n",
+			want: "without a TYPE declaration",
+		},
+		{
+			name: "duplicate-sample",
+			body: "# HELP x help\n# TYPE x gauge\nx 1\nx 2\n",
+			want: "duplicate sample",
+		},
+		{
+			name: "histogram-missing-sum",
+			body: "# HELP h help\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+			want: "missing _sum",
+		},
+		{
+			name: "histogram-missing-inf",
+			body: "# HELP h help\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+			want: "missing +Inf",
+		},
+		{
+			name: "histogram-inf-count-mismatch",
+			body: "# HELP h help\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			want: "+Inf bucket 2 != _count 3",
+		},
+		{
+			name: "histogram-not-cumulative",
+			body: "# HELP h help\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			want: "not cumulative",
+		},
+		{
+			name: "bad-label-escape",
+			body: "# HELP x help\n# TYPE x gauge\nx{a=\"\\t\"} 1\n",
+			want: "invalid escape",
+		},
+		{
+			name: "unterminated-label",
+			body: "# HELP x help\n# TYPE x gauge\nx{a=\"v 1\n",
+			want: "unterminated",
+		},
+		{
+			name: "bad-metric-name",
+			body: "# HELP 9x help\n# TYPE 9x gauge\n9x 1\n",
+			want: "invalid",
+		},
+		{
+			name: "exemplar-in-text-format",
+			body: "# HELP h help\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"a\"} 1\nh_sum 1\nh_count 1\n",
+			want: "exemplar",
+		},
+		{
+			name: "missing-eof",
+			body: "# HELP x help\n# TYPE x gauge\nx 1\n",
+			om:   true,
+			want: "missing # EOF",
+		},
+		{
+			name: "content-after-eof",
+			body: "# HELP x help\n# TYPE x gauge\nx 1\n# EOF\nx 2\n",
+			om:   true,
+			want: "after # EOF",
+		},
+		{
+			name: "interleaved-families",
+			body: "# HELP a help\n# TYPE a gauge\n# HELP b help\n# TYPE b gauge\nb 1\na 1\n",
+			want: "interleaved",
+		},
+		{
+			name: "bad-exemplar-labels",
+			body: "# HELP h help\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=} 1\nh_sum 1\nh_count 1\n# EOF\n",
+			om:   true,
+			want: "exemplar",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintExposition([]byte(tc.body), tc.om)
+			if len(errs) == 0 {
+				t.Fatalf("linter passed broken exposition:\n%s", tc.body)
+			}
+			if !strings.Contains(LintErrors(errs), tc.want) {
+				t.Errorf("findings missing %q:\n%s", tc.want, LintErrors(errs))
+			}
+		})
+	}
+}
+
+func TestLintAcceptsConformant(t *testing.T) {
+	body := "# HELP x_total help\n# TYPE x_total counter\nx_total 1\n" +
+		"# HELP g help\n# TYPE g gauge\ng{shard=\"a\",zone=\"b\"} 2.5\n" +
+		"# HELP h help\n# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 4.5\nh_count 3\n"
+	if errs := LintExposition([]byte(body), false); len(errs) > 0 {
+		t.Errorf("conformant exposition rejected:\n%s", LintErrors(errs))
+	}
+}

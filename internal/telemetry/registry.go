@@ -14,6 +14,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
+
+	// collectors run at the start of every Snapshot and Prometheus scrape,
+	// letting derived metrics (SLO burn rates) refresh themselves lazily
+	// instead of on a background ticker.
+	cmu        sync.Mutex
+	collectors []func()
 
 	publishOnce sync.Once
 }
@@ -24,7 +31,34 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
+}
+
+// AddCollector registers fn to run at the start of every Snapshot and
+// Prometheus exposition. fn must not call Snapshot/WritePrometheus itself.
+func (r *Registry) AddCollector(fn func()) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// collect runs the registered collectors.
+func (r *Registry) collect() {
+	r.cmu.Lock()
+	fns := r.collectors
+	r.cmu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// SetHelp attaches a HELP string to the named metric for the Prometheus
+// exposition. Metrics without help text get a generated default.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
 }
 
 // std is the default registry backing the package-level helpers.
@@ -120,6 +154,7 @@ type Bucket struct {
 
 // Snapshot captures every metric in the registry.
 func (r *Registry) Snapshot() Snapshot {
+	r.collect()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{

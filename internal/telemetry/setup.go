@@ -12,6 +12,13 @@ import (
 // cleanup stops the server, then flushes and detaches the journal; it is
 // safe to call when both options were empty.
 func Setup(addr, journalPath string) (func() error, error) {
+	return SetupRotating(addr, journalPath, 0)
+}
+
+// SetupRotating is Setup with a journal size cap: the journal rotates to
+// <path>.1 when it would exceed journalMaxBytes (0 = unbounded), so
+// long-running commands cannot fill the disk.
+func SetupRotating(addr, journalPath string, journalMaxBytes int64) (func() error, error) {
 	var (
 		srv *Server
 		jnl *Journal
@@ -25,7 +32,7 @@ func Setup(addr, journalPath string) (func() error, error) {
 		fmt.Fprintf(os.Stderr, "telemetry: serving expvar and pprof on http://%s/debug/vars\n", srv.Addr)
 	}
 	if journalPath != "" {
-		if jnl, err = OpenJournal(journalPath); err != nil {
+		if jnl, err = OpenJournalRotating(journalPath, journalMaxBytes); err != nil {
 			if srv != nil {
 				srv.Close()
 			}

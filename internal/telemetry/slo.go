@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO support: the serving tier declares latency/error objectives and the
+// tracker maintains multi-window burn rates over per-second buckets.
+//
+// Burn rate is the standard SRE quantity: the observed bad-event ratio over
+// a window divided by the budgeted bad ratio (1 − objective). Burn 1.0
+// consumes exactly the error budget over the window; the fast-burn gate
+// fires when BOTH a short and a long window exceed the threshold, which
+// filters blips (short-only) and stale incidents (long-only) the way the
+// multi-window multi-burn-rate alerting recipe prescribes.
+
+// SLOConfig declares one objective.
+type SLOConfig struct {
+	// Name labels the objective ("availability", "latency") in metric names
+	// and /debug/slo.
+	Name string
+	// Objective is the target good-event ratio in (0, 1), e.g. 0.999.
+	Objective float64
+	// Windows are the burn-rate evaluation windows, shortest first. Empty
+	// resolves to {5m, 1h}. The longest window bounds the tracker's memory
+	// (one 24-byte bucket per second).
+	Windows []time.Duration
+	// FastBurnThreshold is the burn rate above which, when every window
+	// exceeds it simultaneously, the objective reports Breached. 0 resolves
+	// to 14.4 (the 2%-of-monthly-budget-in-one-hour page threshold).
+	FastBurnThreshold float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	if c.FastBurnThreshold <= 0 {
+		c.FastBurnThreshold = 14.4
+	}
+	return c
+}
+
+// sloBucket accumulates one second of events.
+type sloBucket struct {
+	sec   int64 // unix second this bucket currently represents
+	good  uint64
+	total uint64
+}
+
+// SLOTracker maintains one objective's event stream. Safe for concurrent
+// use; Record is O(1).
+type SLOTracker struct {
+	cfg SLOConfig
+	now func() time.Time // test hook
+
+	mu   sync.Mutex
+	ring []sloBucket // one bucket per second, sized to the longest window
+}
+
+// NewSLOTracker builds a tracker for cfg.
+func NewSLOTracker(cfg SLOConfig) (*SLOTracker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("telemetry: SLO needs a name")
+	}
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		return nil, fmt.Errorf("telemetry: SLO %s objective %v outside (0, 1)", cfg.Name, cfg.Objective)
+	}
+	for i := 1; i < len(cfg.Windows); i++ {
+		if cfg.Windows[i] < cfg.Windows[i-1] {
+			return nil, fmt.Errorf("telemetry: SLO %s windows not ascending", cfg.Name)
+		}
+	}
+	longest := cfg.Windows[len(cfg.Windows)-1]
+	secs := int(longest/time.Second) + 1
+	if secs < 2 {
+		secs = 2
+	}
+	return &SLOTracker{cfg: cfg, now: time.Now, ring: make([]sloBucket, secs)}, nil
+}
+
+// MustNewSLOTracker is NewSLOTracker for known-good configurations.
+func MustNewSLOTracker(cfg SLOConfig) *SLOTracker {
+	t, err := NewSLOTracker(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the resolved configuration.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// Record counts one event.
+func (t *SLOTracker) Record(good bool) {
+	sec := t.now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.ring[sec%int64(len(t.ring))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	if good {
+		b.good++
+	}
+}
+
+// counts sums the buckets inside window ending now.
+func (t *SLOTracker) counts(window time.Duration) (good, total uint64) {
+	now := t.now().Unix()
+	oldest := now - int64(window/time.Second) + 1
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ring {
+		if b := t.ring[i]; b.sec >= oldest && b.sec <= now {
+			good += b.good
+			total += b.total
+		}
+	}
+	return good, total
+}
+
+// BurnRate returns the burn rate over the window: the bad-event ratio
+// divided by the budgeted ratio (1 − objective). Zero when the window saw
+// no events.
+func (t *SLOTracker) BurnRate(window time.Duration) float64 {
+	good, total := t.counts(window)
+	if total == 0 {
+		return 0
+	}
+	bad := float64(total-good) / float64(total)
+	return bad / (1 - t.cfg.Objective)
+}
+
+// SLOWindowStatus is one window's burn-rate reading.
+type SLOWindowStatus struct {
+	Window   string  `json:"window"`
+	Seconds  float64 `json:"seconds"`
+	Good     uint64  `json:"good"`
+	Total    uint64  `json:"total"`
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOStatus is the full /debug/slo view of one objective.
+type SLOStatus struct {
+	Name      string  `json:"name"`
+	Objective float64 `json:"objective"`
+	Threshold float64 `json:"fast_burn_threshold"`
+	// Breached reports the multi-window gate: every window's burn rate
+	// exceeds the threshold simultaneously.
+	Breached bool `json:"breached"`
+	// BudgetRemaining is the error budget left over the longest window, in
+	// [0, 1] of the budget (1 = untouched, 0 = exhausted or overdrawn).
+	BudgetRemaining float64           `json:"budget_remaining"`
+	Windows         []SLOWindowStatus `json:"windows"`
+}
+
+// Status evaluates every window at the current instant.
+func (t *SLOTracker) Status() SLOStatus {
+	st := SLOStatus{
+		Name:      t.cfg.Name,
+		Objective: t.cfg.Objective,
+		Threshold: t.cfg.FastBurnThreshold,
+		Breached:  true,
+	}
+	for _, w := range t.cfg.Windows {
+		good, total := t.counts(w)
+		ws := SLOWindowStatus{
+			Window:  w.String(),
+			Seconds: w.Seconds(),
+			Good:    good,
+			Total:   total,
+		}
+		if total > 0 {
+			bad := float64(total-good) / float64(total)
+			ws.BurnRate = bad / (1 - t.cfg.Objective)
+		}
+		if ws.BurnRate <= t.cfg.FastBurnThreshold {
+			st.Breached = false
+		}
+		st.Windows = append(st.Windows, ws)
+	}
+	if n := len(st.Windows); n > 0 {
+		st.BudgetRemaining = clampUnit(1 - st.Windows[n-1].BurnRate)
+	} else {
+		st.Breached = false
+		st.BudgetRemaining = 1
+	}
+	return st
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Register exposes the tracker through reg: a gauge per window named
+// "slo.<name>.burn_rate.<window>" plus "slo.<name>.budget_remaining" and a
+// 0/1 "slo.<name>.breached" gate, refreshed at every scrape/snapshot via a
+// registry collector so the exported burn rates decay even without traffic.
+func (t *SLOTracker) Register(reg *Registry) {
+	gauges := make([]*Gauge, len(t.cfg.Windows))
+	for i, w := range t.cfg.Windows {
+		gauges[i] = reg.Gauge(fmt.Sprintf("slo.%s.burn_rate.%s", t.cfg.Name, windowLabel(w)))
+	}
+	budget := reg.Gauge(fmt.Sprintf("slo.%s.budget_remaining", t.cfg.Name))
+	breached := reg.Gauge(fmt.Sprintf("slo.%s.breached", t.cfg.Name))
+	reg.AddCollector(func() {
+		st := t.Status()
+		for i, ws := range st.Windows {
+			gauges[i].Set(ws.BurnRate)
+		}
+		budget.Set(st.BudgetRemaining)
+		if st.Breached {
+			breached.Set(1)
+		} else {
+			breached.Set(0)
+		}
+	})
+}
+
+// windowLabel renders a window for a metric name in its largest whole
+// unit: 5m, 1h, 30s.
+func windowLabel(w time.Duration) string {
+	switch {
+	case w >= time.Hour && w%time.Hour == 0:
+		return fmt.Sprintf("%dh", w/time.Hour)
+	case w >= time.Minute && w%time.Minute == 0:
+		return fmt.Sprintf("%dm", w/time.Minute)
+	}
+	return fmt.Sprintf("%ds", w/time.Second)
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLOTracker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(t *SLOTracker, c *fakeClock) *SLOTracker {
+	t.now = c.now
+	return t
+}
+
+func TestSLOConfigValidation(t *testing.T) {
+	if _, err := NewSLOTracker(SLOConfig{Objective: 0.99}); err == nil {
+		t.Error("nameless SLO accepted")
+	}
+	for _, obj := range []float64{0, 1, -1, 2} {
+		if _, err := NewSLOTracker(SLOConfig{Name: "x", Objective: obj}); err == nil {
+			t.Errorf("objective %v accepted", obj)
+		}
+	}
+	if _, err := NewSLOTracker(SLOConfig{
+		Name: "x", Objective: 0.9,
+		Windows: []time.Duration{time.Hour, time.Minute},
+	}); err == nil {
+		t.Error("descending windows accepted")
+	}
+	tr := MustNewSLOTracker(SLOConfig{Name: "x", Objective: 0.99})
+	cfg := tr.Config()
+	if len(cfg.Windows) != 2 || cfg.Windows[0] != 5*time.Minute || cfg.Windows[1] != time.Hour {
+		t.Errorf("default windows = %v", cfg.Windows)
+	}
+	if cfg.FastBurnThreshold != 14.4 {
+		t.Errorf("default threshold = %v", cfg.FastBurnThreshold)
+	}
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	clk := newFakeClock()
+	tr := withClock(MustNewSLOTracker(SLOConfig{
+		Name: "availability", Objective: 0.99,
+		Windows: []time.Duration{time.Minute, 10 * time.Minute},
+	}), clk)
+
+	// No traffic: zero burn, nothing breached.
+	if br := tr.BurnRate(time.Minute); br != 0 {
+		t.Errorf("idle burn = %v", br)
+	}
+	if st := tr.Status(); st.Breached || st.BudgetRemaining != 1 {
+		t.Errorf("idle status = %+v", st)
+	}
+
+	// 100 events, 1 bad: bad ratio 1% = exactly the budget, burn 1.0.
+	for i := 0; i < 100; i++ {
+		tr.Record(i != 0)
+	}
+	if br := tr.BurnRate(time.Minute); br < 0.99 || br > 1.01 {
+		t.Errorf("burn = %v, want ~1.0", br)
+	}
+
+	// All-bad traffic burns at 1/(1-objective) = 100x.
+	clk.advance(2 * time.Minute)
+	for i := 0; i < 50; i++ {
+		tr.Record(false)
+	}
+	if br := tr.BurnRate(time.Minute); br < 99.99 || br > 100.01 {
+		t.Errorf("all-bad burn = %v, want ~100", br)
+	}
+	// The short window sees only the bad burst; the long window still
+	// includes the earlier good traffic.
+	if short, long := tr.BurnRate(time.Minute), tr.BurnRate(10*time.Minute); long >= short {
+		t.Errorf("long burn %v >= short burn %v", long, short)
+	}
+	st := tr.Status()
+	if !st.Breached {
+		t.Errorf("status not breached with burn 100 on both windows: %+v", st)
+	}
+	if st.BudgetRemaining != 0 {
+		t.Errorf("budget remaining = %v, want 0", st.BudgetRemaining)
+	}
+
+	// Events age out of the window.
+	clk.advance(15 * time.Minute)
+	if br := tr.BurnRate(10 * time.Minute); br != 0 {
+		t.Errorf("aged-out burn = %v", br)
+	}
+	if st := tr.Status(); st.Breached {
+		t.Errorf("aged-out status still breached: %+v", st)
+	}
+}
+
+func TestSLOMultiWindowGate(t *testing.T) {
+	clk := newFakeClock()
+	tr := withClock(MustNewSLOTracker(SLOConfig{
+		Name: "latency", Objective: 0.9, FastBurnThreshold: 2,
+		Windows: []time.Duration{time.Minute, time.Hour},
+	}), clk)
+	// A burst of bad events inside the short window but diluted over the
+	// long window must NOT breach (that is the point of multi-window).
+	clk.advance(30 * time.Minute)
+	for i := 0; i < 1000; i++ {
+		tr.Record(true)
+	}
+	clk.advance(20 * time.Minute)
+	for i := 0; i < 30; i++ {
+		tr.Record(false)
+	}
+	st := tr.Status()
+	if st.Windows[0].BurnRate <= 2 {
+		t.Fatalf("short window burn %v, want > 2", st.Windows[0].BurnRate)
+	}
+	if st.Windows[1].BurnRate > 2 {
+		t.Fatalf("long window burn %v, want <= 2 (diluted)", st.Windows[1].BurnRate)
+	}
+	if st.Breached {
+		t.Error("short-window blip breached the multi-window gate")
+	}
+}
+
+func TestSLORegisterExportsGauges(t *testing.T) {
+	Enable()
+	t.Cleanup(Disable)
+	clk := newFakeClock()
+	tr := withClock(MustNewSLOTracker(SLOConfig{
+		Name: "availability", Objective: 0.99,
+		Windows: []time.Duration{5 * time.Minute, time.Hour},
+	}), clk)
+	reg := NewRegistry()
+	tr.Register(reg)
+	for i := 0; i < 10; i++ {
+		tr.Record(false)
+	}
+	snap := reg.Snapshot() // collectors run here
+	if got := snap.Gauges["slo.availability.burn_rate.5m"]; got < 99.99 || got > 100.01 {
+		t.Errorf("burn_rate.5m gauge = %v, want ~100", got)
+	}
+	if got := snap.Gauges["slo.availability.burn_rate.1h"]; got < 99.99 || got > 100.01 {
+		t.Errorf("burn_rate.1h gauge = %v, want ~100", got)
+	}
+	if got := snap.Gauges["slo.availability.breached"]; got != 1 {
+		t.Errorf("breached gauge = %v, want 1", got)
+	}
+	if got := snap.Gauges["slo.availability.budget_remaining"]; got != 0 {
+		t.Errorf("budget gauge = %v, want 0", got)
+	}
+	// The same gauges must surface in the Prometheus exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "iprism_slo_availability_burn_rate_5m 99.9") &&
+		!strings.Contains(sb.String(), "iprism_slo_availability_burn_rate_5m 100") {
+		t.Errorf("exposition missing burn-rate gauge:\n%s", sb.String())
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	for _, tc := range []struct {
+		w    time.Duration
+		want string
+	}{
+		{5 * time.Minute, "5m"}, {time.Hour, "1h"}, {30 * time.Second, "30s"},
+		{90 * time.Second, "90s"}, {6 * time.Hour, "6h"},
+	} {
+		if got := windowLabel(tc.w); got != tc.want {
+			t.Errorf("windowLabel(%v) = %q, want %q", tc.w, got, tc.want)
+		}
+	}
+}

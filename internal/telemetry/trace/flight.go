@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// WideEvent is the one-record-per-request observability artifact: every
+// dimension of a scored scene (identity, route, outcome, queue wait, engine
+// path, risk provenance, span waterfall) in a single structured record.
+// It is appended to the JSONL journal as event "wide_event" and retained in
+// the in-memory FlightRecorder for /debug/requests lookups.
+type WideEvent struct {
+	TraceID   string    `json:"trace_id"`
+	RequestID string    `json:"request_id"`
+	Route     string    `json:"route"`
+	Status    int       `json:"status"`
+	Start     time.Time `json:"start"`
+	Seconds   float64   `json:"seconds"`
+	// Attrs carries request-level annotations: queue_wait_seconds, engine,
+	// empty_cache, per-actor STI contributions, ...
+	Attrs map[string]any `json:"attrs,omitempty"`
+	Spans []Span         `json:"spans,omitempty"`
+}
+
+// Fields flattens the event into a journal field map (the journal stamps
+// its own timestamp; Start is kept since it is the request's start, not the
+// emission time).
+func (e WideEvent) Fields() map[string]any {
+	f := map[string]any{
+		"trace_id":   e.TraceID,
+		"request_id": e.RequestID,
+		"route":      e.Route,
+		"status":     e.Status,
+		"start":      e.Start.Format(time.RFC3339Nano),
+		"seconds":    e.Seconds,
+	}
+	if len(e.Attrs) > 0 {
+		f["attrs"] = e.Attrs
+	}
+	if len(e.Spans) > 0 {
+		f["spans"] = e.Spans
+	}
+	return f
+}
+
+// WideEvent drains the recorder into a wide event for a completed request.
+// Safe on a nil recorder (returns an event without spans or attrs).
+func (r *Recorder) WideEvent(route, requestID string, status int, d time.Duration) WideEvent {
+	ev := WideEvent{
+		TraceID:   r.TraceID().String(),
+		RequestID: requestID,
+		Route:     route,
+		Status:    status,
+		Start:     r.Start(),
+		Seconds:   d.Seconds(),
+	}
+	if r != nil {
+		ev.Attrs = r.Attrs()
+		ev.Spans = r.Spans()
+		if len(ev.Attrs) == 0 {
+			ev.Attrs = nil
+		}
+	}
+	return ev
+}
+
+// FlightRecorder retains the most recent wide events in a fixed-size ring
+// so an operator can resolve a TraceID (from a p99 exemplar, a client log,
+// a loadgen report) into the full request record without log infrastructure.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []WideEvent
+	next int
+	n    int
+}
+
+// NewFlightRecorder returns a recorder retaining the last size events
+// (minimum 1).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightRecorder{ring: make([]WideEvent, size)}
+}
+
+// Add retains ev, evicting the oldest event when full.
+func (f *FlightRecorder) Add(ev WideEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring[f.next] = ev
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+}
+
+// Len returns the number of retained events.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Recent returns up to limit retained events, newest first. limit <= 0
+// returns everything retained.
+func (f *FlightRecorder) Recent(limit int) []WideEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]WideEvent, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, f.ring[(f.next-i+len(f.ring)*2)%len(f.ring)])
+	}
+	return out
+}
+
+// Find returns every retained event with the given trace ID, newest first.
+// One trace may span several requests (a session's observe stream, a batch
+// retried after a 429), so the result is a slice.
+func (f *FlightRecorder) Find(traceID string) []WideEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []WideEvent
+	for i := 1; i <= f.n; i++ {
+		if ev := f.ring[(f.next-i+len(f.ring)*2)%len(f.ring)]; ev.TraceID == traceID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID()
+	if id.IsZero() {
+		t.Fatal("NewID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("ID string %q not 32 lowercase hex digits", s)
+	}
+	got, ok := ParseID(s)
+	if !ok || got != id {
+		t.Fatalf("ParseID(%q) = %v, %v; want %v, true", s, got, ok, id)
+	}
+}
+
+func TestParseIDRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32),
+		strings.Repeat("a", 31), strings.Repeat("a", 33),
+	} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseOrNew(t *testing.T) {
+	want := NewID()
+	got, honoured := ParseOrNew(want.String())
+	if !honoured || got != want {
+		t.Errorf("valid caller ID not honoured: %v, %v", got, honoured)
+	}
+	got, honoured = ParseOrNew("not-a-trace-id")
+	if honoured || got.IsZero() {
+		t.Errorf("invalid caller ID: got %v honoured=%v, want fresh ID", got, honoured)
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %v after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRecorderSpansAndAttrs(t *testing.T) {
+	rec := NewRecorder(NewID())
+	rec.Annotate("engine", "shared")
+	sp := rec.StartSpan("reach.shared_expansion").Annotate("states", 42)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Errorf("span duration %v, want > 0", d)
+	}
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "reach.shared_expansion" || s.DurUS <= 0 || s.Attrs["states"] != 42 {
+		t.Errorf("span = %+v", s)
+	}
+	if s.Parent != rec.RootSpanID().String() {
+		t.Errorf("span parent %q != root %q", s.Parent, rec.RootSpanID())
+	}
+	if got := rec.Attrs()["engine"]; got != "shared" {
+		t.Errorf("attr engine = %v", got)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Annotate("k", "v") // must not panic
+	sp := rec.StartSpan("x")
+	sp.Annotate("k", 1)
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span duration %v", d)
+	}
+	if rec.Spans() != nil || rec.Attrs() != nil || !rec.TraceID().IsZero() {
+		t.Error("nil recorder leaked state")
+	}
+	ev := rec.WideEvent("/x", "r1", 200, time.Second)
+	if ev.Status != 200 || ev.Seconds != 1 {
+		t.Errorf("nil recorder wide event = %+v", ev)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	rec := NewRecorder(NewID())
+	ctx := NewContext(context.Background(), rec)
+	if got := FromContext(ctx); got != rec {
+		t.Errorf("FromContext = %p, want %p", got, rec)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext(empty) = %p, want nil", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(NewID())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rec.Annotate(fmt.Sprintf("k%d", i), j)
+				rec.StartSpan("s").End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(rec.Spans()); got != 8*50 {
+		t.Errorf("got %d spans, want %d", got, 8*50)
+	}
+}
+
+func TestWideEvent(t *testing.T) {
+	rec := NewRecorder(NewID())
+	rec.Annotate("queue_wait_seconds", 0.001)
+	rec.StartSpan("server.evaluate").End()
+	ev := rec.WideEvent("POST /v1/score", "req1", 200, 5*time.Millisecond)
+	if ev.TraceID != rec.TraceID().String() || ev.Route != "POST /v1/score" || ev.Status != 200 {
+		t.Errorf("wide event = %+v", ev)
+	}
+	if len(ev.Spans) != 1 || ev.Attrs["queue_wait_seconds"] != 0.001 {
+		t.Errorf("wide event spans/attrs = %+v", ev)
+	}
+	f := ev.Fields()
+	if f["trace_id"] != ev.TraceID || f["status"] != 200 {
+		t.Errorf("fields = %+v", f)
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	f := NewFlightRecorder(4)
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = NewID().String()
+		f.Add(WideEvent{TraceID: ids[i], Status: 200 + i})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	recent := f.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent = %d events, want 4", len(recent))
+	}
+	// Newest first; the two oldest were evicted.
+	for i, ev := range recent {
+		if want := ids[5-i]; ev.TraceID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, ev.TraceID, want)
+		}
+	}
+	if got := f.Recent(2); len(got) != 2 || got[0].TraceID != ids[5] {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+	if got := f.Find(ids[0]); len(got) != 0 {
+		t.Errorf("evicted trace still found: %+v", got)
+	}
+	if got := f.Find(ids[4]); len(got) != 1 || got[0].Status != 204 {
+		t.Errorf("Find = %+v", got)
+	}
+	// Duplicate trace IDs accumulate.
+	f.Add(WideEvent{TraceID: ids[4], Status: 500})
+	if got := f.Find(ids[4]); len(got) != 2 || got[0].Status != 500 {
+		t.Errorf("Find after duplicate = %+v", got)
+	}
+}

@@ -22,8 +22,9 @@ go test -race -count=1 -run 'Shared|MaskGrid' ./internal/reach ./internal/sti ./
 # The server must answer every accepted request and exit 0 from the drain.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-go build -o "$smoke_dir" ./cmd/iprism-serve ./cmd/iprism-loadgen
-"$smoke_dir/iprism-serve" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" &
+go build -o "$smoke_dir" ./cmd/iprism-serve ./cmd/iprism-loadgen ./cmd/iprism-promlint ./cmd/iprism-risktrace
+"$smoke_dir/iprism-serve" -addr 127.0.0.1:0 -addr-file "$smoke_dir/addr" \
+  -journal "$smoke_dir/journal.jsonl" &
 serve_pid=$!
 for _ in $(seq 1 100); do
   [ -s "$smoke_dir/addr" ] && break
@@ -31,10 +32,41 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [ -s "$smoke_dir/addr" ] || { echo "verify: iprism-serve never wrote addr-file" >&2; exit 1; }
-"$smoke_dir/iprism-loadgen" -target "http://$(cat "$smoke_dir/addr")" \
+serve_url="http://$(cat "$smoke_dir/addr")"
+"$smoke_dir/iprism-loadgen" -target "$serve_url" \
   -requests 200 -concurrency 4 -batch 8 -scenes 20 -min-rate 100
+
+# Observability smoke: a caller-supplied trace ID must round-trip through
+# the response header, resolve in /debug/requests, and land as a wide event
+# in the journal; /metrics must pass the conformance linter in both formats.
+trace_id="cafe0000000000000000000000000001"
+cat > "$smoke_dir/scene.json" <<'EOF'
+{"version":"iprism.scene/v1","ego":{"x":0,"y":1.75,"heading":0,"speed":10},
+ "road":{"kind":"straight","straight":{"lanes":2,"lane_width":3.5,"x_min":-100,"x_max":400}},
+ "actors":[{"id":1,"kind":"vehicle","state":{"x":14,"y":1.75,"heading":0,"speed":3}},
+           {"id":2,"kind":"vehicle","state":{"x":-40,"y":5.25,"heading":0,"speed":8}}]}
+EOF
+curl -sS -D "$smoke_dir/headers" -o "$smoke_dir/score.json" \
+  -H "X-Trace-Id: $trace_id" -H 'Content-Type: application/json' \
+  --data-binary @"$smoke_dir/scene.json" "$serve_url/v1/score?explain=1"
+grep -qi "^X-Trace-Id: $trace_id" "$smoke_dir/headers" \
+  || { echo "verify: X-Trace-Id did not round-trip" >&2; cat "$smoke_dir/headers" >&2; exit 1; }
+grep -qi "^X-Request-Id: " "$smoke_dir/headers" \
+  || { echo "verify: response missing X-Request-Id" >&2; exit 1; }
+grep -q '"provenance"' "$smoke_dir/score.json" \
+  || { echo "verify: ?explain=1 returned no provenance block" >&2; cat "$smoke_dir/score.json" >&2; exit 1; }
+curl -sSf "$serve_url/debug/requests?trace_id=$trace_id" | grep -q "$trace_id" \
+  || { echo "verify: trace not resolvable via /debug/requests" >&2; exit 1; }
+curl -sSf "$serve_url/debug/slo" | grep -q '"availability"' \
+  || { echo "verify: /debug/slo missing availability objective" >&2; exit 1; }
+"$smoke_dir/iprism-promlint" -url "$serve_url/metrics"
+"$smoke_dir/iprism-promlint" -url "$serve_url/metrics" -openmetrics
+
 kill -TERM "$serve_pid"
 wait "$serve_pid"
-echo "verify: serving smoke passed (graceful drain exit 0)"
+grep -q "\"trace_id\":\"$trace_id\"" "$smoke_dir/journal.jsonl" \
+  || { echo "verify: journal has no wide event for the smoke trace" >&2; exit 1; }
+"$smoke_dir/iprism-risktrace" -trace "$smoke_dir/journal.jsonl" -trace-id "$trace_id" > /dev/null
+echo "verify: serving + observability smoke passed (graceful drain exit 0)"
 
 go run ./cmd/iprism-benchdiff -dir .
