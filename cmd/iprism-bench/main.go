@@ -117,9 +117,11 @@ func run() error {
 	// "bench.<workload>.seconds". cmd/iprism-benchdiff gates the dense
 	// twelve-actor one — the workload the shared-expansion engine targets.
 	var (
-		histFull3   = telemetry.NewHistogram("bench.sti_evaluate_full.seconds", telemetry.LatencyBuckets())
-		histFull6   = telemetry.NewHistogram("bench.sti_evaluate_full_6actor.seconds", telemetry.LatencyBuckets())
-		histDense12 = telemetry.NewHistogram("bench.sti_evaluate_dense12.seconds", telemetry.LatencyBuckets())
+		histFull3    = telemetry.NewHistogram("bench.sti_evaluate_full.seconds", telemetry.LatencyBuckets())
+		histFull6    = telemetry.NewHistogram("bench.sti_evaluate_full_6actor.seconds", telemetry.LatencyBuckets())
+		histDense12  = telemetry.NewHistogram("bench.sti_evaluate_dense12.seconds", telemetry.LatencyBuckets())
+		histDense64  = telemetry.NewHistogram("bench.sti_evaluate_dense64.seconds", telemetry.LatencyBuckets())
+		histDense128 = telemetry.NewHistogram("bench.sti_evaluate_dense128.seconds", telemetry.LatencyBuckets())
 	)
 
 	// Workload 1: STI evaluation on the canonical three-actor straight-road
@@ -204,6 +206,34 @@ func run() error {
 	}
 	rep.Workloads["sti_evaluate_dense12"] = timed(dense12Iters, time.Since(start))
 
+	// Workload 1d: crowd-scale urban-intersection crush scenes
+	// (scenario.UrbanCrush). dense64 crosses the old single-word mask
+	// boundary by one actor — the scene class whose critical lead blocker
+	// used to land on the spillover fallback path — and dense128 doubles
+	// the crowd so the segmented expansion carries three mask words.
+	for _, wl := range []struct {
+		name string
+		n    int
+		div  int
+		hist *telemetry.Histogram
+	}{
+		{"sti_evaluate_dense64", 64, 10, histDense64},
+		{"sti_evaluate_dense128", 128, 20, histDense128},
+	} {
+		crushRoad, crushEgo, crush := scenario.UrbanCrush(wl.n)
+		iters := *stiIters / wl.div
+		if iters < 1 {
+			iters = 1
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			t := wl.hist.Start()
+			eval.EvaluateWithPrediction(crushRoad, crushEgo, crush)
+			t.Stop()
+		}
+		rep.Workloads[wl.name] = timed(iters, time.Since(start))
+	}
+
 	// Workload 2: full LBC episodes over a ghost cut-in suite, populating
 	// the sim-step latency distribution and the reach/collision counters.
 	scns := scenario.GenerateValid(scenario.GhostCutIn, *episodes, *seed)
@@ -236,7 +266,8 @@ func run() error {
 	for _, name := range []string{
 		"sti.evaluate.seconds", "sti.evaluate_combined.seconds", "sim.step.seconds",
 		"bench.sti_evaluate_full.seconds", "bench.sti_evaluate_full_6actor.seconds",
-		"bench.sti_evaluate_dense12.seconds",
+		"bench.sti_evaluate_dense12.seconds", "bench.sti_evaluate_dense64.seconds",
+		"bench.sti_evaluate_dense128.seconds",
 	} {
 		h := rep.Telemetry.Histograms[name]
 		fmt.Printf("%-40s n=%-6d p50 %s  p95 %s  p99 %s\n",

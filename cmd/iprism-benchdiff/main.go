@@ -1,7 +1,9 @@
 // Command iprism-benchdiff compares the two newest BENCH_*.json snapshots
 // of each kind in a directory and fails when a gated latency distribution
 // regressed: exit status 1 if the newer snapshot's p95 exceeds the older
-// one's by more than the tolerance on any gated histogram.
+// one's by more than the tolerance on any gated histogram, or if a gated
+// histogram the older snapshot measured is missing or empty in the newer
+// one (a dropped workload can't dodge the gate by not reporting).
 //
 // Snapshots are grouped by their "kind" field before comparison, so the
 // core bench family (kind "bench", written by cmd/iprism-bench; snapshots
@@ -32,7 +34,7 @@ import (
 // simulator step for core bench runs, the client-observed request latency
 // for serving runs.
 var gatedHistograms = map[string][]string{
-	"bench": {"sti.evaluate.seconds", "sim.step.seconds", "bench.sti_evaluate_dense12.seconds"},
+	"bench": {"sti.evaluate.seconds", "sim.step.seconds", "bench.sti_evaluate_dense12.seconds", "bench.sti_evaluate_dense64.seconds"},
 	"serve": {"loadgen.request.seconds"},
 }
 
@@ -102,7 +104,7 @@ func run() error {
 	}
 
 	if failed {
-		return fmt.Errorf("p95 regression beyond %.0f%% tolerance", *tolerance*100)
+		return fmt.Errorf("gated metric regressed beyond %.0f%% p95 tolerance or went missing", *tolerance*100)
 	}
 	return nil
 }
@@ -141,8 +143,19 @@ func diff(oldSnap, newSnap snapshot, gated []string, tolerance float64) bool {
 		}
 		switch {
 		case !nOK || n.Count == 0:
+			// A gated metric the old snapshot measured but the new one lacks
+			// is a silently-dropped workload or a renamed metric — exactly the
+			// regressions the gate exists to catch — so it fails rather than
+			// skips. A gate name neither snapshot has yet (a gate added ahead
+			// of its first bench run) cannot have regressed and passes.
 			if isGated[name] {
-				fmt.Printf("  %s %-36s missing or empty in the new snapshot, skipping\n", label, name)
+				if oOK && o.Count > 0 {
+					fmt.Printf("  %s %-36s was p95 %s, missing or empty in the new snapshot: MISSING\n",
+						label, name, fmtSec(o.P95))
+					failed = true
+				} else {
+					fmt.Printf("  %s %-36s absent from both snapshots, skipping\n", label, name)
+				}
 			}
 			continue
 		case !oOK || o.Count == 0:

@@ -1,42 +1,62 @@
 package geom
 
-// MaskGrid is an OccupancyGrid whose cells carry a 64-bit mask instead of a
+// MaskGrid is an OccupancyGrid whose cells carry a world mask instead of a
 // single occupied bit. The shared-expansion counterfactual engine (package
-// reach) uses one MaskGrid to measure up to 64 reach-tube volumes in a
-// single pass: bit w of a cell's mask records that the cell was traversed
-// by a state surviving in counterfactual world w, so the per-world cell
-// count — and with it the paper's |T|, |T^{/i}| — falls out of one grid.
+// reach) uses one MaskGrid to measure every reach-tube volume in a single
+// pass: bit w of a cell's mask records that the cell was traversed by a
+// state surviving in counterfactual world w, so the per-world cell count —
+// and with it the paper's |T|, |T^{/i}| — falls out of one grid.
+//
+// A mask is `words` consecutive uint64s (bit w lives in word w/64). The
+// common words==1 case keeps the single-value MarkBits/BitsAt fast path;
+// wider grids use MarkWords/WordsAt with caller-provided slices so the hot
+// loop stays allocation-free.
 //
 // Cell addressing is identical to OccupancyGrid (exact packed cell indices,
 // open addressing, generation-stamped O(1) Reset), so a MaskGrid restricted
 // to one bit marks exactly the cells an OccupancyGrid would.
 //
-// The zero value is not usable; construct with NewMaskGrid.
+// The zero value is not usable; construct with NewMaskGrid or
+// NewMaskGridWords.
 type MaskGrid struct {
 	cellSize float64
+	words    int
 	cells    []uint64 // packed (ix, iy) cell indices
-	masks    []uint64 // accumulated per-cell world masks
+	masks    []uint64 // accumulated per-cell world masks, stride `words`
 	gen      []uint32
 	cur      uint32
 	count    int
 }
 
-// NewMaskGrid creates a masked grid with the given cell edge length in
-// metres. cellSize must be positive.
+// NewMaskGrid creates a single-word (≤64 worlds) masked grid with the given
+// cell edge length in metres. cellSize must be positive.
 func NewMaskGrid(cellSize float64) *MaskGrid {
+	return NewMaskGridWords(cellSize, 1)
+}
+
+// NewMaskGridWords creates a masked grid whose cells carry words×64-bit
+// masks. cellSize must be positive; words must be at least 1.
+func NewMaskGridWords(cellSize float64, words int) *MaskGrid {
 	if cellSize <= 0 {
 		cellSize = 1
 	}
-	return &MaskGrid{cellSize: cellSize, cur: 1}
+	if words < 1 {
+		words = 1
+	}
+	return &MaskGrid{cellSize: cellSize, words: words, cur: 1}
 }
 
 // CellSize returns the grid resolution in metres.
 func (g *MaskGrid) CellSize() float64 { return g.cellSize }
 
+// Words returns the number of 64-bit words in each cell's mask.
+func (g *MaskGrid) Words() int { return g.words }
+
 // MarkBits ORs bits into the mask of the cell containing p and returns the
 // bits that were not yet set there — the worlds for which this cell is
 // newly occupied. Callers tally per-world cell counts from the return
-// value, so a cell is counted exactly once per world.
+// value, so a cell is counted exactly once per world. Only valid on
+// single-word grids (Words() == 1); wider grids use MarkWords.
 func (g *MaskGrid) MarkBits(p Vec2, mask uint64) uint64 {
 	if 2*(g.count+1) > len(g.cells) {
 		g.grow()
@@ -59,8 +79,39 @@ func (g *MaskGrid) MarkBits(p Vec2, mask uint64) uint64 {
 	}
 }
 
+// MarkWords is MarkBits for multi-word masks: it ORs mask (len Words())
+// into the cell containing p and writes the bits that were not yet set
+// there into newBits (len Words()), word-aligned with mask. Both slices are
+// caller-owned so the hot loop allocates nothing.
+func (g *MaskGrid) MarkWords(p Vec2, mask, newBits []uint64) {
+	if 2*(g.count+1) > len(g.cells) {
+		g.grow()
+	}
+	k := g.key(p)
+	slot := uint64(len(g.cells) - 1)
+	for i := hashCell(k) & slot; ; i = (i + 1) & slot {
+		if g.gen[i] != g.cur {
+			g.cells[i] = k
+			copy(g.masks[int(i)*g.words:int(i)*g.words+g.words], mask)
+			g.gen[i] = g.cur
+			g.count++
+			copy(newBits, mask)
+			return
+		}
+		if g.cells[i] == k {
+			base := int(i) * g.words
+			for w := range mask {
+				newBits[w] = mask[w] &^ g.masks[base+w]
+				g.masks[base+w] |= mask[w]
+			}
+			return
+		}
+	}
+}
+
 // BitsAt returns the accumulated mask of the cell containing p (zero if the
-// cell was never marked).
+// cell was never marked). Only valid on single-word grids; wider grids use
+// WordsAt.
 func (g *MaskGrid) BitsAt(p Vec2) uint64 {
 	if len(g.cells) == 0 {
 		return 0
@@ -73,6 +124,26 @@ func (g *MaskGrid) BitsAt(p Vec2) uint64 {
 		}
 		if g.cells[i] == k {
 			return g.masks[i]
+		}
+	}
+}
+
+// WordsAt copies the accumulated mask of the cell containing p into dst
+// (len Words()), zero-filled if the cell was never marked.
+func (g *MaskGrid) WordsAt(p Vec2, dst []uint64) {
+	clear(dst)
+	if len(g.cells) == 0 {
+		return
+	}
+	k := g.key(p)
+	slot := uint64(len(g.cells) - 1)
+	for i := hashCell(k) & slot; ; i = (i + 1) & slot {
+		if g.gen[i] != g.cur {
+			return
+		}
+		if g.cells[i] == k {
+			copy(dst, g.masks[int(i)*g.words:int(i)*g.words+g.words])
+			return
 		}
 	}
 }
@@ -98,7 +169,7 @@ func (g *MaskGrid) grow() {
 	}
 	oldCells, oldMasks, oldGen := g.cells, g.masks, g.gen
 	g.cells = make([]uint64, capNew)
-	g.masks = make([]uint64, capNew)
+	g.masks = make([]uint64, capNew*g.words)
 	g.gen = make([]uint32, capNew)
 	slot := uint64(capNew - 1)
 	for i, gen := range oldGen {
@@ -109,7 +180,7 @@ func (g *MaskGrid) grow() {
 		for j := hashCell(k) & slot; ; j = (j + 1) & slot {
 			if g.gen[j] != g.cur {
 				g.cells[j] = k
-				g.masks[j] = oldMasks[i]
+				copy(g.masks[int(j)*g.words:int(j)*g.words+g.words], oldMasks[i*g.words:i*g.words+g.words])
 				g.gen[j] = g.cur
 				break
 			}

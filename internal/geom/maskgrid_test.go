@@ -79,3 +79,99 @@ func TestMaskGridGrowthPreservesMasks(t *testing.T) {
 		}
 	}
 }
+
+func TestMaskGridMarkWordsReturnsNewBits(t *testing.T) {
+	g := NewMaskGridWords(1, 2)
+	if g.Words() != 2 {
+		t.Fatalf("Words() = %d, want 2", g.Words())
+	}
+	p := V(0.5, 0.5)
+	newBits := make([]uint64, 2)
+	g.MarkWords(p, []uint64{0b0101, 0b1000}, newBits)
+	if newBits[0] != 0b0101 || newBits[1] != 0b1000 {
+		t.Fatalf("first mark returned %b/%b, want 0101/1000", newBits[0], newBits[1])
+	}
+	g.MarkWords(p, []uint64{0b0011, 0b1100}, newBits)
+	if newBits[0] != 0b0010 || newBits[1] != 0b0100 {
+		t.Fatalf("overlapping mark returned %b/%b, want 0010/0100", newBits[0], newBits[1])
+	}
+	g.MarkWords(p, []uint64{0b0111, 0b1100}, newBits)
+	if newBits[0] != 0 || newBits[1] != 0 {
+		t.Fatalf("fully covered mark returned %b/%b, want 0/0", newBits[0], newBits[1])
+	}
+	acc := make([]uint64, 2)
+	g.WordsAt(p, acc)
+	if acc[0] != 0b0111 || acc[1] != 0b1100 {
+		t.Fatalf("accumulated mask %b/%b, want 0111/1100", acc[0], acc[1])
+	}
+	if g.Cells() != 1 {
+		t.Fatalf("cells %d, want 1", g.Cells())
+	}
+	g.WordsAt(V(50, 50), acc)
+	if acc[0] != 0 || acc[1] != 0 {
+		t.Fatalf("unmarked cell reads %b/%b, want zeros", acc[0], acc[1])
+	}
+}
+
+// A multi-word grid must behave exactly like one single-word grid per word:
+// the per-word newly-set bits and accumulated masks of random markings have
+// to agree word for word, including across table growth.
+func TestMaskGridWordsMatchPerWordGrids(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const words = 3
+	wide := NewMaskGridWords(0.75, words)
+	narrow := make([]*MaskGrid, words)
+	for w := range narrow {
+		narrow[w] = NewMaskGrid(0.75)
+	}
+	mask := make([]uint64, words)
+	newBits := make([]uint64, words)
+	for i := 0; i < 4000; i++ {
+		p := V((rng.Float64()-0.5)*100, (rng.Float64()-0.5)*100)
+		for w := range mask {
+			mask[w] = rng.Uint64()
+		}
+		wide.MarkWords(p, mask, newBits)
+		for w := range mask {
+			if got := narrow[w].MarkBits(p, mask[w]); got != newBits[w] {
+				t.Fatalf("point %v word %d: new bits %b, per-word grid %b", p, w, newBits[w], got)
+			}
+		}
+	}
+	if wide.Cells() != narrow[0].Cells() {
+		t.Fatalf("cell counts diverge: %d vs %d", wide.Cells(), narrow[0].Cells())
+	}
+	acc := make([]uint64, words)
+	for i := 0; i < 1000; i++ {
+		p := V((rng.Float64()-0.5)*100, (rng.Float64()-0.5)*100)
+		wide.WordsAt(p, acc)
+		for w := range acc {
+			if got := narrow[w].BitsAt(p); got != acc[w] {
+				t.Fatalf("point %v word %d: mask %b, per-word grid %b", p, w, acc[w], got)
+			}
+		}
+	}
+}
+
+func TestMaskGridWordsResetReuse(t *testing.T) {
+	g := NewMaskGridWords(1, 2)
+	mask := []uint64{^uint64(0), 1}
+	newBits := make([]uint64, 2)
+	acc := make([]uint64, 2)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			g.MarkWords(V(float64(i), float64(round)), mask, newBits)
+		}
+		if g.Cells() != 100 {
+			t.Fatalf("round %d: cells %d, want 100", round, g.Cells())
+		}
+		g.Reset()
+		if g.Cells() != 0 {
+			t.Fatalf("round %d: cells after reset %d", round, g.Cells())
+		}
+		g.WordsAt(V(0, float64(round)), acc)
+		if acc[0] != 0 || acc[1] != 0 {
+			t.Fatalf("round %d: stale bits survive reset", round)
+		}
+	}
+}

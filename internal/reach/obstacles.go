@@ -103,31 +103,51 @@ func (o *Obstacles) CollideRecording(marks []bool) CollisionFunc {
 
 // maskHits scans the actors whose slice-s footprint collides with b and
 // strikes each blocker's victims from the possible-world mask: a hit by
-// represented actor i (i < rep) removes every world actor i is present in,
-// leaving at most world /i (bit 1+i); a hit by a spillover actor removes
-// every represented world, and is recorded in spill so the caller can elide
-// or compute that actor's legacy counterfactual tube. The scan stops once
-// no world survives — safe for spill bookkeeping because a path that
-// already has one blocker cannot make any later actor a sole blocker, and
-// only sole blockers can change a collision verdict on their own.
-func (o *Obstacles) maskHits(b *geom.PreparedBox, slice, rep int, possible uint64, spill []bool) uint64 {
+// actor i removes every world actor i is present in, leaving at most world
+// /i (bit 1+i). The scan stops once no world survives — by then every
+// world has either pruned the footprint or never examined it. Single-word
+// (≤63 actors) variant; maskHitsSeg is the segmented analogue.
+func (o *Obstacles) maskHits(b *geom.PreparedBox, slice int, possible uint64) uint64 {
 	if slice > o.numSlices {
 		slice = o.numSlices
 	}
 	for i := range o.boxes {
 		if b.Intersects(&o.boxes[i][slice]) {
-			if i < rep {
-				possible &= uint64(1) << uint(1+i)
-			} else {
-				spill[i-rep] = true
-				possible = 0
-			}
+			possible &= uint64(1) << uint(1+i)
 			if possible == 0 {
 				return 0
 			}
 		}
 	}
 	return possible
+}
+
+// strikeOnly applies a blocker's world strike to a segmented mask: keep
+// only world bit `bit` (if it was still possible), zero everything else.
+// This is the word-indexed spelling of the single-word
+// `possible &= 1 << bit`; it reports whether any world survives.
+func strikeOnly(possible []uint64, bit int) bool {
+	w, off := bit>>6, uint(bit&63)
+	keep := possible[w] & (uint64(1) << off)
+	clear(possible)
+	possible[w] = keep
+	return keep != 0
+}
+
+// maskHitsSeg is maskHits over a segmented possible-world mask, mutated in
+// place. It reports whether any world survives the scan.
+func (o *Obstacles) maskHitsSeg(b *geom.PreparedBox, slice int, possible []uint64) bool {
+	if slice > o.numSlices {
+		slice = o.numSlices
+	}
+	for i := range o.boxes {
+		if b.Intersects(&o.boxes[i][slice]) {
+			if !strikeOnly(possible, 1+i) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // activeInto appends to act the actors whose footprint during slice s or
@@ -166,10 +186,9 @@ func (o *Obstacles) activeInto(act []int32, min, max geom.Vec2, slice int) []int
 // pathOK tests) with an inlined AABB rejection before the SAT call. Whether
 // an actor hits at s, at s+1, or both, the world-mask effect is the same
 // single intersection (&= its own world bit), so folding the two scans into
-// one preserves every per-world verdict; the early return once no world
-// survives is sound for spill bookkeeping because a footprint that already
-// has one blocker cannot make any later actor a sole blocker.
-func (o *Obstacles) maskHitsPath(b *geom.PreparedBox, slice, rep int, possible uint64, spill []bool, act []int32) uint64 {
+// one preserves every per-world verdict. Single-word variant;
+// maskHitsPathSeg is the segmented analogue.
+func (o *Obstacles) maskHitsPath(b *geom.PreparedBox, slice int, possible uint64, act []int32) uint64 {
 	s0 := slice
 	if s0 > o.numSlices {
 		s0 = o.numSlices
@@ -189,18 +208,43 @@ func (o *Obstacles) maskHitsPath(b *geom.PreparedBox, slice, rep int, possible u
 				b.Min.Y <= a.Max.Y && a.Min.Y <= b.Max.Y && b.Intersects(a)
 		}
 		if hit {
-			if int(i) < rep {
-				possible &= uint64(1) << uint(1+i)
-			} else {
-				spill[int(i)-rep] = true
-				possible = 0
-			}
+			possible &= uint64(1) << uint(1+i)
 			if possible == 0 {
 				return 0
 			}
 		}
 	}
 	return possible
+}
+
+// maskHitsPathSeg is maskHitsPath over a segmented possible-world mask,
+// mutated in place. It reports whether any world survives the sweep.
+func (o *Obstacles) maskHitsPathSeg(b *geom.PreparedBox, slice int, possible []uint64, act []int32) bool {
+	s0 := slice
+	if s0 > o.numSlices {
+		s0 = o.numSlices
+	}
+	s1 := slice + 1
+	if s1 > o.numSlices {
+		s1 = o.numSlices
+	}
+	for _, i := range act {
+		bs := o.boxes[i]
+		a := &bs[s0]
+		hit := b.Min.X <= a.Max.X && a.Min.X <= b.Max.X &&
+			b.Min.Y <= a.Max.Y && a.Min.Y <= b.Max.Y && b.Intersects(a)
+		if !hit {
+			a = &bs[s1]
+			hit = b.Min.X <= a.Max.X && a.Min.X <= b.Max.X &&
+				b.Min.Y <= a.Max.Y && a.Min.Y <= b.Max.Y && b.Intersects(a)
+		}
+		if hit {
+			if !strikeOnly(possible, 1+int(i)) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // BoxAt returns actor i's footprint at slice s (clamped to the horizon).

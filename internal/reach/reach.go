@@ -301,6 +301,18 @@ type Scratch struct {
 	wvol      []int   // per-world marked-cell counts
 	wslice    []int   // per-world accepted states in the current slice
 	mactive   []int32 // actors surviving the per-slice broad phase
+
+	// Segmented-mask working memory (64+-actor scenes): struct-of-arrays
+	// frontier (states plus a flat stride-words mask arena) and the
+	// per-slice word buffers of computeSegmented.
+	sfstates []vehicle.State
+	sfmasks  []uint64
+	snstates []vehicle.State
+	snmasks  []uint64
+	sclaimed *segKeySet
+	scap     []uint64 // per-slice MaxStates cap mask
+	sposs    []uint64 // per-candidate possible-world mask
+	snew     []uint64 // MarkWords newly-set-bits buffer
 }
 
 // NewScratch returns an empty scratch ready for ComputeScratch.
@@ -327,14 +339,25 @@ func (s *Scratch) reset(cellSize float64) {
 }
 
 // resetShared readies the shared-expansion working memory for a
-// ComputeCounterfactuals call with numWorlds counterfactual worlds.
-func (s *Scratch) resetShared(cellSize float64, numWorlds int) {
-	if s.claimed == nil {
-		s.claimed = newMaskedKeySet()
+// ComputeCounterfactuals call with numWorlds counterfactual worlds packed
+// into `words` 64-bit mask words (1 selects the single-word fast path).
+func (s *Scratch) resetShared(cellSize float64, numWorlds, words int) {
+	if words == 1 {
+		if s.claimed == nil {
+			s.claimed = newMaskedKeySet()
+		}
+		s.claimed.reset()
+	} else {
+		if s.sclaimed == nil {
+			s.sclaimed = newSegKeySet(words)
+		}
+		s.sclaimed.reset(words)
+		s.scap = sizeU64(s.scap, words)
+		s.sposs = sizeU64(s.sposs, words)
+		s.snew = sizeU64(s.snew, words)
 	}
-	s.claimed.reset()
-	if s.mgrid == nil || s.mgrid.CellSize() != cellSize {
-		s.mgrid = geom.NewMaskGrid(cellSize)
+	if s.mgrid == nil || s.mgrid.CellSize() != cellSize || s.mgrid.Words() != words {
+		s.mgrid = geom.NewMaskGridWords(cellSize, words)
 	} else {
 		s.mgrid.Reset()
 	}
@@ -346,6 +369,17 @@ func (s *Scratch) resetShared(cellSize float64, numWorlds int) {
 	s.wslice = s.wslice[:numWorlds]
 	clear(s.wvol)
 	clear(s.wslice)
+}
+
+// sizeU64 returns a zeroed []uint64 of length n, reusing buf's backing
+// array when it is large enough.
+func sizeU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // Compute runs Algorithm 1: it returns the reach-tube of the ego vehicle on

@@ -15,14 +15,8 @@ import (
 var (
 	telSharedComputes = telemetry.NewCounter("reach.shared.computes")
 	telSharedStates   = telemetry.NewCounter("reach.shared.states_expanded")
-	telSharedWorlds   = telemetry.NewHistogram("reach.shared.worlds", telemetry.LinearBuckets(0, 4, 17))
+	telSharedWorlds   = telemetry.NewHistogram("reach.shared.worlds", telemetry.LinearBuckets(0, 8, 18))
 )
-
-// MaxSharedActors is the number of actors one shared expansion can carry a
-// dedicated counterfactual world for: 63 actor worlds plus the base world
-// fill the 64-bit state mask. Actors beyond it ("spillover") are handled by
-// the caller with legacy per-actor tubes, guided by SpillBlocked.
-const MaxSharedActors = 63
 
 // SharedTubes is the result of ComputeCounterfactuals: every reach-tube
 // volume the STI per-actor evaluation needs (Eq. 4), derived from a single
@@ -31,25 +25,24 @@ type SharedTubes struct {
 	// BaseVolume is |T|, the tube volume with every actor present —
 	// bit-for-bit the volume ComputeScratch returns with Obstacles.Collide.
 	BaseVolume float64
-	// WithoutVolume[i] is |T^{/i}| for each represented actor i —
-	// bit-for-bit the volume ComputeScratch returns with CollideWithout(i).
+	// WithoutVolume[i] is |T^{/i}| for each actor i — bit-for-bit the
+	// volume ComputeScratch returns with CollideWithout(i).
 	WithoutVolume []float64
-	// Represented is the number of leading actors carried as explicit
-	// counterfactual worlds: min(NumActors, MaxSharedActors).
+	// Represented is the number of actors carried as explicit counterfactual
+	// worlds. Since masks became segmented this is always NumActors: every
+	// actor in the scene gets a world bit.
 	Represented int
-	// SpillBlocked[j] reports whether spillover actor Represented+j ever
-	// collided with a footprint examined during the expansion. A false
-	// entry certifies T^{/(Represented+j)} = T exactly (the actor never
-	// changed a collision verdict anywhere the base expansion looked), so
-	// the caller can skip its legacy tube; a true entry requires one.
-	SpillBlocked []bool
+	// MaskWords is the number of 64-bit words in each state's world mask:
+	// ceil((1+NumActors)/64). 1 selects the single-word fast path.
+	MaskWords int
 	// States is the number of masked states expanded (diagnostics).
 	States int
 }
 
-// maskedState is one state of the shared frontier: the kinematic state plus
-// the set of counterfactual worlds in which it is a live, dedup-winning
-// member of the tube (bit 0 = base world, bit 1+i = world without actor i).
+// maskedState is one state of the single-word shared frontier: the kinematic
+// state plus the set of counterfactual worlds in which it is a live,
+// dedup-winning member of the tube (bit 0 = base world, bit 1+i = world
+// without actor i).
 type maskedState struct {
 	st vehicle.State
 	w  uint64
@@ -143,6 +136,156 @@ func (ks *maskedKeySet) grow() {
 	}
 }
 
+// segKeySet is maskedKeySet with segmented masks: each slot carries `words`
+// consecutive uint64s, so one claimed-key lookup covers every world of an
+// arbitrarily wide scene. Bit w of word w/64 plays exactly the role bit w
+// plays in the single-word set.
+type segKeySet struct {
+	words int
+	keys  []stateKey
+	masks []uint64 // stride `words` per slot
+	gen   []uint32
+	cur   uint32
+	n     int
+}
+
+func newSegKeySet(words int) *segKeySet { return &segKeySet{words: words, cur: 1} }
+
+// reset readies the set for a new slice with `words`-wide masks. Changing
+// the width drops the table (the stride no longer matches), which only
+// happens when consecutive scenes differ in actor-count word boundaries.
+func (ks *segKeySet) reset(words int) {
+	if ks.words != words {
+		ks.words = words
+		ks.keys, ks.masks, ks.gen = nil, nil, nil
+		ks.n = 0
+		ks.cur = 1
+		return
+	}
+	ks.cur++
+	ks.n = 0
+	if ks.cur == 0 { // stamp wrapped: old entries would look live again
+		clear(ks.gen)
+		ks.cur = 1
+	}
+}
+
+// andNot strips the worlds already claimed for k out of possible (in
+// place), reporting whether any world survives. Word w of possible is
+// treated exactly as maskedKeySet treats its single word: possible &^=
+// claimed(k).
+func (ks *segKeySet) andNot(k stateKey, possible []uint64) bool {
+	if len(ks.keys) == 0 {
+		return anyNonzero(possible)
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			return anyNonzero(possible)
+		}
+		if ks.keys[i] == k {
+			base := int(i) * ks.words
+			any := false
+			for w := range possible {
+				possible[w] &^= ks.masks[base+w]
+				any = any || possible[w] != 0
+			}
+			return any
+		}
+	}
+}
+
+// or claims the worlds in bits (len words) for key k.
+func (ks *segKeySet) or(k stateKey, bits []uint64) {
+	if 2*(ks.n+1) > len(ks.keys) {
+		ks.grow()
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			ks.keys[i] = k
+			copy(ks.masks[int(i)*ks.words:int(i)*ks.words+ks.words], bits)
+			ks.gen[i] = ks.cur
+			ks.n++
+			return
+		}
+		if ks.keys[i] == k {
+			base := int(i) * ks.words
+			for w := range bits {
+				ks.masks[base+w] |= bits[w]
+			}
+			return
+		}
+	}
+}
+
+func (ks *segKeySet) grow() {
+	capOld := len(ks.keys)
+	capNew := 1024
+	if capOld > 0 {
+		capNew = capOld * 2
+	}
+	oldKeys, oldMasks, oldGen := ks.keys, ks.masks, ks.gen
+	ks.keys = make([]stateKey, capNew)
+	ks.masks = make([]uint64, capNew*ks.words)
+	ks.gen = make([]uint32, capNew)
+	mask := uint64(capNew - 1)
+	for i, g := range oldGen {
+		if g != ks.cur {
+			continue
+		}
+		k := oldKeys[i]
+		for j := hashKey(k) & mask; ; j = (j + 1) & mask {
+			if ks.gen[j] != ks.cur {
+				ks.keys[j] = k
+				copy(ks.masks[int(j)*ks.words:int(j)*ks.words+ks.words], oldMasks[i*ks.words:i*ks.words+ks.words])
+				ks.gen[j] = ks.cur
+				break
+			}
+		}
+	}
+}
+
+// anyNonzero reports whether any word of mask has a bit set.
+func anyNonzero(mask []uint64) bool {
+	for _, v := range mask {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyUncapped reports whether mask has a live bit outside capMask — i.e.
+// whether any world of this parent can still accept candidates this slice.
+func anyUncapped(mask, capMask []uint64) bool {
+	for w := range mask {
+		if mask[w]&^capMask[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// fullMask sets dst to the mask with the low numWorlds bits set — the
+// segmented analogue of the single-word `^0 >> (64-numWorlds)` all-worlds
+// mask. dst may be wider than ceil(numWorlds/64); excess words are zeroed
+// (the differential tests force extra words to exercise the word loops on
+// small scenes).
+func fullMask(dst []uint64, numWorlds int) {
+	for w := range dst {
+		lo := w * 64
+		switch {
+		case numWorlds >= lo+64:
+			dst[w] = ^uint64(0)
+		case numWorlds <= lo:
+			dst[w] = 0
+		default:
+			dst[w] = ^uint64(0) >> (64 - uint(numWorlds-lo))
+		}
+	}
+}
+
 // ComputeCounterfactuals expands the reach-tubes of every counterfactual
 // world the STI per-actor evaluation needs — the base world (all actors)
 // and each single-actor-removed world /i — in ONE pass over the state
@@ -154,44 +297,57 @@ func (ks *maskedKeySet) grow() {
 // candidate transition is integrated and collision-swept once; the actors
 // blocking its path determine which worlds it survives in (no blocker →
 // every world; exactly actor i → only world /i; two or more distinct
-// blockers → none of the represented worlds), and per-world dedup and the
-// MaxStates cap are replayed exactly through the claimed-key mask and
-// per-world slice counters. Because the per-world decisions — expansion
-// order, ε-dedup claims, path pruning, cap cut-offs, grid cells marked —
-// are replicated exactly (see DESIGN.md §8 for the induction), the
-// resulting volumes are bit-for-bit equal to the legacy per-world tubes,
-// not merely equal up to dedup jitter.
+// blockers → none), and per-world dedup and the MaxStates cap are replayed
+// exactly through the claimed-key mask and per-world slice counters.
+// Because the per-world decisions — expansion order, ε-dedup claims, path
+// pruning, cap cut-offs, grid cells marked — are replicated exactly (see
+// DESIGN.md §8 for the induction), the resulting volumes are bit-for-bit
+// equal to the legacy per-world tubes, not merely equal up to dedup jitter.
+//
+// The mask is segmented: ceil((1+n)/64) words of 64 bits, so EVERY actor in
+// the scene gets a dedicated world (no spillover, no fallback tubes).
+// Scenes with at most 63 actors take a single-word fast path whose inner
+// loops are scalar; wider scenes run the word-indexed loops. The two paths
+// make identical per-world decisions — bit w of word w/64 is treated
+// exactly as bit w of the single word — so the choice is invisible in the
+// results.
 //
 // Cost: one expansion over the union of the per-world tubes (≈ the largest
 // single tube) with one collision sweep per candidate, making the STI
 // evaluation ~O(1) in the number of actors rather than O(N).
 //
 // scr may be nil; as with ComputeScratch the result is identical either
-// way. Actors beyond MaxSharedActors spill over: they get no world bit, any
-// collision by them removes a path from every represented world (exactly
-// what their presence does in those worlds), and SpillBlocked reports
-// whether they ever blocked anything so the caller can elide or compute
-// their legacy tubes.
+// way.
 func ComputeCounterfactuals(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch) SharedTubes {
 	n := obs.NumActors()
-	rep := n
-	if rep > MaxSharedActors {
-		rep = MaxSharedActors
-	}
-	numWorlds := 1 + rep
-	allMask := ^uint64(0) >> (64 - uint(numWorlds))
-
+	numWorlds := 1 + n
+	words := (numWorlds + 63) / 64
 	res := SharedTubes{
-		WithoutVolume: make([]float64, rep),
-		Represented:   rep,
-	}
-	if n > rep {
-		res.SpillBlocked = make([]bool, n-rep)
+		WithoutVolume: make([]float64, n),
+		Represented:   n,
+		MaskWords:     words,
 	}
 	if scr == nil {
 		scr = NewScratch()
 	}
-	scr.resetShared(cfg.CellSize, numWorlds)
+	telSharedComputes.Inc()
+	telSharedWorlds.Observe(float64(numWorlds))
+	if words == 1 {
+		computeSingleWord(m, obs, ego, cfg, scr, &res, numWorlds)
+	} else {
+		computeSegmented(m, obs, ego, cfg, scr, &res, numWorlds, words)
+	}
+	return res
+}
+
+// computeSingleWord is the ≤63-actor fast path: all world masks fit one
+// uint64, so the inner loops carry scalar masks exactly as the original
+// shared engine did.
+func computeSingleWord(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch, res *SharedTubes, numWorlds int) {
+	n := numWorlds - 1
+	allMask := ^uint64(0) >> (64 - uint(numWorlds))
+
+	scr.resetShared(cfg.CellSize, numWorlds, 1)
 	grid := scr.mgrid
 	claimed := scr.claimed
 	volCount := scr.wvol
@@ -199,22 +355,18 @@ func ComputeCounterfactuals(m roadmap.Map, obs *Obstacles, ego vehicle.State, cf
 	numSlices := cfg.NumSlices()
 	pm, _ := m.(roadmap.PreparedMap)
 
-	telSharedComputes.Inc()
-	telSharedWorlds.Observe(float64(numWorlds))
-
-	finish := func(states, propagations, pruned int) SharedTubes {
+	finish := func(states, propagations, pruned int) {
 		cs := cfg.CellSize
 		// Same expression OccupancyGrid.Area evaluates, so per-world
 		// volumes are bitwise what the legacy tubes report.
 		res.BaseVolume = float64(volCount[0]) * cs * cs
-		for i := 0; i < rep; i++ {
+		for i := 0; i < n; i++ {
 			res.WithoutVolume[i] = float64(volCount[1+i]) * cs * cs
 		}
 		res.States = states
 		telSharedStates.Add(int64(states))
 		telPropagations.Add(int64(propagations))
 		telPruned.Add(int64(pruned))
-		return res
 	}
 
 	// Root: each world checks the ego's starting footprint on its own
@@ -222,10 +374,11 @@ func ComputeCounterfactuals(m roadmap.Map, obs *Obstacles, ego vehicle.State, cf
 	egoPb := cfg.Params.Footprint(ego).Prepare()
 	live := uint64(0)
 	if drivable(m, pm, &egoPb) {
-		live = obs.maskHits(&egoPb, 0, rep, allMask, res.SpillBlocked)
+		live = obs.maskHits(&egoPb, 0, allMask)
 	}
 	if live == 0 {
-		return finish(0, 0, 0)
+		finish(0, 0, 0)
+		return
 	}
 
 	controls := cfg.controls()
@@ -306,7 +459,7 @@ func ComputeCounterfactuals(m roadmap.Map, obs *Obstacles, ego vehicle.State, cf
 						possible = 0
 						break
 					}
-					possible = obs.maskHitsPath(&pb, slice, rep, possible, res.SpillBlocked, act)
+					possible = obs.maskHitsPath(&pb, slice, possible, act)
 					if possible == 0 {
 						break
 					}
@@ -334,5 +487,159 @@ func ComputeCounterfactuals(m roadmap.Map, obs *Obstacles, ego vehicle.State, cf
 	}
 	// Hand the (possibly re-grown) slices back for the next reuse.
 	scr.mfrontier, scr.mnext, scr.mactive = frontier, next, act
-	return finish(states, propagations, pruned)
+	finish(states, propagations, pruned)
+}
+
+// computeSegmented is the 64+-actor path: world masks span `words` uint64s
+// and every loop over a scalar mask becomes a loop over its words. Each
+// step mirrors computeSingleWord line for line — the per-world decision for
+// world w reads and writes bit w%64 of word w/64, exactly the bit the
+// single-word path would use had it been wide enough — so the induction
+// argument of DESIGN.md §8 carries over per word.
+func computeSegmented(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch, res *SharedTubes, numWorlds, words int) {
+	n := numWorlds - 1
+
+	scr.resetShared(cfg.CellSize, numWorlds, words)
+	grid := scr.mgrid
+	claimed := scr.sclaimed
+	volCount := scr.wvol
+	sliceCount := scr.wslice
+	numSlices := cfg.NumSlices()
+	pm, _ := m.(roadmap.PreparedMap)
+
+	finish := func(states, propagations, pruned int) {
+		cs := cfg.CellSize
+		res.BaseVolume = float64(volCount[0]) * cs * cs
+		for i := 0; i < n; i++ {
+			res.WithoutVolume[i] = float64(volCount[1+i]) * cs * cs
+		}
+		res.States = states
+		telSharedStates.Add(int64(states))
+		telPropagations.Add(int64(propagations))
+		telPruned.Add(int64(pruned))
+	}
+
+	// Root: all worlds start live; drivability and the slice-0 collision
+	// sweep strike the same worlds the legacy roots would reject.
+	egoPb := cfg.Params.Footprint(ego).Prepare()
+	possible := scr.sposs
+	fullMask(possible, numWorlds)
+	if !drivable(m, pm, &egoPb) || !obs.maskHitsSeg(&egoPb, 0, possible) {
+		finish(0, 0, 0)
+		return
+	}
+
+	controls := cfg.controls()
+	tans := make([]float64, len(controls))
+	for i, u := range controls {
+		tans[i] = math.Tan(u.Steer)
+	}
+	pb := egoPb
+	path := make([]pathState, cfg.SubSteps)
+	// The frontier is struct-of-arrays: states in fstates, masks in the
+	// flat stride-`words` arena fmasks (state fi owns fmasks[fi*words :
+	// (fi+1)*words]), so growing it never allocates per-state slices.
+	fstates := append(scr.sfstates[:0], ego)
+	fmasks := append(scr.sfmasks[:0], possible...)
+	nstates := scr.snstates[:0]
+	nmasks := scr.snmasks[:0]
+	act := scr.mactive
+	capMask := scr.scap
+	newBits := scr.snew
+	states, propagations, pruned := 0, 0, 0
+
+	for slice := 0; slice < numSlices && len(fstates) > 0; slice++ {
+		claimed.reset(words)
+		clear(sliceCount)
+		clear(capMask)
+		// Broad phase: identical to the single-word path.
+		fmin, fmax := fstates[0].Pos, fstates[0].Pos
+		vmax := fstates[0].Speed
+		for fi := 1; fi < len(fstates); fi++ {
+			p := fstates[fi].Pos
+			if p.X < fmin.X {
+				fmin.X = p.X
+			}
+			if p.Y < fmin.Y {
+				fmin.Y = p.Y
+			}
+			if p.X > fmax.X {
+				fmax.X = p.X
+			}
+			if p.Y > fmax.Y {
+				fmax.Y = p.Y
+			}
+			if v := fstates[fi].Speed; v > vmax {
+				vmax = v
+			}
+		}
+		travel := math.Min(vmax+cfg.Params.MaxAccel*cfg.SliceDt, cfg.Params.MaxSpeed) * cfg.SliceDt
+		margin := travel + egoPb.Radius + 1e-6
+		act = obs.activeInto(act[:0],
+			geom.V(fmin.X-margin, fmin.Y-margin), geom.V(fmax.X+margin, fmax.Y+margin), slice)
+		nstates = nstates[:0]
+		nmasks = nmasks[:0]
+		for fi := range fstates {
+			fmask := fmasks[fi*words : fi*words+words]
+			if !anyUncapped(fmask, capMask) {
+				continue // every world of this parent already capped
+			}
+			sin0, cos0 := math.Sincos(fstates[fi].Heading)
+			for ui, u := range controls {
+				s2, nsub := cfg.integrate(fstates[fi], sin0, cos0, u, tans[ui], path)
+				propagations++
+				k := cfg.key(s2)
+				// possible = parent worlds, minus capped, minus claimed —
+				// word for word the single-word expression.
+				for w := 0; w < words; w++ {
+					possible[w] = fmask[w] &^ capMask[w]
+				}
+				if !claimed.andNot(k, possible) {
+					continue
+				}
+				ok := true
+				for j := 0; j < nsub; j++ {
+					ps := &path[j]
+					pb.MoveTo(ps.st.Pos, ps.st.Heading, ps.sin, ps.cos)
+					if !drivable(m, pm, &pb) {
+						ok = false
+						break
+					}
+					if !obs.maskHitsPathSeg(&pb, slice, possible, act) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					pruned++
+					continue
+				}
+				claimed.or(k, possible)
+				grid.MarkWords(s2.Pos, possible, newBits)
+				for w := 0; w < words; w++ {
+					for b := newBits[w]; b != 0; b &= b - 1 {
+						volCount[w<<6+bits.TrailingZeros64(b)]++
+					}
+				}
+				for w := 0; w < words; w++ {
+					for b := possible[w]; b != 0; b &= b - 1 {
+						tz := bits.TrailingZeros64(b)
+						wi := w<<6 + tz
+						sliceCount[wi]++
+						if sliceCount[wi] >= cfg.MaxStates {
+							capMask[w] |= uint64(1) << uint(tz)
+						}
+					}
+				}
+				nstates = append(nstates, s2)
+				nmasks = append(nmasks, possible...)
+				states++
+			}
+		}
+		fstates, nstates = nstates, fstates[:0]
+		fmasks, nmasks = nmasks, fmasks[:0]
+	}
+	// Hand the (possibly re-grown) slices back for the next reuse.
+	scr.sfstates, scr.sfmasks, scr.snstates, scr.snmasks, scr.mactive = fstates, fmasks, nstates, nmasks, act
+	finish(states, propagations, pruned)
 }

@@ -12,15 +12,18 @@ import (
 
 // randomScene builds a scene with n actors scattered around the test road,
 // biased towards the ego's lane so a good fraction actually block paths.
+// The scatter span grows with n so crowd-scale scenes (64+) stay plausible
+// traffic rather than a single impenetrable wall at the origin.
 func randomScene(rng *rand.Rand, n int) (vehicle.State, []*actor.Actor) {
 	ego := vehicle.State{
 		Pos:   geom.V(0, 1.0+rng.Float64()*5),
 		Speed: rng.Float64() * 20,
 	}
+	span := 60 + 3*float64(n)
 	actors := make([]*actor.Actor, n)
 	for i := range actors {
 		actors[i] = actor.NewVehicle(i+1, vehicle.State{
-			Pos:     geom.V(-20+rng.Float64()*60, 0.8+rng.Float64()*5.4),
+			Pos:     geom.V(-20+rng.Float64()*span, 0.8+rng.Float64()*5.4),
 			Speed:   rng.Float64() * 15,
 			Heading: (rng.Float64() - 0.5) * 0.4,
 		})
@@ -29,30 +32,29 @@ func randomScene(rng *rand.Rand, n int) (vehicle.State, []*actor.Actor) {
 }
 
 // requireSharedMatchesLegacy checks every volume ComputeCounterfactuals
-// reports against the legacy per-world tubes, bit for bit, and that every
-// false SpillBlocked entry really certifies T^{/i} = T.
+// reports against the legacy per-world tubes, bit for bit, plus the result
+// metadata: every actor is represented and the mask width matches the
+// world count.
 func requireSharedMatchesLegacy(t *testing.T, tag string, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, cfg Config) {
 	t.Helper()
 	trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
 	obs := BuildObstacles(actors, trajs, cfg)
 	sh := ComputeCounterfactuals(m, obs, ego, cfg, nil)
 
+	if sh.Represented != len(actors) {
+		t.Errorf("%s: represented %d, want every actor (%d)", tag, sh.Represented, len(actors))
+	}
+	if want := (1 + len(actors) + 63) / 64; sh.MaskWords != want {
+		t.Errorf("%s: mask words %d, want %d", tag, sh.MaskWords, want)
+	}
 	base := Compute(m, obs.Collide(), ego, cfg)
 	if sh.BaseVolume != base.Volume {
 		t.Errorf("%s: base volume %v, legacy %v", tag, sh.BaseVolume, base.Volume)
 	}
-	for i := 0; i < sh.Represented; i++ {
+	for i := range actors {
 		wo := Compute(m, obs.CollideWithout(i), ego, cfg)
 		if sh.WithoutVolume[i] != wo.Volume {
 			t.Errorf("%s: world /%d volume %v, legacy %v", tag, i, sh.WithoutVolume[i], wo.Volume)
-		}
-	}
-	for j, blocked := range sh.SpillBlocked {
-		i := sh.Represented + j
-		wo := Compute(m, obs.CollideWithout(i), ego, cfg)
-		if !blocked && wo.Volume != base.Volume {
-			t.Errorf("%s: spill actor %d unblocked but |T^{/i}|=%v != |T|=%v",
-				tag, i, wo.Volume, base.Volume)
 		}
 	}
 }
@@ -113,49 +115,104 @@ func TestSharedRootBlocked(t *testing.T) {
 	requireSharedMatchesLegacy(t, "root-blocked", road, ego, actors, cfg)
 }
 
-// Spillover: with more actors than mask bits, represented worlds must stay
-// exact and SpillBlocked's false entries must certify tube equality. 70
-// actors exceed MaxSharedActors=63.
-func TestSharedSpillover(t *testing.T) {
+// Segmented masks: 64+-actor scenes exercise word 1 and beyond of the
+// per-state mask (the retired single-word engine capped at 63 actors and
+// spilled the rest onto legacy fallback tubes). 64 actors straddle the
+// first word boundary (65 worlds), 70 sits inside word 1, and 130 needs
+// three words — every world must still be bitwise-legacy.
+func TestSharedMatchesLegacySegmented(t *testing.T) {
 	if testing.Short() {
-		t.Skip("70-actor differential scene")
+		t.Skip("64-130-actor differential scenes")
 	}
 	rng := rand.New(rand.NewSource(3))
 	cfg := DefaultConfig()
 	road := testRoad()
-	ego, actors := randomScene(rng, 70)
-	trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
-	obs := BuildObstacles(actors, trajs, cfg)
-	sh := ComputeCounterfactuals(road, obs, ego, cfg, nil)
-	if sh.Represented != MaxSharedActors {
-		t.Fatalf("represented %d, want %d", sh.Represented, MaxSharedActors)
+	for _, n := range []int{64, 70, 130} {
+		ego, actors := randomScene(rng, n)
+		requireSharedMatchesLegacy(t, "segmented", road, ego, actors, cfg)
 	}
-	if len(sh.SpillBlocked) != 70-MaxSharedActors {
-		t.Fatalf("spill slots %d, want %d", len(sh.SpillBlocked), 70-MaxSharedActors)
+}
+
+// The per-slice MaxStates cap replay must hold across word boundaries too:
+// different worlds of different words cap at different candidates.
+func TestSharedMatchesLegacySegmentedUnderCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capped 80-actor differential scenes")
 	}
-	requireSharedMatchesLegacy(t, "spill", road, ego, actors, cfg)
+	rng := rand.New(rand.NewSource(19))
+	road := testRoad()
+	for _, maxStates := range []int{2, 8, 40} {
+		cfg := DefaultConfig()
+		cfg.MaxStates = maxStates
+		ego, actors := randomScene(rng, 80)
+		requireSharedMatchesLegacy(t, "segmented-cap", road, ego, actors, cfg)
+	}
+}
+
+// The word-indexed loops must agree with the scalar fast path even when a
+// scene fits one word: force extra mask words and compare against the
+// dispatcher's single-word result bitwise. This keeps the segmented path
+// covered by the cheap small-scene suites, not only the 64+ ones.
+func TestSharedSegmentedForcedWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cfg := DefaultConfig()
+	road := testRoad()
+	scr := NewScratch()
+	for iter := 0; iter < 8; iter++ {
+		n := 1 + rng.Intn(6)
+		ego, actors := randomScene(rng, n)
+		trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
+		obs := BuildObstacles(actors, trajs, cfg)
+		want := ComputeCounterfactuals(road, obs, ego, cfg, nil)
+		if want.MaskWords != 1 {
+			t.Fatalf("iter %d: small scene took %d words", iter, want.MaskWords)
+		}
+		for _, words := range []int{2, 3} {
+			got := SharedTubes{
+				WithoutVolume: make([]float64, n),
+				Represented:   n,
+				MaskWords:     words,
+			}
+			computeSegmented(road, obs, ego, cfg, scr, &got, 1+n, words)
+			if got.BaseVolume != want.BaseVolume {
+				t.Errorf("iter %d words %d: base %v, single-word %v", iter, words, got.BaseVolume, want.BaseVolume)
+			}
+			if got.States != want.States {
+				t.Errorf("iter %d words %d: states %d, single-word %d", iter, words, got.States, want.States)
+			}
+			for i := 0; i < n; i++ {
+				if got.WithoutVolume[i] != want.WithoutVolume[i] {
+					t.Errorf("iter %d words %d world /%d: %v, single-word %v",
+						iter, words, i, got.WithoutVolume[i], want.WithoutVolume[i])
+				}
+			}
+		}
+	}
 }
 
 // Scratch reuse across calls (the serving hot path) must not leak state
-// between evaluations, including across changing world counts.
+// between evaluations, including across changing world counts and mask
+// widths — a 70-actor scene between small ones forces the word count to
+// grow and shrink on the same scratch.
 func TestSharedScratchReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	cfg := DefaultConfig()
 	road := testRoad()
 	scr := NewScratch()
-	for iter := 0; iter < 10; iter++ {
-		ego, actors := randomScene(rng, 1+rng.Intn(8))
+	sizes := []int{3, 7, 70, 5, 66, 2, 70, 4, 130, 6}
+	for iter, n := range sizes {
+		ego, actors := randomScene(rng, n)
 		trajs := actor.PredictAll(actors, cfg.NumSlices(), cfg.SliceDt)
 		obs := BuildObstacles(actors, trajs, cfg)
 		fresh := ComputeCounterfactuals(road, obs, ego, cfg, nil)
 		reused := ComputeCounterfactuals(road, obs, ego, cfg, scr)
 		if fresh.BaseVolume != reused.BaseVolume {
-			t.Fatalf("iter %d: base %v vs %v with reused scratch", iter, fresh.BaseVolume, reused.BaseVolume)
+			t.Fatalf("iter %d (n=%d): base %v vs %v with reused scratch", iter, n, fresh.BaseVolume, reused.BaseVolume)
 		}
 		for i := range fresh.WithoutVolume {
 			if fresh.WithoutVolume[i] != reused.WithoutVolume[i] {
-				t.Fatalf("iter %d world /%d: %v vs %v with reused scratch",
-					iter, i, fresh.WithoutVolume[i], reused.WithoutVolume[i])
+				t.Fatalf("iter %d (n=%d) world /%d: %v vs %v with reused scratch",
+					iter, n, i, fresh.WithoutVolume[i], reused.WithoutVolume[i])
 			}
 		}
 	}

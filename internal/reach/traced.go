@@ -8,23 +8,16 @@ import (
 
 // ComputeCounterfactualsTraced is ComputeCounterfactuals wrapped in a
 // "reach.shared_expansion" span on rec, annotated with the expansion's
-// shape (worlds carried, states expanded, spillover actors that blocked).
-// rec may be nil, in which case the cost over the plain call is one nil
-// check — the hot path itself is untouched, so dense-scene benchmarks are
-// unaffected.
+// shape (worlds carried, mask words, states expanded). rec may be nil, in
+// which case the cost over the plain call is one nil check — the hot path
+// itself is untouched, so dense-scene benchmarks are unaffected.
 func ComputeCounterfactualsTraced(rec *trace.Recorder, m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch) SharedTubes {
 	sp := rec.StartSpan("reach.shared_expansion")
 	sh := ComputeCounterfactuals(m, obs, ego, cfg, scr)
 	if sp != nil {
-		blocked := 0
-		for _, b := range sh.SpillBlocked {
-			if b {
-				blocked++
-			}
-		}
 		sp.Annotate("states", sh.States).
 			Annotate("represented", sh.Represented).
-			Annotate("spill_blocked", blocked).
+			Annotate("mask_words", sh.MaskWords).
 			End()
 	}
 	return sh

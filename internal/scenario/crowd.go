@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// UrbanCrush builds the crowd-scale bench fixture: an urban-intersection
+// crush on a four-lane road where the ego is wedged between a slow crush
+// ring (lead vehicles, lane pincers, tailgaters) and ranks of stop-and-go
+// traffic filling every lane ahead, with a rear platoon closing from
+// behind. It is the dense64/dense128 workload of cmd/iprism-bench and the
+// 64+-actor scene class of the segmented-mask differential suites.
+//
+// Placement is pure arithmetic — no RNG — so every call with the same n
+// returns the identical scene. The crush ring is deliberately LAST in the
+// actor order: under the retired single-word mask engine actors past the
+// 63rd had no world bit, so ordering the scene's most critical blockers at
+// the tail put them exactly on the spillover fallback path this fixture
+// exists to measure.
+//
+// n must be at least 12 (the crush ring plus one filler rank).
+func UrbanCrush(n int) (roadmap.Map, vehicle.State, []*actor.Actor) {
+	if n < 12 {
+		panic(fmt.Sprintf("scenario: UrbanCrush needs n >= 12, got %d", n))
+	}
+	m := roadmap.MustStraightRoad(4, laneWidth, -120, 1200)
+	lanes := [...]float64{laneWidth / 2, 3 * laneWidth / 2, 5 * laneWidth / 2, 7 * laneWidth / 2}
+	ego := vehicle.State{Pos: geom.V(0, lanes[1]), Speed: 12}
+
+	// The crush ring: the actors that actually carve the ego's reach-tube.
+	// The ego has a two-lane corridor (lanes 0 and 1) running deep to the
+	// slow front rank at x=30, so the base tube is a large state set every
+	// world shares. The right lane is sealed by REDUNDANT pacing pincers
+	// (twins too close together for the ego to slot between), the rear is
+	// closed by doubled tailgaters, and the left-lane front-rank vehicle is
+	// backed by its own straggler — removing any one of those changes
+	// (next to) nothing, so their counterfactual worlds collapse onto the
+	// base tube. The dead-ahead lead, the very last actor in the scene, is
+	// the one exclusive blocker: its world opens the corridor past x=30.
+	// Under the old single-word engine that actor spilled past bit 63 and
+	// cost one *full* legacy re-expansion of base corridor plus opened
+	// corridor — the fallback cliff this fixture exists to measure, which
+	// segmented masks amortize to the opened stretch alone.
+	ring := []vehicle.State{
+		{Pos: geom.V(5, lanes[2]), Speed: 12},   // right-lane pacing pincer
+		{Pos: geom.V(10, lanes[2]), Speed: 12},  // right-lane twin (gap too short to enter)
+		{Pos: geom.V(8, lanes[3]), Speed: 12},   // far-lane screen
+		{Pos: geom.V(-18, lanes[1]), Speed: 14}, // tailgater punishing braking states
+		{Pos: geom.V(-24, lanes[1]), Speed: 14}, // tailgater's own backup
+		{Pos: geom.V(-20, lanes[0]), Speed: 14}, // rear-left closer
+		{Pos: geom.V(-26, lanes[0]), Speed: 14}, // rear-left backup
+		{Pos: geom.V(30, lanes[0]), Speed: 3},   // left-lane front rank
+		{Pos: geom.V(33, lanes[0]), Speed: 3},   // left-lane front rank's backup
+		{Pos: geom.V(33, lanes[1]), Speed: 3},   // second row tight behind the lead
+		{Pos: geom.V(30, lanes[1]), Speed: 3},   // dead-ahead lead blocker
+	}
+
+	actors := make([]*actor.Actor, 0, n)
+	// Fillers: ranks of stop-and-go traffic ahead across all four lanes
+	// (rows every 7 m from x = 60, beyond the horizon's reach so they tally
+	// as present-but-never-blocking crowd), interleaved with a rear platoon
+	// every fourth vehicle (rows every 9 m behind x = -28). Speeds cycle so
+	// neighbouring ranks drift rather than move in lockstep.
+	fillers := n - len(ring)
+	fwd, rear := 0, 0
+	for i := 0; i < fillers; i++ {
+		var st vehicle.State
+		if i%4 == 3 {
+			st = vehicle.State{
+				Pos:   geom.V(-28-float64(rear/4)*9, lanes[rear%4]),
+				Speed: 13 + float64(rear%3),
+			}
+			rear++
+		} else {
+			st = vehicle.State{
+				Pos:   geom.V(60+float64(fwd/4)*7, lanes[fwd%4]),
+				Speed: 5 + float64(fwd%3),
+			}
+			fwd++
+		}
+		actors = append(actors, actor.NewVehicle(i+1, st))
+	}
+	for j, st := range ring {
+		actors = append(actors, actor.NewVehicle(fillers+j+1, st))
+	}
+	return m, ego, actors
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import "testing"
+
+func TestUrbanCrushShape(t *testing.T) {
+	for _, n := range []int{12, 64, 70, 128, 130} {
+		m, ego, actors := UrbanCrush(n)
+		if len(actors) != n {
+			t.Fatalf("UrbanCrush(%d) returned %d actors", n, len(actors))
+		}
+		ids := map[int]bool{}
+		for _, a := range actors {
+			if ids[a.ID] {
+				t.Fatalf("UrbanCrush(%d): duplicate actor id %d", n, a.ID)
+			}
+			ids[a.ID] = true
+			if !m.Drivable(a.State.Pos) {
+				t.Fatalf("UrbanCrush(%d): actor %d off-road at %v", n, a.ID, a.State.Pos)
+			}
+		}
+		if !m.Drivable(ego.Pos) {
+			t.Fatalf("UrbanCrush(%d): ego off-road at %v", n, ego.Pos)
+		}
+		// The dead-ahead lead blocker is by construction the last actor:
+		// same lane as the ego, close and slow.
+		last := actors[n-1].State
+		if last.Pos.Y != ego.Pos.Y || last.Pos.X <= 0 || last.Pos.X > 40 || last.Speed >= ego.Speed {
+			t.Fatalf("UrbanCrush(%d): last actor %+v is not the dead-ahead lead blocker", n, last)
+		}
+	}
+}
+
+func TestUrbanCrushDeterministic(t *testing.T) {
+	_, ego1, a1 := UrbanCrush(64)
+	_, ego2, a2 := UrbanCrush(64)
+	if ego1 != ego2 {
+		t.Fatalf("ego differs across calls: %+v vs %+v", ego1, ego2)
+	}
+	for i := range a1 {
+		if a1[i].State != a2[i].State || a1[i].ID != a2[i].ID {
+			t.Fatalf("actor %d differs across calls", i)
+		}
+	}
+}
+
+func TestUrbanCrushTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UrbanCrush(5) did not panic")
+		}
+	}()
+	UrbanCrush(5)
+}

@@ -19,11 +19,12 @@ type Provenance struct {
 	// "bypass".
 	CacheState string `json:"cache_state"`
 	// MaskWidth is the number of actors the shared expansion carried as
-	// world-mask bits (zero on the legacy engine).
+	// world-mask bits (zero on the legacy engine). Segmented masks carry
+	// every actor, so on the shared engine this equals the actor count.
 	MaskWidth int `json:"mask_width,omitempty"`
-	// SpilloverTubes counts legacy fallback tubes for actors beyond the
-	// shared engine's mask capacity.
-	SpilloverTubes int `json:"spillover_tubes,omitempty"`
+	// MaskWords is the number of 64-bit words in the shared expansion's
+	// world masks (1 = single-word fast path; zero on the legacy engine).
+	MaskWords int `json:"mask_words,omitempty"`
 	// ElidedActors counts per-actor counterfactual tubes skipped by a
 	// certificate (never-blocking actor or dead-band).
 	ElidedActors int `json:"elided_actors,omitempty"`

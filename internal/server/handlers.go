@@ -191,12 +191,12 @@ func (s *Server) scoreScene(ctx context.Context, sc scene.Scene, explain bool) (
 	if explain {
 		rec := trace.FromContext(ctx)
 		p := &scene.Provenance{
-			TraceID:        rec.TraceID().String(),
-			Engine:         prov.Engine,
-			CacheState:     prov.CacheState,
-			MaskWidth:      prov.MaskWidth,
-			SpilloverTubes: prov.SpilloverTubes,
-			ElidedActors:   prov.ElidedActors,
+			TraceID:      rec.TraceID().String(),
+			Engine:       prov.Engine,
+			CacheState:   prov.CacheState,
+			MaskWidth:    prov.MaskWidth,
+			MaskWords:    prov.MaskWords,
+			ElidedActors: prov.ElidedActors,
 		}
 		p.Actors = make([]scene.ActorProvenance, len(actors))
 		for i, a := range actors {

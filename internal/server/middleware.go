@@ -80,15 +80,17 @@ func (s *Server) noteScore(d time.Duration) {
 }
 
 // retryAfterSeconds estimates how long a rejected client should back off:
-// the queued backlog divided over the workers, priced at the observed
-// per-scene EWMA, clamped to [1, 30] seconds. A cold server (no scenes
-// scored yet) assumes 50ms per scene.
+// the queued backlog divided over the workers (ceiling division — a queue
+// of exactly w×k jobs drains in k batches, not k+1, and an empty queue is
+// zero batches), priced at the observed per-scene EWMA, clamped to [1, 30]
+// seconds. A cold server (no scenes scored yet) assumes 50ms per scene.
 func (s *Server) retryAfterSeconds() int {
 	avg := time.Duration(s.avgScoreNS.Load())
 	if avg <= 0 {
 		avg = 50 * time.Millisecond
 	}
-	backlog := len(s.jobs)/s.cfg.Workers + 1
+	workers := s.cfg.Workers
+	backlog := (len(s.jobs) + workers - 1) / workers
 	secs := int(math.Ceil((time.Duration(backlog) * avg).Seconds()))
 	if secs < 1 {
 		secs = 1

@@ -455,3 +455,41 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz = %d", r.StatusCode)
 	}
 }
+
+// TestRetryAfterSeconds pins the backoff estimate for known queue depths:
+// ceiling division of the backlog over the workers (an empty queue is zero
+// batches, an exactly-divisible queue does not round up an extra batch),
+// priced at the EWMA per-scene time, clamped to [1, 30] seconds.
+func TestRetryAfterSeconds(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 4, QueueDepth: 16})
+	release := gate(t, s) // park every worker so pushed jobs stay queued
+	defer release()
+
+	fill := func(n int) {
+		t.Helper()
+		for len(s.jobs) < n {
+			s.jobs <- &job{ctx: context.Background(), run: func(*sti.Evaluator) {}, done: make(chan struct{})}
+		}
+	}
+	cases := []struct {
+		name   string
+		queued int
+		avg    time.Duration
+		want   int
+	}{
+		{"empty queue is zero batches", 0, 2 * time.Second, 1},
+		{"cold server assumes 50ms", 4, 0, 1},
+		{"partial batch rounds up", 5, time.Second, 2},
+		{"even division is exact", 8, time.Second, 2},
+		{"clamped to 30s", 8, 20 * time.Second, 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fill(tc.queued)
+			s.avgScoreNS.Store(tc.avg.Nanoseconds())
+			if got := s.retryAfterSeconds(); got != tc.want {
+				t.Errorf("queued=%d avg=%v: Retry-After %d, want %d", tc.queued, tc.avg, got, tc.want)
+			}
+		})
+	}
+}

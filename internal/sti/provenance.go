@@ -26,11 +26,13 @@ type Provenance struct {
 	// road scored near a segment end).
 	CacheState string
 	// MaskWidth is the number of actors carried as explicit world-mask bits
-	// by the shared expansion (zero on the legacy engine).
+	// by the shared expansion (zero on the legacy engine). Since masks
+	// became segmented this is every actor in the scene.
 	MaskWidth int
-	// SpilloverTubes is the number of legacy fallback tubes computed for
-	// actors beyond reach.MaxSharedActors.
-	SpilloverTubes int
+	// MaskWords is the number of 64-bit words in each state's world mask:
+	// ceil((1+MaskWidth)/64), 1 on the single-word fast path, zero on the
+	// legacy engine.
+	MaskWords int
 	// ElidedActors is the number of per-actor counterfactual tubes skipped
 	// by a certificate (never an exclusive blocker, or the dead-band
 	// certificate covering the whole scene).

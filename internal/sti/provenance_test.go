@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/reach"
+	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 	"repro/internal/vehicle"
 )
@@ -103,5 +104,77 @@ func TestProvenanceEngines(t *testing.T) {
 	}
 	if want := shared.Evaluate(testRoad(), ego(0, 1.75, 10), actors, trajs); !reflect.DeepEqual(res, want) {
 		t.Error("untraced-ctx result diverged from Evaluate")
+	}
+}
+
+// Provenance.ElidedActors must agree with the sti.counterfactuals.elided
+// counter delta of the same evaluation — the accounting is additive, so a
+// path that elides in more than one place (or a rewritten one that elides
+// in a different place than before) cannot under-report by overwriting an
+// earlier count. Exercised on the scene classes that elide: a legacy marks
+// pass (some actors never block), a legacy dead-band certificate (far-away
+// actor, combined snaps to zero), and the shared engine's dead-band
+// certificate.
+func TestProvenanceElidedMatchesCounter(t *testing.T) {
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	legacy := MustNewEvaluator(reach.DefaultConfig())
+	shared, err := NewEvaluatorOptions(reach.DefaultConfig(), Options{SharedExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed scene: two blockers dead ahead plus actors far beyond the
+	// horizon that can never block, so the legacy marks pass elides some
+	// but not all actors.
+	mixed := append(blockingActors(2),
+		actor.NewVehicle(90, vehicle.State{Pos: ego(400, 1.75, 0).Pos}),
+		actor.NewVehicle(91, vehicle.State{Pos: ego(450, 5.25, 0).Pos}),
+	)
+	// Dead-band scene: a single crawler at the horizon's edge nudges the
+	// base tube by less than the dead band, so the certificate elides all.
+	farOnly := []*actor.Actor{
+		actor.NewVehicle(95, vehicle.State{Pos: ego(420, 1.75, 0).Pos}),
+		actor.NewVehicle(96, vehicle.State{Pos: ego(470, 5.25, 0).Pos}),
+	}
+	cases := []struct {
+		name   string
+		eval   *Evaluator
+		actors []*actor.Actor
+	}{
+		{"legacy-marks", legacy, mixed},
+		{"legacy-deadband", legacy, farOnly},
+		{"shared-deadband", shared, farOnly},
+		{"shared-dense", shared, blockingActors(3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trajs := groundTruth(tc.eval, tc.actors)
+			before := telElided.Value()
+			_, prov := tc.eval.evaluate(nil, testRoad(), ego(0, 1.75, 10), tc.actors, trajs)
+			delta := telElided.Value() - before
+			if int64(prov.ElidedActors) != delta {
+				t.Errorf("Provenance.ElidedActors = %d, counter delta = %d", prov.ElidedActors, delta)
+			}
+		})
+	}
+}
+
+// The shared engine reports its mask geometry: width = every actor in the
+// scene, words = ceil((1+width)/64).
+func TestProvenanceMaskWords(t *testing.T) {
+	shared, err := NewEvaluatorOptions(reach.DefaultConfig(), Options{SharedExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actors := blockingActors(3)
+	trajs := groundTruth(shared, actors)
+	_, prov := shared.evaluate(nil, testRoad(), ego(0, 1.75, 10), actors, trajs)
+	if prov.MaskWidth != 3 || prov.MaskWords != 1 {
+		t.Errorf("mask width/words = %d/%d, want 3/1", prov.MaskWidth, prov.MaskWords)
+	}
+	legacy := MustNewEvaluator(reach.DefaultConfig())
+	_, prov = legacy.evaluate(nil, testRoad(), ego(0, 1.75, 10), actors, trajs)
+	if prov.MaskWidth != 0 || prov.MaskWords != 0 {
+		t.Errorf("legacy mask width/words = %d/%d, want 0/0", prov.MaskWidth, prov.MaskWords)
 	}
 }

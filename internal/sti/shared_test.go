@@ -94,10 +94,9 @@ func TestSharedExpansionDense12(t *testing.T) {
 	}
 }
 
-// Randomized property sweep: shared and legacy agree bitwise across scene
-// sizes from empty to spillover-adjacent, with a mix of blocked and free
-// roads. Run under -race this also exercises the fan-out of the spillover
-// fallback.
+// Randomized property sweep: shared and legacy agree bitwise across small
+// scene sizes (single-word fast path), with a mix of blocked and free
+// roads.
 func TestSharedExpansionRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(1234))
 	legacy, shared := sharedAndLegacy(t, 4)
@@ -120,28 +119,52 @@ func TestSharedExpansionRandomized(t *testing.T) {
 	}
 }
 
-// Spillover scenes (more actors than world-mask bits) fall back to legacy
-// tubes for the excess actors; the observable Result must stay identical.
-func TestSharedExpansionSpillover(t *testing.T) {
+// Segmented scenes: 64+-actor evaluations must be scored entirely by the
+// one shared expansion — zero fallback-tube increments (the counter the
+// retired spillover policy used), a mask as wide as the scene — and stay
+// bitwise-identical to the legacy oracle. This is the acceptance criterion
+// of the segmented-mask change plus the regression test for the old
+// spillover bug where never-blocking excess actors got a raw (unsnapped)
+// PerActor value: every per-actor STI must now come out of the same
+// snap(clamp01(·)) pipeline, so values in (0, deadBand) are impossible.
+func TestSharedExpansionSegmented(t *testing.T) {
 	if testing.Short() {
-		t.Skip("70-actor differential scene")
+		t.Skip("64-130-actor differential scenes")
 	}
 	rng := rand.New(rand.NewSource(5))
 	legacy, shared := sharedAndLegacy(t, 4)
 	road := testRoad()
-	actors := make([]*actor.Actor, reach.MaxSharedActors+7)
-	for i := range actors {
-		actors[i] = actor.NewVehicle(i+1, vehicle.State{
-			Pos:     geom.V(-20+rng.Float64()*120, 0.8+rng.Float64()*5.4),
-			Speed:   rng.Float64() * 15,
-			Heading: (rng.Float64() - 0.5) * 0.4,
-		})
+	for _, n := range []int{64, 70, 130} {
+		span := 60 + 3*float64(n)
+		actors := make([]*actor.Actor, n)
+		for i := range actors {
+			actors[i] = actor.NewVehicle(i+1, vehicle.State{
+				Pos:     geom.V(-20+rng.Float64()*span, 0.8+rng.Float64()*5.4),
+				Speed:   rng.Float64() * 15,
+				Heading: (rng.Float64() - 0.5) * 0.4,
+			})
+		}
+		e := ego(0, 1.75, 10)
+		trajs := actor.PredictAll(actors, legacy.cfg.NumSlices(), legacy.cfg.SliceDt)
+		want := legacy.Evaluate(road, e, actors, trajs)
+		fallbackBefore := telSharedFallback.Value()
+		got, prov := shared.evaluate(nil, road, e, actors, trajs)
+		requireIdentical(t, n, want, got)
+		if d := telSharedFallback.Value() - fallbackBefore; d != 0 {
+			t.Errorf("n=%d: %d fallback tubes; segmented masks must carry every actor", n, d)
+		}
+		if prov.MaskWidth != n {
+			t.Errorf("n=%d: mask width %d, want every actor represented", n, prov.MaskWidth)
+		}
+		if words := (1 + n + 63) / 64; prov.MaskWords != words {
+			t.Errorf("n=%d: mask words %d, want %d", n, prov.MaskWords, words)
+		}
+		for i, v := range got.PerActor {
+			if v != 0 && v < deadBand {
+				t.Errorf("n=%d actor %d: PerActor %v inside the dead band — escaped the snap pipeline", n, i, v)
+			}
+		}
 	}
-	e := ego(0, 1.75, 10)
-	trajs := actor.PredictAll(actors, legacy.cfg.NumSlices(), legacy.cfg.SliceDt)
-	want := legacy.Evaluate(road, e, actors, trajs)
-	got := shared.Evaluate(road, e, actors, trajs)
-	requireIdentical(t, 70, want, got)
 }
 
 // One evaluator under SharedExpansion shared by concurrent callers must
@@ -172,7 +195,10 @@ func TestSharedExpansionConcurrentUse(t *testing.T) {
 }
 
 // fuzzScene decodes the fuzz inputs into a deterministic scene: seed drives
-// actor placement, n the actor count (0..13), egoLane/egoSpeed the ego.
+// actor placement, n the actor count (0..130, so values past 64 exercise
+// word 1+ of the segmented masks), egoLane/egoSpeed the ego. The scatter
+// span grows with the actor count so crowd-scale scenes stay plausible
+// traffic rather than one impenetrable wall.
 func fuzzScene(seed int64, n uint8, egoY, egoSpeed float64) (vehicle.State, []*actor.Actor) {
 	if egoY < 0.8 || egoY > 6.2 || egoY != egoY {
 		egoY = 1.75
@@ -181,10 +207,12 @@ func fuzzScene(seed int64, n uint8, egoY, egoSpeed float64) (vehicle.State, []*a
 		egoSpeed = 10
 	}
 	rng := rand.New(rand.NewSource(seed))
-	actors := make([]*actor.Actor, int(n)%14)
+	count := int(n) % 131
+	span := 70 + 3*float64(count)
+	actors := make([]*actor.Actor, count)
 	for i := range actors {
 		actors[i] = actor.NewVehicle(i+1, vehicle.State{
-			Pos:     geom.V(-20+rng.Float64()*70, 0.8+rng.Float64()*5.4),
+			Pos:     geom.V(-20+rng.Float64()*span, 0.8+rng.Float64()*5.4),
 			Speed:   rng.Float64() * 15,
 			Heading: (rng.Float64() - 0.5) * 0.4,
 		})
@@ -195,12 +223,16 @@ func fuzzScene(seed int64, n uint8, egoY, egoSpeed float64) (vehicle.State, []*a
 // FuzzSharedVsLegacy drives randomized scenes through both evaluator paths
 // and requires bitwise-equal Results. The corpus seeds mirror the suite's
 // hand-picked regressions: a ghost-cut-in-like close leading blocker, the
-// dense straight-road scene's shape, and a ring-of-actors configuration.
+// dense straight-road scene's shape, a ring-of-actors configuration, and
+// crowd-scale scenes whose world masks need two and three words.
 func FuzzSharedVsLegacy(f *testing.F) {
-	f.Add(int64(101), uint8(1), 1.75, 10.0) // ghost cut-in shape: one close blocker
-	f.Add(int64(202), uint8(6), 1.75, 10.0) // dense straight-road shape
-	f.Add(int64(303), uint8(12), 3.5, 15.0) // ring of actors around a mid-road ego
-	f.Add(int64(404), uint8(0), 5.25, 0.0)  // empty scene, stationary ego
+	f.Add(int64(101), uint8(1), 1.75, 10.0)  // ghost cut-in shape: one close blocker
+	f.Add(int64(202), uint8(6), 1.75, 10.0)  // dense straight-road shape
+	f.Add(int64(303), uint8(12), 3.5, 15.0)  // ring of actors around a mid-road ego
+	f.Add(int64(404), uint8(0), 5.25, 0.0)   // empty scene, stationary ego
+	f.Add(int64(505), uint8(64), 1.75, 12.0) // first scene past the old 63-actor cap
+	f.Add(int64(606), uint8(70), 3.5, 10.0)  // word-1 masks (71 worlds)
+	f.Add(int64(707), uint8(130), 1.75, 8.0) // word-2 masks (131 worlds)
 	legacy, err := NewEvaluatorOptions(reach.DefaultConfig(), Options{Workers: 2})
 	if err != nil {
 		f.Fatal(err)

@@ -43,10 +43,15 @@ var (
 	telElided = telemetry.NewCounter("sti.counterfactuals.elided")
 	// Shared-expansion path (Options.SharedExpansion): evaluation latency,
 	// how many actors each evaluation carried as explicit world-mask bits,
-	// and how many spillover actors still needed a legacy per-actor tube.
+	// and how many mask words the expansion needed (1 = single-word fast
+	// path). fallback_tubes counted the legacy tubes of the retired
+	// spillover policy; it stays registered so dashboards and the
+	// zero-fallback acceptance checks keep a stable name, but segmented
+	// masks carry every actor, so it can no longer increment.
 	telSharedSeconds   = telemetry.NewHistogram("sti.shared_expansion.seconds", telemetry.LatencyBuckets())
 	telSharedEvals     = telemetry.NewCounter("sti.shared_expansion.evals")
-	telSharedMaskWidth = telemetry.NewHistogram("sti.shared_expansion.mask_width", telemetry.LinearBuckets(0, 4, 17))
+	telSharedMaskWidth = telemetry.NewHistogram("sti.shared_expansion.mask_width", telemetry.LinearBuckets(0, 8, 18))
+	telSharedMaskWords = telemetry.NewHistogram("sti.shared_expansion.mask_words", telemetry.LinearBuckets(0, 1, 5))
 	telSharedFallback  = telemetry.NewCounter("sti.shared_expansion.fallback_tubes")
 )
 
@@ -96,8 +101,9 @@ type Options struct {
 	// expansion order, ε-dedup, pruning and MaxStates cut-off are replayed
 	// exactly through per-state world masks (DESIGN.md §8) — so the knob
 	// trades nothing but memory locality for a superlinear speedup on
-	// multi-actor scenes. Actors beyond reach.MaxSharedActors fall back to
-	// legacy per-actor tubes (fanned out over Workers).
+	// multi-actor scenes. Masks are segmented (ceil((1+N)/64) words), so
+	// every actor in the scene is carried by the one expansion; scenes of
+	// at most 63 actors take a scalar single-word fast path.
 	SharedExpansion bool
 }
 
@@ -232,7 +238,7 @@ func (e *Evaluator) evaluate(rec *trace.Recorder, m roadmap.Map, ego vehicle.Sta
 	// counterfactual tubes.
 	if res.Combined == 0 {
 		telElided.Add(int64(len(actors)))
-		prov.ElidedActors = len(actors)
+		prov.ElidedActors += len(actors)
 		for i := range actors {
 			res.WithoutVolume[i] = base.Volume
 		}
@@ -255,8 +261,12 @@ func (e *Evaluator) evaluate(rec *trace.Recorder, m roadmap.Map, ego vehicle.Sta
 			work = append(work, i)
 		}
 	}
+	// Elision accounting is additive on purpose: a single evaluation can
+	// elide in more than one place (dead-band certificate above, the marks
+	// pass here), and Provenance must agree with the telElided counter
+	// delta rather than reporting only the last writer.
 	telElided.Add(int64(len(actors) - len(work)))
-	prov.ElidedActors = len(actors) - len(work)
+	prov.ElidedActors += len(actors) - len(work)
 	if len(work) == 0 {
 		return res, prov
 	}
@@ -314,12 +324,14 @@ func (e *Evaluator) fanOut(work []int, scr *reach.Scratch, fn func(i int, ws *re
 }
 
 // evaluateShared is Evaluate on the shared-expansion engine: one masked
-// expansion (reach.ComputeCounterfactuals) yields |T| and every
-// represented |T^{/i}| at once; only spillover actors beyond
-// reach.MaxSharedActors can still cost legacy tubes. The observable Result
-// is bitwise-identical to the legacy path, including its reporting
-// conventions: the cached |T^∅| backs every ratio, and the dead-band
-// certificate reports |T| for the without-volumes it skips.
+// expansion (reach.ComputeCounterfactuals) yields |T| and every per-actor
+// |T^{/i}| at once. The masks are segmented, so every actor in the scene —
+// not just the first 63 — is carried by that single expansion; the
+// spillover fan-out the old single-word engine needed is gone. The
+// observable Result is bitwise-identical to the legacy path, including its
+// reporting conventions: the cached |T^∅| backs every ratio, every
+// per-actor value passes through the same snap(clamp01(·)) pipeline, and
+// the dead-band certificate reports |T| for the without-volumes it skips.
 func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, scr *reach.Scratch) (Result, Provenance) {
 	defer telSharedSeconds.Start().Stop()
 	telSharedEvals.Inc()
@@ -331,7 +343,9 @@ func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehic
 	prov.CacheState = cacheState
 	sh := reach.ComputeCounterfactualsTraced(rec, m, obs, ego, e.cfg, scr)
 	telSharedMaskWidth.Observe(float64(sh.Represented))
+	telSharedMaskWords.Observe(float64(sh.MaskWords))
 	prov.MaskWidth = sh.Represented
+	prov.MaskWords = sh.MaskWords
 
 	res := Result{
 		PerActor:      make([]float64, len(actors)),
@@ -350,46 +364,17 @@ func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehic
 	// reporting exactly — |T| stands in for the without-volumes.
 	if res.Combined == 0 {
 		telElided.Add(int64(len(actors)))
-		prov.ElidedActors = len(actors)
+		prov.ElidedActors += len(actors)
 		for i := range actors {
 			res.WithoutVolume[i] = sh.BaseVolume
 		}
 		return res, prov
 	}
 
-	for i := 0; i < sh.Represented; i++ {
+	for i := range actors {
 		wo := sh.WithoutVolume[i]
 		res.WithoutVolume[i] = wo
 		res.PerActor[i] = snap(clamp01((wo - sh.BaseVolume) / emptyVol))
-	}
-
-	// Spillover actors (beyond the 63 world-mask bits): never-blocking ones
-	// are elided exactly like the legacy marks pass (T^{/i} = T); the rest
-	// fall back to one legacy counterfactual tube each, fanned out over the
-	// worker bound.
-	if len(sh.SpillBlocked) > 0 {
-		work := make([]int, 0, len(sh.SpillBlocked))
-		for j, blocked := range sh.SpillBlocked {
-			i := sh.Represented + j
-			if !blocked {
-				res.WithoutVolume[i] = sh.BaseVolume
-				continue
-			}
-			work = append(work, i)
-		}
-		telElided.Add(int64(len(sh.SpillBlocked) - len(work)))
-		telSharedFallback.Add(int64(len(work)))
-		prov.ElidedActors = len(sh.SpillBlocked) - len(work)
-		prov.SpilloverTubes = len(work)
-		sp = rec.StartSpan("reach.fallback_tubes")
-		e.fanOut(work, scr, func(i int, ws *reach.Scratch) {
-			t := telActorTubeSeconds.Start()
-			wo := reach.ComputeScratch(m, obs.CollideWithout(i), ego, e.cfg, ws)
-			t.Stop()
-			res.WithoutVolume[i] = wo.Volume
-			res.PerActor[i] = snap(clamp01((wo.Volume - sh.BaseVolume) / emptyVol))
-		})
-		sp.Annotate("tubes", len(work)).End()
 	}
 	return res, prov
 }

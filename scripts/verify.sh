@@ -14,9 +14,12 @@ go build ./...
 go test -race -timeout 45m ./...
 
 # Differential suite: the shared-expansion counterfactual engine must match
-# the legacy per-actor oracle bit-for-bit (already part of ./... above, but
-# run explicitly so a perf-motivated edit cannot silently drop the proof).
-go test -race -count=1 -run 'Shared|MaskGrid' ./internal/reach ./internal/sti ./internal/geom ./internal/server
+# the legacy per-actor oracle bit-for-bit — including the 64-130-actor
+# segmented-mask scenes and the FuzzSharedVsLegacy seed corpus (already part
+# of ./... above, but run explicitly so a perf-motivated edit cannot
+# silently drop the proof).
+go test -race -count=1 -run 'Shared|MaskGrid|FuzzSharedVsLegacy' \
+  ./internal/reach ./internal/sti ./internal/geom ./internal/server
 
 # Serving smoke: ephemeral-port server, a short load burst, then SIGTERM.
 # The server must answer every accepted request and exit 0 from the drain.
