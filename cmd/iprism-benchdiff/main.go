@@ -32,10 +32,12 @@ import (
 // gatedHistograms are the latency distributions each snapshot kind gates
 // on: the STI evaluation path (the paper's 10 Hz monitor budget) and the
 // simulator step for core bench runs, the client-observed request latency
-// for serving runs.
+// for serving runs (standalone "serve" and gateway-fronted "fleet" runs
+// gate the same client-side histogram, compared within their own kind).
 var gatedHistograms = map[string][]string{
 	"bench": {"sti.evaluate.seconds", "sim.step.seconds", "bench.sti_evaluate_dense12.seconds", "bench.sti_evaluate_dense64.seconds"},
 	"serve": {"loadgen.request.seconds"},
+	"fleet": {"loadgen.request.seconds"},
 }
 
 // snapshot mirrors the subset of the bench/loadgen reports the gate reads.

@@ -1,0 +1,109 @@
+// Command iprism-gateway fronts a fleet of iprism-serve scoring backends:
+// health-checked backend pool, consistent-hash session affinity, retry and
+// hedging for idempotent scoring, SSE risk-stream passthrough, and an
+// async corpus-job API that fans bulk scoring across the fleet.
+//
+//	iprism-serve -addr 127.0.0.1:8378 &
+//	iprism-serve -addr 127.0.0.1:8379 &
+//	iprism-gateway -addr :8377 -backends 127.0.0.1:8378,127.0.0.1:8379
+//	curl -s -X POST localhost:8377/v1/score -d @scene.json
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: probers and job
+// workers stop, in-flight proxied requests are answered, SSE proxies are
+// cancelled (clients resume elsewhere), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8377", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+		backends  = flag.String("backends", "", "comma-separated backend addresses (host:port), required")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per backend on the session ring (0 = 128)")
+		probeIv   = flag.Duration("probe-interval", time.Second, "health-probe interval per backend")
+		probeTo   = flag.Duration("probe-timeout", 0, "per-probe timeout (0 = min(interval, 500ms))")
+		failThr   = flag.Int("fail-threshold", 0, "consecutive failures before a backend is ejected (0 = 2)")
+		attempts  = flag.Int("max-attempts", 0, "max tries per idempotent request across distinct backends (0 = 3)")
+		budget    = flag.Float64("retry-budget", 0, "retries+hedges as a fraction of proxied requests (0 = 0.10)")
+		noHedge   = flag.Bool("no-hedge", false, "disable p95-delay request hedging")
+		timeout   = flag.Duration("timeout", 10*time.Second, "end-to-end proxied request deadline (includes retries)")
+		jobWork   = flag.Int("job-workers", 0, "concurrent in-flight job scenes across all jobs (0 = 4)")
+		maxJobs   = flag.Int("max-jobs", 0, "retained corpus jobs before submissions are rejected (0 = 64)")
+		jobScenes = flag.Int("max-job-scenes", 0, "max scenes in one corpus submission (0 = 100000)")
+		journal   = flag.String("journal", "", "append JSONL telemetry events (including proxy wide events) to this file")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before connections are force-closed")
+	)
+	flag.Parse()
+	if *backends == "" {
+		log.Fatalf("iprism-gateway: -backends is required (comma-separated host:port list)")
+	}
+
+	telemetry.Enable()
+	if *journal != "" {
+		j, err := telemetry.OpenJournal(*journal)
+		if err != nil {
+			log.Fatalf("iprism-gateway: journal: %v", err)
+		}
+		defer j.Close()
+		telemetry.SetJournal(j)
+	}
+
+	g, err := gateway.New(gateway.Config{
+		Backends:       strings.Split(*backends, ","),
+		VirtualNodes:   *vnodes,
+		ProbeInterval:  *probeIv,
+		ProbeTimeout:   *probeTo,
+		FailThreshold:  *failThr,
+		MaxAttempts:    *attempts,
+		RetryBudget:    *budget,
+		HedgeOff:       *noHedge,
+		RequestTimeout: *timeout,
+		JobWorkers:     *jobWork,
+		MaxJobs:        *maxJobs,
+		MaxJobScenes:   *jobScenes,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("iprism-gateway: %v", err)
+	}
+	if err := g.Start(*addr); err != nil {
+		log.Fatalf("iprism-gateway: %v", err)
+	}
+	log.Printf("iprism-gateway: listening on %s, fronting %s", g.Addr(), *backends)
+	if *addrFile != "" {
+		// Write-then-rename so pollers never read a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(g.Addr()+"\n"), 0o644); err != nil {
+			log.Fatalf("iprism-gateway: addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("iprism-gateway: addr-file: %v", err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("iprism-gateway: %v, draining", got)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "iprism-gateway: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("iprism-gateway: drained, exiting")
+}

@@ -82,6 +82,10 @@ type report struct {
 		ScenesPerSec float64 `json:"scenes_per_sec"`
 	} `json:"results"`
 
+	// Fleet carries the gateway-mode extras (affinity and corpus-job
+	// outcomes); nil for standalone kind-"serve" runs.
+	Fleet *fleetResults `json:"fleet,omitempty"`
+
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
 
@@ -102,11 +106,20 @@ func run() error {
 		topSlow     = flag.Int("slowest", 5, "slowest requests to report with their trace IDs (0 = off)")
 		shared      = flag.Bool("shared-expansion", true, "self-serve server scores with the shared-expansion engine (false = legacy per-actor tubes)")
 		outDir      = flag.String("o", "", "directory for a BENCH_serve_<date>.json snapshot (empty = skip)")
+
+		gatewayMode = flag.Bool("gateway", false, "fleet mode: -target is an iprism-gateway; drives sticky sessions plus stateless scoring and writes kind-\"fleet\" snapshots")
+		sessWorkers = flag.Int("session-workers", 0, "fleet mode: workers each driving one sticky session via observe (0 = half of -concurrency, -1 = none)")
+		maxErrRate  = flag.Float64("max-error-rate", 0, "fail if the error fraction of all requests exceeds this (0 = off)")
+		maxMoves    = flag.Int("max-session-moves", -1, "fleet mode: fail if any session changes X-Backend more than this many times (-1 = off; failover costs one move)")
+		jobScenes   = flag.Int("job-scenes", 0, "fleet mode: also submit a corpus job of this many scenes and wait for its results (0 = off)")
 	)
 	flag.Parse()
 
 	if (*target == "") == !*selfServe {
 		return fmt.Errorf("exactly one of -target or -self-serve is required")
+	}
+	if *gatewayMode && *selfServe {
+		return fmt.Errorf("-gateway needs a -target gateway, not -self-serve")
 	}
 	telemetry.Enable()
 
@@ -121,6 +134,30 @@ func run() error {
 	bodies, perReq, endpoint, err := encodeBodies(fixtures, *batch)
 	if err != nil {
 		return err
+	}
+
+	if *gatewayMode {
+		return runFleet(fleetOpts{
+			base:           *target,
+			fixtures:       fixtures,
+			scoreBodies:    bodies,
+			scoreEndpoint:  endpoint,
+			perReq:         perReq,
+			concurrency:    *concurrency,
+			sessionWorkers: *sessWorkers,
+			requests:       int64(*requests),
+			duration:       *duration,
+			rps:            *rps,
+			timeout:        *timeout,
+			minRate:        *minRate,
+			maxErrRate:     *maxErrRate,
+			maxMoves:       *maxMoves,
+			jobScenes:      *jobScenes,
+			outDir:         *outDir,
+			typology:       typ.String(),
+			scenes:         *scenes,
+			seed:           *seed,
+		})
 	}
 
 	base := *target

@@ -43,6 +43,8 @@ func main() {
 		sloLat     = flag.Float64("slo-latency", 0.99, "latency objective: fraction of requests answered within -slo-latency-target")
 		sloLatTgt  = flag.Duration("slo-latency-target", 250*time.Millisecond, "latency threshold backing the latency SLO")
 		flightSize = flag.Int("flight-recorder-size", 256, "wide events retained in memory for /debug/requests")
+		sseHB      = flag.Duration("sse-heartbeat", 10*time.Second, "idle heartbeat interval on session risk streams")
+		sseHistory = flag.Int("sse-history", 0, "per-session events retained for Last-Event-ID resume (0 = 256)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,8 @@ func main() {
 		SLOLatency:         *sloLat,
 		SLOLatencyTarget:   *sloLatTgt,
 		FlightRecorderSize: *flightSize,
+		SSEHeartbeat:       *sseHB,
+		SSEHistory:         *sseHistory,
 	})
 	if err != nil {
 		log.Fatalf("iprism-serve: %v", err)

@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Consistent-hash ring for session-affine routing. Every backend
+// contributes vnodes pseudo-random points on a 64-bit ring; a session key
+// is owned by the backend whose point follows the key's hash. Ejecting a
+// backend does not rebuild the ring — lookups skip unhealthy owners to the
+// next distinct backend — so only the keys owned by the lost backend move
+// (to their successors), and they move straight back on re-admission.
+// The ring itself is rebuilt only on membership change (a different
+// backend set), which with vnodes points per backend relocates only
+// ~1/N of the key space per added or removed backend.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // distinct backends
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // backend index
+}
+
+// newRing places vnodes points per backend. Backend identity is the
+// address string, so a restarted gateway with the same flag order — or a
+// different gateway replica with the same backend set — builds the same
+// ring and routes sessions identically (no shared state in the tier).
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*vnodes), n: len(addrs)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(addr + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// ringHash is FNV-1a with a splitmix64 finalizer: raw FNV of short,
+// near-identical keys ("a:1#17" vs "b:1#17") lands clustered on the ring,
+// skewing vnode ownership badly; the finalizer's avalanche restores an
+// even spread.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// successors returns every backend index in ring order starting at the
+// key's owner: successors(key)[0] is the owner, the rest are the failover
+// order. Each backend appears exactly once.
+func (r *ring) successors(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// owner is successors(key)[0].
+func (r *ring) owner(key string) int {
+	s := r.successors(key)
+	if len(s) == 0 {
+		return -1
+	}
+	return s[0]
+}

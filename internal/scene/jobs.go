@@ -1,0 +1,109 @@
+package scene
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Async corpus-job wire format (iprism.job/v1), spoken by the gateway
+// tier's bulk-scoring API:
+//
+//	POST /v1/jobs            JobRequest  -> 202 JobStatus
+//	GET  /v1/jobs/{id}       -> 200 JobStatus
+//	GET  /v1/jobs/{id}/results -> 200 JobResults (202 JobStatus while running)
+//
+// A corpus is submitted once, fanned out across the scoring fleet by the
+// gateway's bounded scheduler, and fetched as one per-scene STI artifact —
+// the mitigation-policy-evaluation workload (thousands of scenes per
+// experiment) without one HTTP round-trip per scene. Like the scene codec,
+// the format is versioned so stored corpora and archived result artifacts
+// survive schema evolution.
+
+// JobVersion is the corpus-job wire-format identifier.
+const JobVersion = "iprism.job/v1"
+
+// JobRequest submits a scene corpus for asynchronous scoring.
+type JobRequest struct {
+	Version string  `json:"version"`
+	Scenes  []Scene `json:"scenes"`
+}
+
+// Job lifecycle states reported by JobStatus.
+const (
+	JobStateRunning = "running"
+	JobStateDone    = "done"
+)
+
+// JobStatus reports a job's identity and progress. Completed + Failed ==
+// Total once State is "done"; Failed scenes carry their error in the
+// results artifact.
+type JobStatus struct {
+	Version   string `json:"version"`
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+}
+
+// JobSceneResult is one scene's slot in the results artifact,
+// index-aligned with the submitted corpus. Either the scores or Error is
+// populated.
+type JobSceneResult struct {
+	Index           int             `json:"index"`
+	Combined        float64         `json:"combined_sti"`
+	MostThreatening int             `json:"most_threatening"`
+	Actors          []JobActorScore `json:"actors,omitempty"`
+	Error           string          `json:"error,omitempty"`
+}
+
+// JobActorScore is one actor's STI inside a job result.
+type JobActorScore struct {
+	ID  int     `json:"id"`
+	STI float64 `json:"sti"`
+}
+
+// JobResults is the per-scene STI artifact of a completed job.
+type JobResults struct {
+	Version string           `json:"version"`
+	ID      string           `json:"id"`
+	Results []JobSceneResult `json:"results"`
+}
+
+// EncodeJobRequest marshals a corpus submission, stamping JobVersion.
+func EncodeJobRequest(r JobRequest) ([]byte, error) {
+	r.Version = JobVersion
+	return json.Marshal(r)
+}
+
+// DecodeJobRequest unmarshals and validates one corpus submission. Every
+// scene is validated structurally; maxScenes bounds the corpus size
+// (0 = unbounded).
+func DecodeJobRequest(data []byte, maxScenes int) (JobRequest, error) {
+	var r JobRequest
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("job: decode: %w", err)
+	}
+	switch {
+	case r.Version == "":
+		return r, fmt.Errorf("job: missing version (want %q)", JobVersion)
+	case r.Version != JobVersion:
+		if strings.HasPrefix(r.Version, "iprism.job/") {
+			return r, fmt.Errorf("job: unsupported version %q (this build speaks %q)", r.Version, JobVersion)
+		}
+		return r, fmt.Errorf("job: not a job document: version %q", r.Version)
+	}
+	if len(r.Scenes) == 0 {
+		return r, fmt.Errorf("job: corpus has no scenes")
+	}
+	if maxScenes > 0 && len(r.Scenes) > maxScenes {
+		return r, fmt.Errorf("job: corpus has %d scenes, limit %d", len(r.Scenes), maxScenes)
+	}
+	for i := range r.Scenes {
+		if err := r.Scenes[i].Validate(); err != nil {
+			return r, fmt.Errorf("job: scene %d: %w", i, err)
+		}
+	}
+	return r, nil
+}

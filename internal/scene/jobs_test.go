@@ -1,0 +1,67 @@
+package scene
+
+import (
+	"strings"
+	"testing"
+)
+
+func jobScene() Scene {
+	return Scene{
+		Version: Version,
+		Ego:     State{X: 0, Y: 1.75, Speed: 10},
+		Road:    Road{Kind: "straight", Straight: &StraightRoad{Lanes: 2, LaneWidth: 3.5, XMin: -50, XMax: 200}},
+		Actors:  []Actor{{ID: 1, Kind: "vehicle", State: State{X: 20, Y: 1.75, Speed: 5}}},
+	}
+}
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	raw, err := EncodeJobRequest(JobRequest{Scenes: []Scene{jobScene(), jobScene()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJobRequest(raw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != JobVersion {
+		t.Errorf("version = %q, want %q", got.Version, JobVersion)
+	}
+	if len(got.Scenes) != 2 {
+		t.Errorf("scenes = %d, want 2", len(got.Scenes))
+	}
+}
+
+func TestJobRequestRejections(t *testing.T) {
+	valid, _ := EncodeJobRequest(JobRequest{Scenes: []Scene{jobScene()}})
+	cases := []struct {
+		name string
+		data string
+		max  int
+		want string
+	}{
+		{"not json", "{", 0, "decode"},
+		{"missing version", `{"scenes":[]}`, 0, "missing version"},
+		{"future version", `{"version":"iprism.job/v9","scenes":[]}`, 0, "unsupported version"},
+		{"wrong document", `{"version":"iprism.scene/v1","scenes":[]}`, 0, "not a job document"},
+		{"empty corpus", `{"version":"iprism.job/v1","scenes":[]}`, 0, "no scenes"},
+		{"over limit", string(valid), 0, ""}, // placeholder, set below
+		{"bad scene", `{"version":"iprism.job/v1","scenes":[{"version":"iprism.scene/v1","road":{"kind":"moebius"}}]}`, 0, "scene 0"},
+	}
+	cases[5].max = 1
+	cases[5].data = `{"version":"iprism.job/v1","scenes":[` +
+		strings.TrimSuffix(strings.TrimPrefix(string(mustScene(jobScene())), ""), "") + "," + string(mustScene(jobScene())) + `]}`
+	cases[5].want = "limit 1"
+	for _, tc := range cases {
+		if _, err := DecodeJobRequest([]byte(tc.data), tc.max); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func mustScene(s Scene) []byte {
+	raw, err := Encode(s)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}

@@ -70,6 +70,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions", s.traced("/v1/sessions", true, s.handleSessionCreate))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.traced("/v1/sessions/observe", true, s.handleSessionObserve))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/risk", s.traced("/v1/sessions/risk", true, s.handleSessionRisk))
+	// The stream is long-lived, so it skips the wide/SLO envelope (a
+	// minutes-long stream is not a latency-SLO violation); its wide event
+	// still records the disconnect via the non-wide trace wrapper.
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.traced("/v1/sessions/stream", false, s.handleSessionStream))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.traced("/v1/sessions/delete", true, s.handleSessionDelete))
 	s.mux.HandleFunc("GET /healthz", s.traced("/healthz", false, func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")

@@ -21,6 +21,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE handlers can stream through
+// the tracing envelope (a no-op when the connection cannot flush).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // traced wraps an endpoint with the request-observability envelope:
 //
 //   - ingest X-Trace-Id (or mint one) and propagate it on the response —

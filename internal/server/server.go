@@ -105,6 +105,18 @@ type Config struct {
 	// FlightRecorderSize is how many recent wide events /debug/requests
 	// retains in memory. 0 resolves to 256.
 	FlightRecorderSize int
+
+	// SSEHeartbeat is the idle-comment interval on session risk streams
+	// (GET /v1/sessions/{id}/stream), keeping proxies from timing out a
+	// quiet stream. 0 resolves to 10s.
+	SSEHeartbeat time.Duration
+	// SSEHistory is how many per-tick risk events each session retains for
+	// Last-Event-ID resume. 0 resolves to 256.
+	SSEHistory int
+	// SSEBuffer is the per-subscriber event buffer; a client that falls
+	// this many events behind is disconnected (slow-consumer protection).
+	// 0 resolves to 64.
+	SSEBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +156,15 @@ func (c Config) withDefaults() Config {
 	if c.FlightRecorderSize <= 0 {
 		c.FlightRecorderSize = 256
 	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 10 * time.Second
+	}
+	if c.SSEHistory <= 0 {
+		c.SSEHistory = 256
+	}
+	if c.SSEBuffer <= 0 {
+		c.SSEBuffer = 64
+	}
 	return c
 }
 
@@ -159,16 +180,22 @@ type job struct {
 
 // Server is a running (or startable) scoring service.
 type Server struct {
-	cfg   Config
-	pool  []*sti.Evaluator
-	jobs  chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	mux   *http.ServeMux
-	http  *http.Server
-	ln    net.Listener
-	addr  atomic.Value // string
-	state atomic.Int32 // 0 idle, 1 serving, 2 shutting down
+	cfg  Config
+	pool []*sti.Evaluator
+	jobs chan *job
+	quit chan struct{}
+	// closing is closed at the start of Shutdown, before the HTTP drain:
+	// long-lived SSE streams must end for http.Shutdown to return, so they
+	// watch this channel rather than quit (which closes after the drain).
+	closing   chan struct{}
+	closeOnce sync.Once
+	quitOnce  sync.Once
+	wg        sync.WaitGroup
+	mux       *http.ServeMux
+	http      *http.Server
+	ln        net.Listener
+	addr      atomic.Value // string
+	state     atomic.Int32 // 0 idle, 1 serving, 2 shutting down
 
 	sessions sessionTable
 
@@ -178,6 +205,7 @@ type Server struct {
 	sloAvailability *telemetry.SLOTracker
 	sloLatency      *telemetry.SLOTracker
 	avgScoreNS      atomic.Int64
+	activeStreams   atomic.Int64
 }
 
 // New builds the service: evaluator pool, queue, workers, routes. The
@@ -189,10 +217,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: reach config: %w", err)
 	}
 	s := &Server{
-		cfg:  cfg,
-		pool: make([]*sti.Evaluator, cfg.Workers),
-		jobs: make(chan *job, cfg.QueueDepth),
-		quit: make(chan struct{}),
+		cfg:     cfg,
+		pool:    make([]*sti.Evaluator, cfg.Workers),
+		jobs:    make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		closing: make(chan struct{}),
 	}
 	for i := range s.pool {
 		ev, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: cfg.EvalWorkers, SharedExpansion: cfg.SharedExpansion})
@@ -255,6 +284,10 @@ func (s *Server) Start(addr string) error {
 // remaining connections are closed forcefully.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
+	// End the long-lived session streams first: their handlers hold
+	// connections open indefinitely and would otherwise stall the drain.
+	s.closeOnce.Do(func() { close(s.closing) })
+	s.sessions.closeAll()
 	if s.state.Swap(2) == 1 && s.http != nil {
 		// Shutdown returns once every active request's handler has returned
 		// — and handlers return only after their job was answered, so no
@@ -265,7 +298,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.http.Close()
 		}
 	}
-	close(s.quit)
+	// quitOnce makes Shutdown idempotent: a supervisor (e.g. a gateway
+	// test harness) may shut a backend down explicitly and again via
+	// deferred cleanup.
+	s.quitOnce.Do(func() { close(s.quit) })
 	s.wg.Wait()
 	return err
 }
@@ -278,20 +314,23 @@ func (s *Server) worker(ev *sti.Evaluator) {
 	for {
 		select {
 		case j := <-s.jobs:
-			n := 1
+			drained := 1
 			s.runJob(j, ev)
 			// Opportunistic drain: score queued siblings without another
-			// scheduler round-trip.
-			for n < s.cfg.BatchMax {
+			// scheduler round-trip. The histogram records how many jobs this
+			// wake-up actually drained, which is capped by — but on an empty
+			// queue smaller than — BatchMax.
+		drain:
+			for drained < s.cfg.BatchMax {
 				select {
 				case j := <-s.jobs:
 					s.runJob(j, ev)
-					n++
+					drained++
 				default:
-					n = s.cfg.BatchMax
+					break drain
 				}
 			}
-			telBatchSize.Observe(float64(n))
+			telBatchSize.Observe(float64(drained))
 			telQueueDepth.Set(float64(len(s.jobs)))
 		case <-s.quit:
 			// Drain the residue, then exit.
@@ -372,8 +411,11 @@ func (s *Server) score(ctx context.Context, m roadmap.Map, ego vehicle.State, ac
 		}
 		return res, prov, nil
 	case <-ctx.Done():
+		// The pool worker may still be executing run and writing res/prov;
+		// returning those variables here would race with it. Callers only
+		// consume the values when err == nil, so return zero values instead.
 		telTimeouts.Inc()
-		return res, prov, ctx.Err()
+		return sti.Result{}, sti.Provenance{}, ctx.Err()
 	}
 }
 

@@ -20,9 +20,23 @@ import (
 // rolling episode and queries peak STI and risky intervals at any point.
 // Observations are scored on the shared evaluator pool like stateless
 // requests, so sessions obey the same backpressure and deadlines.
+//
+// Each observation is also published as a per-tick risk event to the
+// session's SSE subscribers (GET /v1/sessions/{id}/stream, see sse.go): a
+// bounded history ring backs Last-Event-ID resume, and subscribers that
+// fall too far behind are disconnected rather than allowed to apply
+// backpressure to the scoring path.
 type session struct {
 	ID  string
 	mon *monitor.Monitor
+
+	mu      sync.Mutex
+	nextSeq uint64
+	history []riskEvent // resume ring, oldest first, capped at historyCap
+	subs    map[*streamSub]struct{}
+	closed  bool
+
+	historyCap int
 }
 
 // sessionTable is the registry of open sessions.
@@ -38,16 +52,32 @@ func (t *sessionTable) init(max int) {
 	t.m = make(map[string]*session)
 }
 
-var errSessionLimit = errors.New("session limit reached")
+var (
+	errSessionLimit  = errors.New("session limit reached")
+	errSessionExists = errors.New("session id already exists")
+)
 
-func (t *sessionTable) create(mon *monitor.Monitor) (*session, error) {
+// create registers a session. id is the client-assigned identifier (the
+// gateway tier names sessions so consistent-hash routing needs no shared
+// state); empty means the server mints one.
+func (t *sessionTable) create(mon *monitor.Monitor, id string, historyCap int) (*session, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.m) >= t.max {
 		return nil, errSessionLimit
 	}
-	t.next++
-	s := &session{ID: fmt.Sprintf("s%06d", t.next), mon: mon}
+	if id == "" {
+		t.next++
+		id = fmt.Sprintf("s%06d", t.next)
+	} else if _, ok := t.m[id]; ok {
+		return nil, errSessionExists
+	}
+	s := &session{
+		ID:         id,
+		mon:        mon,
+		subs:       make(map[*streamSub]struct{}),
+		historyCap: historyCap,
+	}
 	t.m[s.ID] = s
 	telSessionsGauge.Set(float64(len(t.m)))
 	return s, nil
@@ -62,13 +92,29 @@ func (t *sessionTable) get(id string) (*session, bool) {
 
 func (t *sessionTable) remove(id string) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.m[id]; !ok {
+	s, ok := t.m[id]
+	if !ok {
+		t.mu.Unlock()
 		return false
 	}
 	delete(t.m, id)
 	telSessionsGauge.Set(float64(len(t.m)))
+	t.mu.Unlock()
+	s.close()
 	return true
+}
+
+// closeAll ends every session's streams (server shutdown).
+func (t *sessionTable) closeAll() {
+	t.mu.Lock()
+	ss := make([]*session, 0, len(t.m))
+	for _, s := range t.m {
+		ss = append(ss, s)
+	}
+	t.mu.Unlock()
+	for _, s := range ss {
+		s.close()
+	}
 }
 
 // SessionCreateRequest opens a session. All fields are optional.
@@ -77,6 +123,11 @@ type SessionCreateRequest struct {
 	// HTTP session records every observation the client sends (the client
 	// already chose what to send); it must be >= 0.
 	Stride int `json:"stride,omitempty"`
+	// ID is a client-assigned session identifier ([A-Za-z0-9_.-], at most
+	// 64 bytes). The gateway tier assigns IDs so a session's owner backend
+	// is derivable from the ID alone by consistent hashing; an ID already
+	// in use answers 409. Empty lets the server mint one.
+	ID string `json:"id,omitempty"`
 }
 
 // SessionCreateResponse returns the new session's handle.
@@ -84,9 +135,12 @@ type SessionCreateResponse struct {
 	ID string `json:"id"`
 }
 
-// SessionObserveResponse echoes the recorded sample.
+// SessionObserveResponse echoes the recorded sample. The same document is
+// the `data:` payload of the session's SSE risk stream, where Seq is also
+// the SSE event ID (the Last-Event-ID resume cursor).
 type SessionObserveResponse struct {
 	Version         string  `json:"version"`
+	Seq             uint64  `json:"seq,omitempty"`
 	Time            float64 `json:"time"`
 	STI             float64 `json:"sti"`
 	TTC             float64 `json:"ttc"`
@@ -116,15 +170,42 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stride must be >= 0"})
 		return
 	}
+	if err := validSessionID(req.ID); err != nil {
+		telRejectedBad.Inc()
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	// Sessions share the pool's evaluators: observations are scored by
 	// whichever worker picks the job up, so the monitor only needs an
 	// evaluator for its reach configuration.
-	sess, err := s.sessions.create(monitor.NewWithEvaluator(s.pool[0], max(req.Stride, 1)))
-	if err != nil {
+	sess, err := s.sessions.create(monitor.NewWithEvaluator(s.pool[0], max(req.Stride, 1)), req.ID, s.cfg.SSEHistory)
+	switch {
+	case errors.Is(err, errSessionExists):
+		s.writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
 		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, SessionCreateResponse{ID: sess.ID})
+}
+
+// validSessionID bounds client-assigned session IDs to a path- and
+// log-safe charset.
+func validSessionID(id string) error {
+	if len(id) > 64 {
+		return errors.New("session id longer than 64 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return fmt.Errorf("session id byte %d outside [A-Za-z0-9_.-]", i)
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
@@ -171,14 +252,16 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, SessionObserveResponse{
+	resp := SessionObserveResponse{
 		Version:         ScoreVersion,
 		Time:            sample.Time,
 		STI:             sample.STI,
 		TTC:             sample.TTC,
 		DistCIPA:        sample.DistCIPA,
 		MostThreatening: sample.MostThreatening,
-	})
+	}
+	resp.Seq = sess.publish(resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionRisk(w http.ResponseWriter, r *http.Request) {

@@ -72,4 +72,74 @@ grep -q "\"trace_id\":\"$trace_id\"" "$smoke_dir/journal.jsonl" \
 "$smoke_dir/iprism-risktrace" -trace "$smoke_dir/journal.jsonl" -trace-id "$trace_id" > /dev/null
 echo "verify: serving + observability smoke passed (graceful drain exit 0)"
 
+# Fleet smoke: three backends behind iprism-gateway. Sessions must stay
+# sticky (at most one move — the deliberate mid-run SIGKILL of a backend),
+# client-visible errors must stay under 1% while the gateway ejects the
+# corpse and retries around it, SSE must stream and resume through the
+# gateway, and a corpus job must complete across the survivors.
+go build -o "$smoke_dir" ./cmd/iprism-gateway
+backend_pids=()
+for i in 1 2 3; do
+  "$smoke_dir/iprism-serve" -addr 127.0.0.1:0 -addr-file "$smoke_dir/b$i.addr" &
+  backend_pids+=($!)
+done
+for i in 1 2 3; do
+  for _ in $(seq 1 100); do [ -s "$smoke_dir/b$i.addr" ] && break; sleep 0.1; done
+  [ -s "$smoke_dir/b$i.addr" ] || { echo "verify: fleet backend $i never listened" >&2; exit 1; }
+done
+backends="$(cat "$smoke_dir/b1.addr"),$(cat "$smoke_dir/b2.addr"),$(cat "$smoke_dir/b3.addr")"
+"$smoke_dir/iprism-gateway" -addr 127.0.0.1:0 -addr-file "$smoke_dir/gw.addr" \
+  -backends "$backends" -probe-interval 200ms &
+gw_pid=$!
+for _ in $(seq 1 100); do [ -s "$smoke_dir/gw.addr" ] && break; sleep 0.1; done
+[ -s "$smoke_dir/gw.addr" ] || { echo "verify: iprism-gateway never listened" >&2; exit 1; }
+gw_url="http://$(cat "$smoke_dir/gw.addr")"
+
+# SSE through the gateway: create a session, record three observations,
+# then attach with Last-Event-ID resume and expect the replay.
+sid=$(curl -sS -X POST -H 'Content-Type: application/json' -d '{}' "$gw_url/v1/sessions" \
+  | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$sid" ] || { echo "verify: gateway session create returned no id" >&2; exit 1; }
+for _ in 1 2 3; do
+  curl -sSf -o /dev/null -H 'Content-Type: application/json' \
+    --data-binary @"$smoke_dir/scene.json" "$gw_url/v1/sessions/$sid/observe"
+done
+curl -sS --max-time 2 -H 'Last-Event-ID: 1' \
+  "$gw_url/v1/sessions/$sid/stream" > "$smoke_dir/stream.txt" || true
+grep -q "^event: risk" "$smoke_dir/stream.txt" \
+  || { echo "verify: gateway SSE stream carried no risk events" >&2; cat "$smoke_dir/stream.txt" >&2; exit 1; }
+grep -q "^id: 2" "$smoke_dir/stream.txt" \
+  || { echo "verify: Last-Event-ID resume did not replay event 2" >&2; cat "$smoke_dir/stream.txt" >&2; exit 1; }
+
+# Fleet load with a mid-run SIGKILL of one backend plus a corpus job. The
+# loadgen gates affinity (max one backend move per session), the error
+# rate, a throughput floor, and the job's per-scene results.
+( sleep 2; kill -9 "${backend_pids[1]}" ) &
+killer_pid=$!
+"$smoke_dir/iprism-loadgen" -target "$gw_url" -gateway \
+  -duration 6s -concurrency 4 -scenes 20 \
+  -max-error-rate 0.01 -max-session-moves 1 -min-rate 30 \
+  -job-scenes 30 -o "$smoke_dir"
+wait "$killer_pid"
+ls "$smoke_dir"/BENCH_serve_*.json >/dev/null \
+  || { echo "verify: fleet loadgen wrote no snapshot" >&2; exit 1; }
+grep -q '"kind": "fleet"' "$smoke_dir"/BENCH_serve_*.json \
+  || { echo "verify: fleet snapshot has wrong kind" >&2; exit 1; }
+
+# Gateway observability: the killed backend must show as ejected, the
+# flight recorder must hold proxy wide events, and /metrics must pass the
+# conformance linter in both formats.
+curl -sSf "$gw_url/debug/backends" | grep -q '"healthy":2' \
+  || { echo "verify: gateway never ejected the SIGKILL'd backend" >&2; curl -s "$gw_url/debug/backends" >&2; exit 1; }
+curl -sSf "$gw_url/debug/requests" | grep -q '"route"' \
+  || { echo "verify: gateway flight recorder is empty" >&2; exit 1; }
+"$smoke_dir/iprism-promlint" -url "$gw_url/metrics"
+"$smoke_dir/iprism-promlint" -url "$gw_url/metrics" -openmetrics
+
+kill -TERM "$gw_pid"
+wait "$gw_pid"
+kill -TERM "${backend_pids[0]}" "${backend_pids[2]}"
+wait "${backend_pids[0]}" "${backend_pids[2]}"
+echo "verify: fleet smoke passed (SIGKILL failover absorbed, graceful drain exit 0)"
+
 go run ./cmd/iprism-benchdiff -dir .
