@@ -234,6 +234,52 @@ func run() error {
 		rep.Workloads[wl.name] = timed(iters, time.Since(start))
 	}
 
+	// Workload 1e: the canonical stop-and-go session replay (mirrors
+	// BenchmarkEvaluateSession12*): one evaluator scores the recorded
+	// 12-actor trace tick by tick holding a session WarmState, then a cold
+	// evaluator scores the identical stream. The warm per-tick distribution
+	// is the gated serving-path metric; the cold one rides along so every
+	// snapshot carries its own A/B.
+	var (
+		histSession12     = telemetry.NewHistogram("bench.sti_evaluate_session12.seconds", telemetry.LatencyBuckets())
+		histSession12Cold = telemetry.NewHistogram("bench.sti_evaluate_session12_cold.seconds", telemetry.LatencyBuckets())
+	)
+	sessCfg := reach.DefaultConfig()
+	sessRoad, sessTrace := scenario.StopAndGoSession(12, 40)
+	sessTrajs := make([][]actor.Trajectory, len(sessTrace))
+	for t, tick := range sessTrace {
+		sessTrajs[t] = actor.PredictAll(tick.Actors, sessCfg.NumSlices(), sessCfg.SliceDt)
+	}
+	sessIters := *stiIters / 3
+	if sessIters < 1 {
+		sessIters = 1
+	}
+	for _, wl := range []struct {
+		name string
+		warm bool
+		hist *telemetry.Histogram
+	}{
+		{"sti_evaluate_session12", true, histSession12},
+		{"sti_evaluate_session12_cold", false, histSession12Cold},
+	} {
+		sessEval, err := sti.NewEvaluatorOptions(sessCfg, sti.Options{Workers: 1, SharedExpansion: true, WarmStart: wl.warm})
+		if err != nil {
+			return err
+		}
+		var ws *sti.WarmState
+		if wl.warm {
+			ws = sti.NewWarmState()
+		}
+		start = time.Now()
+		for i := 0; i < sessIters; i++ {
+			tick := sessTrace[i%len(sessTrace)]
+			t := wl.hist.Start()
+			sessEval.EvaluateWarm(sessRoad, tick.Ego, tick.Actors, sessTrajs[i%len(sessTrace)], ws)
+			t.Stop()
+		}
+		rep.Workloads[wl.name] = timed(sessIters, time.Since(start))
+	}
+
 	// Workload 2: full LBC episodes over a ghost cut-in suite, populating
 	// the sim-step latency distribution and the reach/collision counters.
 	scns := scenario.GenerateValid(scenario.GhostCutIn, *episodes, *seed)
@@ -267,7 +313,8 @@ func run() error {
 		"sti.evaluate.seconds", "sti.evaluate_combined.seconds", "sim.step.seconds",
 		"bench.sti_evaluate_full.seconds", "bench.sti_evaluate_full_6actor.seconds",
 		"bench.sti_evaluate_dense12.seconds", "bench.sti_evaluate_dense64.seconds",
-		"bench.sti_evaluate_dense128.seconds",
+		"bench.sti_evaluate_dense128.seconds", "bench.sti_evaluate_session12.seconds",
+		"bench.sti_evaluate_session12_cold.seconds",
 	} {
 		h := rep.Telemetry.Histograms[name]
 		fmt.Printf("%-40s n=%-6d p50 %s  p95 %s  p99 %s\n",

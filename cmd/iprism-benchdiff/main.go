@@ -35,7 +35,7 @@ import (
 // for serving runs (standalone "serve" and gateway-fronted "fleet" runs
 // gate the same client-side histogram, compared within their own kind).
 var gatedHistograms = map[string][]string{
-	"bench": {"sti.evaluate.seconds", "sim.step.seconds", "bench.sti_evaluate_dense12.seconds", "bench.sti_evaluate_dense64.seconds"},
+	"bench": {"sti.evaluate.seconds", "sim.step.seconds", "bench.sti_evaluate_dense12.seconds", "bench.sti_evaluate_dense64.seconds", "bench.sti_evaluate_session12.seconds"},
 	"serve": {"loadgen.request.seconds"},
 	"fleet": {"loadgen.request.seconds"},
 }

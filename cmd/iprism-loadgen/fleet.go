@@ -78,15 +78,6 @@ func runFleet(o fleetOpts) error {
 	}
 	scoreWorkers := o.concurrency - o.sessionWorkers
 
-	bodies := make([][]byte, len(o.fixtures))
-	for i, sc := range o.fixtures {
-		raw, err := scene.Encode(sc)
-		if err != nil {
-			return err
-		}
-		bodies[i] = raw
-	}
-
 	client := &http.Client{
 		Timeout: o.timeout,
 		Transport: &http.Transport{
@@ -153,11 +144,21 @@ func runFleet(o fleetOpts) error {
 				return
 			}
 			backendsSeen.Store(backend, true)
-			for !done() {
+			// Each worker replays its fixture scene as a tick stream. Session
+			// observe times must be strictly increasing, so the scene is
+			// re-encoded with an advancing timestamp rather than sent verbatim.
+			sc := o.fixtures[w%len(o.fixtures)]
+			for tick := 0; !done(); tick++ {
 				if pace != nil {
 					<-pace
 				}
-				status, served, err := fleetPost(client, o.base+"/v1/sessions/"+id+"/observe", bodies[w%len(bodies)])
+				sc.Time = float64(tick) * 0.1
+				body, err := scene.Encode(sc)
+				if err != nil {
+					account(0, err, 1)
+					continue
+				}
+				status, served, err := fleetPost(client, o.base+"/v1/sessions/"+id+"/observe", body)
 				account(status, err, 1)
 				if err == nil && served != "" && served != backend {
 					moves[w]++

@@ -316,9 +316,12 @@ func testFleet(t *testing.T, n int, cfg Config) (*Gateway, []*server.Server) {
 	return newTestGateway(t, cfg), servers
 }
 
-func fleetScene() []byte {
+// fleetScene builds one observe body at tick time `at` — session observe
+// times must be strictly increasing, so callers advance it per request.
+func fleetScene(at float64) []byte {
 	raw, err := scene.Encode(scene.Scene{
 		Version: scene.Version,
+		Time:    at,
 		Ego:     scene.State{X: 0, Y: 1.75, Speed: 10},
 		Road:    scene.Road{Kind: "straight", Straight: &scene.StraightRoad{Lanes: 2, LaneWidth: 3.5, XMin: -50, XMax: 200}},
 		Actors:  []scene.Actor{{ID: 1, Kind: "vehicle", State: scene.State{X: 25, Y: 1.75, Speed: 4}}},
@@ -349,7 +352,7 @@ func TestSessionAffinity(t *testing.T) {
 		t.Fatal("create response missing X-Backend")
 	}
 	for i := 0; i < 5; i++ {
-		w := doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene())
+		w := doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene(float64(i)*0.1))
 		if w.Code != http.StatusOK {
 			t.Fatalf("observe %d: status %d, body %s", i, w.Code, w.Body.String())
 		}
@@ -375,7 +378,7 @@ func TestSessionFailoverResurrection(t *testing.T) {
 	var created server.SessionCreateResponse
 	json.Unmarshal(w.Body.Bytes(), &created)
 	owner := w.Header().Get("X-Backend")
-	if w := doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene()); w.Code != http.StatusOK {
+	if w := doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene(0)); w.Code != http.StatusOK {
 		t.Fatalf("pre-failover observe: status %d", w.Code)
 	}
 
@@ -387,7 +390,7 @@ func TestSessionFailoverResurrection(t *testing.T) {
 			cancel()
 		}
 	}
-	w = doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene())
+	w = doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene(0.1))
 	if w.Code != http.StatusOK {
 		t.Fatalf("post-failover observe: status %d, body %s", w.Code, w.Body.String())
 	}
@@ -399,7 +402,7 @@ func TestSessionFailoverResurrection(t *testing.T) {
 		t.Error("failover succeeded without a recorded resurrection")
 	}
 	// Stickiness resumes on the survivor.
-	if w := doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene()); w.Header().Get("X-Backend") != survivor {
+	if w := doGateway(t, g, http.MethodPost, "/v1/sessions/"+created.ID+"/observe", fleetScene(0.2)); w.Header().Get("X-Backend") != survivor {
 		t.Errorf("session did not stick to survivor %s", survivor)
 	}
 }
@@ -421,7 +424,7 @@ func TestStreamProxyWithResume(t *testing.T) {
 	json.NewDecoder(resp.Body).Decode(&created)
 	resp.Body.Close()
 	for i := 0; i < 5; i++ {
-		r2, err := http.Post(base+"/v1/sessions/"+created.ID+"/observe", "application/json", bytes.NewReader(fleetScene()))
+		r2, err := http.Post(base+"/v1/sessions/"+created.ID+"/observe", "application/json", bytes.NewReader(fleetScene(float64(i)*0.1)))
 		if err != nil {
 			t.Fatal(err)
 		}

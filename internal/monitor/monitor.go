@@ -8,6 +8,7 @@
 package monitor
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -40,6 +41,11 @@ type Sample struct {
 type Monitor struct {
 	eval   *sti.Evaluator
 	stride int
+	// warm, when set, carries this monitor's session stream state for the
+	// evaluator's temporal-coherence warm start. The WarmState's own CAS
+	// gate serialises concurrent observes (losers score cold), so the
+	// monitor just threads it through.
+	warm *sti.WarmState
 
 	mu      sync.Mutex
 	samples []Sample
@@ -67,6 +73,12 @@ func NewWithEvaluator(eval *sti.Evaluator, stride int) *Monitor {
 
 // Stride returns the sampling stride in simulator steps.
 func (m *Monitor) Stride() int { return m.stride }
+
+// SetWarmState attaches a warm-start state for this monitor's observation
+// stream (one per session; never share across monitors). Call before the
+// first observation; the caller keeps ownership and is responsible for
+// resetting/pooling it when the stream ends.
+func (m *Monitor) SetWarmState(ws *sti.WarmState) { m.warm = ws }
 
 // Samples returns a copy of the recorded trace; callers may mutate it
 // freely without corrupting the monitor's history.
@@ -142,24 +154,37 @@ func (d *monitoredDriver) Act(obs sim.Observation) vehicle.Control {
 // not strided: every observation the caller chose to send is recorded. It
 // returns the recorded sample.
 func (m *Monitor) Observe(rm roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, t float64) Sample {
-	return m.observe(sim.Observation{Map: rm, Ego: ego, EgoParams: vehicle.DefaultParams(), Actors: actors, Time: t}, trajs)
+	s, _ := m.ObserveProv(context.Background(), rm, ego, actors, trajs, t)
+	return s
+}
+
+// ObserveProv is Observe with request-scoped tracing (spans land on the
+// trace.Recorder carried by ctx, if any) and the evaluation's risk
+// provenance — the variant the scoring service uses for its wide events
+// and ?explain=1 responses.
+func (m *Monitor) ObserveProv(ctx context.Context, rm roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, t float64) (Sample, sti.Provenance) {
+	return m.observe(ctx, sim.Observation{Map: rm, Ego: ego, EgoParams: vehicle.DefaultParams(), Actors: actors, Time: t}, trajs)
 }
 
 func (m *Monitor) record(obs sim.Observation) Sample {
-	return m.observe(obs, nil)
+	s, _ := m.observe(context.Background(), obs, nil)
+	return s
 }
 
 // observe scores one observation and appends the sample. When trajs is nil
 // every actor's trajectory is CVTR-predicted (the paper's online
 // configuration); explicit trajectories take precedence.
-func (m *Monitor) observe(obs sim.Observation, trajs []actor.Trajectory) Sample {
+func (m *Monitor) observe(ctx context.Context, obs sim.Observation, trajs []actor.Trajectory) (Sample, sti.Provenance) {
 	defer telRecordSeconds.Start().Stop()
 	cfg := m.eval.Config()
 	steps := cfg.NumSlices()
 	if trajs == nil {
 		trajs = actor.PredictAll(obs.Actors, steps, cfg.SliceDt)
 	}
-	res := m.eval.Evaluate(obs.Map, obs.Ego, obs.Actors, trajs)
+	// EvaluateWarmTraced degrades to a plain evaluation when m.warm is nil
+	// or the evaluator was built without WarmStart, so this is the one call
+	// site for both configurations.
+	res, prov := m.eval.EvaluateWarmTraced(ctx, obs.Map, obs.Ego, obs.Actors, trajs, m.warm)
 	scene := metrics.Scene{
 		Map:       obs.Map,
 		Ego:       obs.Ego,
@@ -184,7 +209,7 @@ func (m *Monitor) observe(obs sim.Observation, trajs []actor.Trajectory) Sample 
 	m.mu.Lock()
 	m.samples = append(m.samples, s)
 	m.mu.Unlock()
-	return s
+	return s, prov
 }
 
 // RiskyIntervals returns the [start, end) time intervals during which the

@@ -88,6 +88,47 @@ func (ks *maskedKeySet) bitsAt(k stateKey) uint64 {
 	}
 }
 
+// probe returns the claimed-world mask for k plus the slot the probe ended
+// at (k's slot if present, else the first empty slot of its chain), so the
+// candidate's later claim needn't re-walk the chain. The slot stays valid
+// until the next insertion; -1 means the table is unallocated.
+func (ks *maskedKeySet) probe(k stateKey) (bits uint64, slot int) {
+	if len(ks.keys) == 0 {
+		return 0, -1
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			return 0, int(i)
+		}
+		if ks.keys[i] == k {
+			return ks.masks[i], int(i)
+		}
+	}
+}
+
+// orAt claims the worlds in bits for k at the slot probe returned. A stale
+// or unknown slot (table grown or unallocated since) falls back to a fresh
+// probe; claiming into an empty slot defers to or when the insertion would
+// breach the load factor.
+func (ks *maskedKeySet) orAt(slot int, k stateKey, bits uint64) {
+	if slot >= 0 && slot < len(ks.keys) {
+		if ks.gen[slot] == ks.cur {
+			if ks.keys[slot] == k {
+				ks.masks[slot] |= bits
+				return
+			}
+		} else if 2*(ks.n+1) <= len(ks.keys) {
+			ks.keys[slot] = k
+			ks.masks[slot] = bits
+			ks.gen[slot] = ks.cur
+			ks.n++
+			return
+		}
+	}
+	ks.or(k, bits)
+}
+
 // or claims the worlds in bits for key k.
 func (ks *maskedKeySet) or(k stateKey, bits uint64) {
 	if 2*(ks.n+1) > len(ks.keys) {
@@ -193,6 +234,54 @@ func (ks *segKeySet) andNot(k stateKey, possible []uint64) bool {
 			return any
 		}
 	}
+}
+
+// andNotProbe is andNot returning the probe's resting slot as well, with
+// the same contract as maskedKeySet.probe: k's slot if present, else the
+// first empty slot of its chain, valid until the next insertion.
+func (ks *segKeySet) andNotProbe(k stateKey, possible []uint64) (bool, int) {
+	if len(ks.keys) == 0 {
+		return anyNonzero(possible), -1
+	}
+	mask := uint64(len(ks.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if ks.gen[i] != ks.cur {
+			return anyNonzero(possible), int(i)
+		}
+		if ks.keys[i] == k {
+			base := int(i) * ks.words
+			any := false
+			for w := range possible {
+				possible[w] &^= ks.masks[base+w]
+				any = any || possible[w] != 0
+			}
+			return any, int(i)
+		}
+	}
+}
+
+// orAt claims the worlds in bits for k at the slot andNotProbe returned,
+// falling back to a fresh probe when the slot is stale or the insertion
+// would breach the load factor.
+func (ks *segKeySet) orAt(slot int, k stateKey, bits []uint64) {
+	if slot >= 0 && slot < len(ks.keys) {
+		if ks.gen[slot] == ks.cur {
+			if ks.keys[slot] == k {
+				base := slot * ks.words
+				for w := range bits {
+					ks.masks[base+w] |= bits[w]
+				}
+				return
+			}
+		} else if 2*(ks.n+1) <= len(ks.keys) {
+			ks.keys[slot] = k
+			copy(ks.masks[slot*ks.words:slot*ks.words+ks.words], bits)
+			ks.gen[slot] = ks.cur
+			ks.n++
+			return
+		}
+	}
+	ks.or(k, bits)
 }
 
 // or claims the worlds in bits (len words) for key k.
@@ -443,7 +532,8 @@ func computeSingleWord(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Con
 				// possible = worlds whose legacy expansion reaches this
 				// candidate and has not already ε-visited its key.
 				possible := f.w &^ capMask
-				possible &^= claimed.bitsAt(k)
+				cb, slot := claimed.probe(k)
+				possible &^= cb
 				if possible == 0 {
 					continue
 				}
@@ -468,7 +558,7 @@ func computeSingleWord(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Con
 					pruned++
 					continue
 				}
-				claimed.or(k, possible)
+				claimed.orAt(slot, k, possible)
 				for b := grid.MarkBits(s2.Pos, possible); b != 0; b &= b - 1 {
 					volCount[bits.TrailingZeros64(b)]++
 				}
@@ -594,7 +684,8 @@ func computeSegmented(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Conf
 				for w := 0; w < words; w++ {
 					possible[w] = fmask[w] &^ capMask[w]
 				}
-				if !claimed.andNot(k, possible) {
+				live, slot := claimed.andNotProbe(k, possible)
+				if !live {
 					continue
 				}
 				ok := true
@@ -614,7 +705,7 @@ func computeSegmented(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Conf
 					pruned++
 					continue
 				}
-				claimed.or(k, possible)
+				claimed.orAt(slot, k, possible)
 				grid.MarkWords(s2.Pos, possible, newBits)
 				for w := 0; w < words; w++ {
 					for b := newBits[w]; b != 0; b &= b - 1 {

@@ -22,3 +22,21 @@ func ComputeCounterfactualsTraced(rec *trace.Recorder, m roadmap.Map, obs *Obsta
 	}
 	return sh
 }
+
+// ComputeCounterfactualsWarmTraced is ComputeCounterfactualsWarm wrapped in
+// the same "reach.shared_expansion" span, additionally annotated with the
+// warm-start outcome (hit, reused/invalidated verdict counts).
+func ComputeCounterfactualsWarmTraced(rec *trace.Recorder, m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch, ws *WarmState) (SharedTubes, WarmStats) {
+	sp := rec.StartSpan("reach.shared_expansion")
+	sh, stats := ComputeCounterfactualsWarm(m, obs, ego, cfg, scr, ws)
+	if sp != nil {
+		sp.Annotate("states", sh.States).
+			Annotate("represented", sh.Represented).
+			Annotate("mask_words", sh.MaskWords).
+			Annotate("warm_hit", stats.Hit).
+			Annotate("warm_reused", stats.Reused).
+			Annotate("warm_invalidated", stats.Invalidated).
+			End()
+	}
+	return sh, stats
+}

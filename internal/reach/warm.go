@@ -1,0 +1,1177 @@
+package reach
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/telemetry"
+	"repro/internal/vehicle"
+)
+
+// Temporal-coherence warm start for the shared-expansion engine.
+//
+// Session traffic scores nearly the same scene every tick: the ego root is
+// often bitwise-stable across ticks and most actors move a few centimetres.
+// ComputeCounterfactualsWarm exploits that by memoizing, per (exact parent
+// state, slice) frontier entry, the two pure quantities the cold engine
+// spends nearly all its time on — the bicycle-model integration endpoint
+// and the path-sweep collision verdict of each control — and replaying
+// every other decision (dedup claims, MaxStates caps, grid marks,
+// per-world tallies) from scratch each tick. Because only pure functions
+// of bitwise-equal inputs are substituted, the output is bit-for-bit the
+// cold engine's; the differential and fuzz suites in warm_test.go / sti
+// enforce that bar.
+//
+// Why a memoized verdict is sound to reuse (DESIGN.md §11 has the long
+// form):
+//
+//   - A path sweep's world-mask effect always collapses to one of a few
+//     forms: PASS (no substep hits any actor), ONLY(i) (every hitting
+//     substep hits exactly actor i and nobody else), ZERO (two distinct
+//     actors hit), or OFFROAD (a substep leaves the drivable area). Each substep
+//     intersects the possible-set with the all-worlds mask, a single world
+//     bit, or the empty mask; such masks are closed under intersection and
+//     ZERO is absorbing, so the composition over substeps is again one of
+//     the three forms, independent of the incoming possible-set.
+//   - The verdict depends only on the map (immutable within a warm epoch),
+//     the swept footprints (pure function of the parent state and control),
+//     and the actor footprints overlapping the swept AABB. With a PASS or
+//     ONLY verdict the hit-set decomposes per actor: an actor whose
+//     footprints at the sweep's two obstacle slices are bitwise-unchanged
+//     since the verdict was recorded, or whose changed placements (old AND
+//     new) miss the recorded swept AABB, contributes exactly what it
+//     contributed then. Only the remaining "suspects" are re-swept, and
+//     their fresh hits are merged with the memoized hit-set; the merge is
+//     exact because PASS/ONLY verdicts record the hit-set completely (PASS
+//     = nobody, ONLY(i) = exactly i) and the drivability of the unchanged
+//     path cannot change within an epoch.
+//   - ZERO verdicts decompose the same way as long as the complete blocker
+//     set was recorded: the sweep records up to three distinct hit actors
+//     over the full path, and the verdict is a pure function of that set
+//     (empty = PASS, singleton = ONLY, larger = ZERO). Only when a fourth
+//     distinct blocker appears does the sweep stop early with an opaque
+//     ZERO, which is reused only when no suspect overlaps its recorded
+//     swept prefix AABB and fully re-swept otherwise (the prefix AABB
+//     suffices: the causes lie entirely within the substeps already swept,
+//     and the replayed prefix is bitwise the same path). OFFROAD verdicts
+//     depend on no actor at all — only the path (pure) and the map
+//     (epoch-immutable) — so they are reused unconditionally for as long
+//     as the memo entry lives.
+//   - Completeness: the swept AABB lies inside the slice's broad-phase
+//     window (each substep footprint stays within the frontier envelope
+//     plus the travel+radius margin that defines the window), so every
+//     actor that can overlap the path was scanned when the verdict was
+//     recorded. An unchanged, unscanned actor cannot newly intersect it.
+//
+// A WarmState is single-session state: it must never be shared between two
+// concurrent computations (sti.WarmState wraps it with an ownership gate).
+var (
+	telWarmReused      = telemetry.NewCounter("reach.warm.reused_states")
+	telWarmInvalidated = telemetry.NewCounter("reach.warm.invalidated_states")
+)
+
+// Path-sweep verdict forms (see the collapse argument above). Off-road is
+// split out of ZERO because it is actor-independent: the replayed path is
+// bitwise the recorded one and the map is immutable within an epoch, so an
+// off-road verdict can never flip — it is reused without any suspect check
+// for as long as the memo entry lives.
+const (
+	verdictNone       uint8 = iota // not memoized yet
+	verdictPass                    // no actor hit: every incoming world survives
+	verdictOnly                    // exactly one actor hit: only its world survives
+	verdictZero                    // 2-3 distinct blockers, all recorded: no world survives
+	verdictZeroOpaque              // 4+ distinct blockers, sweep stopped early
+	verdictOffroad                 // a substep leaves the map: no world survives, ever
+)
+
+// warmMaxHits caps the recorded blocker set. A sweep that would exceed it
+// degrades to an opaque ZERO — still correct, just revalidated by a full
+// re-sweep instead of a per-suspect merge.
+const warmMaxHits = 3
+
+// warmMemoMaxParents caps the parent table. A tick that would exceed it
+// resets the table instead — correctness is untouched (the next tick just
+// runs cold-speed) and a runaway session cannot hold unbounded memory
+// (with paths and substep boxes the arenas cost roughly 1.7 KiB per parent
+// at the default six controls and five substeps, ~55 MiB at this cap).
+const warmMemoMaxParents = 1 << 15
+
+// warmPKey identifies a frontier entry: the exact parent state (as raw
+// float bits — bitwise equality is what the engine promises, and packed
+// words compare faster than floats) and the slice it propagates from (a
+// verdict depends on the slice's obstacle footprints, so the same parent
+// state reached in a different slice is a different candidate). All
+// controls of a parent share one key; their memoized data lives in a
+// contiguous block of the control arena, so the hot loop pays one hash
+// probe per parent instead of one per control.
+type warmPKey [5]uint64
+
+func makeWarmKey(st vehicle.State, slice int32) warmPKey {
+	return warmPKey{
+		math.Float64bits(st.Pos.X),
+		math.Float64bits(st.Pos.Y),
+		math.Float64bits(st.Heading),
+		math.Float64bits(st.Speed),
+		uint64(uint32(slice)),
+	}
+}
+
+func hashWarmKey(k warmPKey) uint64 {
+	h := k[0]
+	h = (h ^ k[1]) * 0x9e3779b97f4a7c15
+	h = (h ^ k[2]) * 0xff51afd7ed558ccd
+	h = (h ^ k[3] ^ k[4]) * 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	return h
+}
+
+// warmCtrl is one memoized (parent, control) candidate: the integration
+// endpoint (pure kinematics, never expires within an epoch) plus the latest
+// path-sweep verdict, the complete blocker set it collapsed from (when it
+// fits warmMaxHits), and the swept AABB it was judged over.
+type warmCtrl struct {
+	s2         vehicle.State
+	pathMin    geom.Vec2
+	pathMax    geom.Vec2
+	skey       stateKey // dedup key of s2 (pure kinematics, cached with it)
+	verdictGen uint32
+	hits       [warmMaxHits]int32 // the distinct actors hit, hits[:nhits]
+	child      int32              // arena base of s2's own block next slice (a hint, verified by key)
+	nsub       uint8
+	nhits      uint8
+	verdict    uint8
+}
+
+// subBox is one substep footprint's AABB, rounded conservatively outward to
+// float32. PASS/ONLY sweeps record one per substep; a suspect whose changed
+// placements miss every substep box cannot have changed the verdict, so the
+// entry is reused without re-integrating the path.
+type subBox struct {
+	minX, minY, maxX, maxY float32
+}
+
+// f32lo / f32hi round a float64 to float32 without crossing it (toward
+// -Inf / +Inf), keeping stored substep boxes a superset of the true AABB.
+func f32lo(x float64) float32 {
+	y := float32(x)
+	if float64(y) > x {
+		y = math.Nextafter32(y, float32(math.Inf(-1)))
+	}
+	return y
+}
+
+func f32hi(x float64) float32 {
+	y := float32(x)
+	if float64(y) < x {
+		y = math.Nextafter32(y, float32(math.Inf(1)))
+	}
+	return y
+}
+
+type warmParent struct {
+	key  warmPKey
+	base int32 // nc consecutive warmCtrl slots in the arena
+}
+
+// warmMemo is the candidate table: parents open-addressed with full key
+// equality, generation-stamped so a full reset is O(1); per-control data in
+// a flat arena indexed by parent.base.
+type warmMemo struct {
+	parents []warmParent
+	gen     []uint32
+	ctrls   []warmCtrl
+	subs    []subBox    // stride slots per ctrl: substep AABBs of the last sweep
+	paths   []pathState // stride slots per ctrl: the integrated path, never re-derived
+	bkeys   []warmPKey  // one per block: the parent key it was inserted under
+	nc      int
+	stride  int // cfg.SubSteps at epoch start
+	cur     uint32
+	n       int
+}
+
+// resetAll empties the table (full invalidation / epoch boundary).
+func (m *warmMemo) resetAll() {
+	m.cur++
+	m.n = 0
+	m.ctrls = m.ctrls[:0]
+	m.subs = m.subs[:0]
+	m.paths = m.paths[:0]
+	m.bkeys = m.bkeys[:0]
+	if m.cur == 0 { // stamp wrapped: old entries would look live again
+		clear(m.gen)
+		m.cur = 1
+	}
+}
+
+// ensureControls pins the per-parent control count and substep stride for
+// this epoch; a mismatch (config change without a full invalidation —
+// defensive, the caller's cfg equality check already forces one) restarts
+// the table.
+func (m *warmMemo) ensureControls(nc, stride int) {
+	if m.nc != nc || m.stride != stride {
+		m.nc = nc
+		m.stride = stride
+		m.resetAll()
+	}
+}
+
+// lookupOrInsert returns the arena base for parent k, inserting a fresh
+// zeroed control block on miss. existed reports whether the block carries
+// memoized integrations. The base is stable for the rest of the tick (the
+// arena only grows at parent insertion, never between controls).
+func (m *warmMemo) lookupOrInsert(k warmPKey) (base int32, existed bool) {
+	if 2*(m.n+1) > len(m.parents) {
+		if len(m.parents) >= warmMemoMaxParents {
+			// At capacity: restart the table rather than grow without bound.
+			m.resetAll()
+		} else {
+			m.grow()
+		}
+	}
+	mask := uint64(len(m.parents) - 1)
+	for i := hashWarmKey(k) & mask; ; i = (i + 1) & mask {
+		if m.gen[i] != m.cur {
+			base = m.newBlock()
+			m.bkeys = append(m.bkeys, k)
+			m.parents[i] = warmParent{key: k, base: base}
+			m.gen[i] = m.cur
+			m.n++
+			return base, false
+		}
+		if m.parents[i].key == k {
+			return m.parents[i].base, true
+		}
+	}
+}
+
+// lookupVia resolves parent k through a producing ctrl's child hint,
+// falling back to (and refreshing the hint from) the hash table. pci < 0
+// means no producer is known (the root frontier entry). The hint is only
+// ever trusted after its block key matches exactly, so a stale or clobbered
+// hint degrades to one hash probe, never to a wrong block.
+func (m *warmMemo) lookupVia(pci int32, k warmPKey) (base int32, existed bool) {
+	if pci >= 0 && int(pci) < len(m.ctrls) {
+		if ch := m.ctrls[pci].child; ch >= 0 && int(ch)+m.nc <= len(m.ctrls) && m.bkeys[int(ch)/m.nc] == k {
+			return ch, true
+		}
+		base, existed = m.lookupOrInsert(k)
+		if int(pci) < len(m.ctrls) { // a mid-tick reset may have shrunk the arena
+			m.ctrls[pci].child = base
+		}
+		return base, existed
+	}
+	return m.lookupOrInsert(k)
+}
+
+// newBlock extends the control arena by one zeroed nc-slot block (plus the
+// matching substep-AABB and path slots, which need no zeroing: they are
+// only read through a ctrl entry that wrote them — paths at integration,
+// substep AABBs during the sweep).
+func (m *warmMemo) newBlock() int32 {
+	base := len(m.ctrls)
+	if base+m.nc <= cap(m.ctrls) {
+		m.ctrls = m.ctrls[:base+m.nc]
+		clear(m.ctrls[base:])
+	} else {
+		m.ctrls = append(m.ctrls, make([]warmCtrl, m.nc)...)
+	}
+	want := (base + m.nc) * m.stride
+	if want <= cap(m.subs) {
+		m.subs = m.subs[:want]
+	} else {
+		m.subs = append(m.subs, make([]subBox, want-len(m.subs))...)
+	}
+	if want <= cap(m.paths) {
+		m.paths = m.paths[:want]
+	} else {
+		m.paths = append(m.paths, make([]pathState, want-len(m.paths))...)
+	}
+	return int32(base)
+}
+
+// ctrlSubs returns the substep-AABB slots for control slot ci.
+func (m *warmMemo) ctrlSubs(ci int32) []subBox {
+	return m.subs[int(ci)*m.stride : (int(ci)+1)*m.stride]
+}
+
+// ctrlPath returns the integrated-path slots for control slot ci.
+func (m *warmMemo) ctrlPath(ci int32) []pathState {
+	return m.paths[int(ci)*m.stride : (int(ci)+1)*m.stride]
+}
+
+func (m *warmMemo) grow() {
+	capOld := len(m.parents)
+	capNew := 4096
+	if capOld > 0 {
+		capNew = capOld * 2
+	}
+	oldParents, oldGen := m.parents, m.gen
+	m.parents = make([]warmParent, capNew)
+	m.gen = make([]uint32, capNew)
+	if m.cur == 0 {
+		m.cur = 1
+	}
+	mask := uint64(capNew - 1)
+	for i, g := range oldGen {
+		if g != m.cur {
+			continue
+		}
+		p := &oldParents[i]
+		for j := hashWarmKey(p.key) & mask; ; j = (j + 1) & mask {
+			if m.gen[j] != m.cur {
+				m.parents[j] = *p
+				m.gen[j] = m.cur
+				break
+			}
+		}
+	}
+}
+
+// warmSuspect is one actor whose footprint changed this tick at an
+// obstacle slice a given entry slice's sweeps test, with the union AABB of
+// its old and new placements there. A memoized verdict whose swept AABB
+// misses every suspect box is exact as-is; one that overlaps re-sweeps
+// against exactly the overlapping suspects.
+type warmSuspect struct {
+	idx      int32
+	min, max geom.Vec2
+}
+
+// roadKey snapshots a map's identity by value: the scene codec materialises
+// a fresh map object per request, so pointer identity never matches across
+// ticks. Only the stock roadmap types are recognised; anything else is
+// never warmed (every tick fully invalidates, which is correct, just not
+// fast).
+type roadKey struct {
+	kind     uint8 // 0 none, 1 straight, 2 ring
+	straight roadmap.StraightRoad
+	ring     roadmap.RingRoad
+}
+
+func roadKeyOf(m roadmap.Map) (roadKey, bool) {
+	switch r := m.(type) {
+	case *roadmap.StraightRoad:
+		return roadKey{kind: 1, straight: *r}, true
+	case *roadmap.RingRoad:
+		return roadKey{kind: 2, ring: *r}, true
+	}
+	return roadKey{}, false
+}
+
+// WarmState carries one session's cross-tick expansion state: the candidate
+// memo, the per-tick suspect lists, and the previous tick's inputs the
+// invalidation compares against. It holds no per-tick working memory — that
+// still comes from the caller's Scratch exactly as on the cold path.
+//
+// Ownership: a WarmState belongs to exactly one logical session and must
+// not be used by two computations concurrently. The zero value is ready to
+// use.
+type WarmState struct {
+	prevObs  *Obstacles
+	prevEgo  vehicle.State
+	prevCfg  Config
+	prevRoad roadKey
+
+	gen   uint32
+	memo  warmMemo
+	sus   [][]warmSuspect // per entry slice, this tick's changed actors
+	susU  []warmSuspect   // per entry slice, union AABB over sus (fast reject)
+	scand []warmSuspect   // per-candidate overlapping-suspect scratch
+	fsrc  []int32         // per frontier entry, the ctrl slot that produced it
+	nsrc  []int32         // next-frontier counterpart of fsrc
+}
+
+// NewWarmState returns an empty warm-start state.
+func NewWarmState() *WarmState { return &WarmState{} }
+
+// Reset drops all cross-tick state (session close / pool reuse), retaining
+// table capacity.
+func (ws *WarmState) Reset() {
+	ws.prevObs = nil
+	ws.prevEgo = vehicle.State{}
+	ws.prevCfg = Config{}
+	ws.prevRoad = roadKey{}
+	ws.gen = 0
+	ws.memo.resetAll()
+	for i := range ws.sus {
+		ws.sus[i] = ws.sus[i][:0]
+	}
+}
+
+// WarmStats reports what the warm engine did for one tick.
+type WarmStats struct {
+	// Hit is false when the tick fully invalidated (first tick, ego root
+	// moved, config/map/actor-count changed): nothing could be reused.
+	Hit bool
+	// Reused counts candidate propagations whose memoized path-sweep
+	// verdict was still valid and reused without re-sweeping.
+	Reused int
+	// Invalidated counts memoized verdicts that could not be reused as-is
+	// (a changed actor overlapped their swept AABB, or they were stale) and
+	// had to be re-swept, partially or fully.
+	Invalidated int
+}
+
+// buildSuspects collects, per entry slice, every actor whose footprint
+// changed since the previous tick at an obstacle slice that entry's sweeps
+// test (an entry-slice-e sweep tests obstacle slices min(e, ns) and
+// min(e+1, ns), so a change at obstacle slice s < ns makes the actor a
+// suspect at entry slices s-1 and s, and a change at the final obstacle
+// slice ns at every entry slice from ns-1 up to the horizon), with the
+// union AABB of the old and new placements at the changed slice. ne is the
+// number of entry slices the expansion will run (cfg.NumSlices()).
+func (ws *WarmState) buildSuspects(obs *Obstacles, ne int) {
+	ns := obs.numSlices
+	for cap(ws.sus) < ne {
+		ws.sus = append(ws.sus[:cap(ws.sus)], nil)
+	}
+	ws.sus = ws.sus[:ne]
+	if cap(ws.susU) < ne {
+		ws.susU = make([]warmSuspect, ne)
+	}
+	ws.susU = ws.susU[:ne]
+	for e := range ws.sus {
+		ws.sus[e] = ws.sus[e][:0]
+	}
+	for i := range obs.boxes {
+		prev, cur := ws.prevObs.boxes[i], obs.boxes[i]
+		for s := 0; s <= ns; s++ {
+			pb, cb := &prev[s], &cur[s]
+			if pb.Box == cb.Box {
+				continue
+			}
+			mn := geom.V(math.Min(pb.Min.X, cb.Min.X), math.Min(pb.Min.Y, cb.Min.Y))
+			mx := geom.V(math.Max(pb.Max.X, cb.Max.X), math.Max(pb.Max.Y, cb.Max.Y))
+			if s < ns {
+				if e := s - 1; e >= 0 && e < ne {
+					ws.addSuspect(e, int32(i), mn, mx)
+				}
+				if s < ne {
+					ws.addSuspect(s, int32(i), mn, mx)
+				}
+			} else {
+				// Final obstacle slice: clamped into every later entry.
+				for e := s - 1; e < ne; e++ {
+					if e >= 0 {
+						ws.addSuspect(e, int32(i), mn, mx)
+					}
+				}
+			}
+		}
+	}
+}
+
+// addSuspect appends actor i's changed-placement box at entry slice e,
+// merging with the actor's previous entry there (an actor changed at both
+// tested obstacle slices lands twice in a row — one union box suffices).
+func (ws *WarmState) addSuspect(e int, i int32, mn, mx geom.Vec2) {
+	l := ws.sus[e]
+	if len(l) == 0 {
+		ws.susU[e] = warmSuspect{min: mn, max: mx}
+	} else {
+		u := &ws.susU[e]
+		if mn.X < u.min.X {
+			u.min.X = mn.X
+		}
+		if mn.Y < u.min.Y {
+			u.min.Y = mn.Y
+		}
+		if mx.X > u.max.X {
+			u.max.X = mx.X
+		}
+		if mx.Y > u.max.Y {
+			u.max.Y = mx.Y
+		}
+	}
+	if k := len(l) - 1; k >= 0 && l[k].idx == i {
+		if mn.X < l[k].min.X {
+			l[k].min.X = mn.X
+		}
+		if mn.Y < l[k].min.Y {
+			l[k].min.Y = mn.Y
+		}
+		if mx.X > l[k].max.X {
+			l[k].max.X = mx.X
+		}
+		if mx.Y > l[k].max.Y {
+			l[k].max.Y = mx.Y
+		}
+		return
+	}
+	ws.sus[e] = append(l, warmSuspect{idx: i, min: mn, max: mx})
+}
+
+// overlapping fills ws.scand with the suspects at entry slice e whose boxes
+// overlap the swept AABB [pmin, pmax]. The per-slice union AABB rejects
+// candidates clear of every changed actor with one test.
+func (ws *WarmState) overlapping(e int, pmin, pmax geom.Vec2) []warmSuspect {
+	l := ws.sus[e]
+	if len(l) == 0 {
+		return nil
+	}
+	if u := &ws.susU[e]; u.min.X > pmax.X || pmin.X > u.max.X || u.min.Y > pmax.Y || pmin.Y > u.max.Y {
+		return nil
+	}
+	out := ws.scand[:0]
+	for si := range l {
+		sp := &l[si]
+		if sp.min.X <= pmax.X && pmin.X <= sp.max.X && sp.min.Y <= pmax.Y && pmin.Y <= sp.max.Y {
+			out = append(out, *sp)
+		}
+	}
+	ws.scand = out
+	return out
+}
+
+// subsOverlap reports whether any recorded substep box overlaps any of the
+// overlapping suspects' changed placements. When none does, the suspects
+// cannot have altered a PASS/ONLY verdict and it is reused as-is.
+func subsOverlap(subs []subBox, nsub int, cand []warmSuspect) bool {
+	for j := 0; j < nsub; j++ {
+		sb := &subs[j]
+		for si := range cand {
+			sp := &cand[si]
+			if float64(sb.minX) <= sp.max.X && sp.min.X <= float64(sb.maxX) &&
+				float64(sb.minY) <= sp.max.Y && sp.min.Y <= float64(sb.maxY) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ComputeCounterfactualsWarm is ComputeCounterfactuals with temporal
+// coherence: ws carries the previous tick's candidate memo and the result
+// is bit-for-bit identical to the cold call. ws must be owned by the
+// calling session for the duration of the call; scr may be nil.
+func ComputeCounterfactualsWarm(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch, ws *WarmState) (SharedTubes, WarmStats) {
+	if ws == nil {
+		return ComputeCounterfactuals(m, obs, ego, cfg, scr), WarmStats{}
+	}
+	n := obs.NumActors()
+	numWorlds := 1 + n
+	words := (numWorlds + 63) / 64
+	res := SharedTubes{
+		WithoutVolume: make([]float64, n),
+		Represented:   n,
+		MaskWords:     words,
+	}
+	if scr == nil {
+		scr = NewScratch()
+	}
+	telSharedComputes.Inc()
+	telSharedWorlds.Observe(float64(numWorlds))
+
+	// Warm iff everything the memoized candidates depend on beyond the
+	// suspect set is bitwise-unchanged: the exact ego root (ε = 0 — any
+	// root motion re-anchors the whole expansion), the configuration, the
+	// map by value, and the actor count (world-bit indices shift with it).
+	rk, cacheable := roadKeyOf(m)
+	warm := cacheable && ws.prevObs != nil && ws.prevEgo == ego && ws.prevCfg == cfg &&
+		ws.prevRoad == rk && ws.prevObs.NumActors() == n && ws.prevObs.numSlices == obs.numSlices
+	if !warm {
+		ws.memo.resetAll()
+	}
+	ws.gen++
+	if ws.gen == 0 { // generation wrapped: stale verdictGens could alias
+		ws.memo.resetAll()
+		ws.gen = 1
+	}
+	if warm {
+		ws.buildSuspects(obs, cfg.NumSlices())
+	} else {
+		for e := range ws.sus {
+			ws.sus[e] = ws.sus[e][:0]
+		}
+	}
+
+	stats := WarmStats{Hit: warm}
+	if words == 1 {
+		warmSingleWord(m, obs, ego, cfg, scr, ws, &res, numWorlds, &stats)
+	} else {
+		warmSegmented(m, obs, ego, cfg, scr, ws, &res, numWorlds, words, &stats)
+	}
+
+	ws.prevEgo, ws.prevCfg, ws.prevRoad = ego, cfg, rk
+	ws.prevObs = obs
+	if !cacheable {
+		ws.prevObs = nil // unknown map type: never warm
+	}
+	telWarmReused.Add(int64(stats.Reused))
+	telWarmInvalidated.Add(int64(stats.Invalidated))
+	return res, stats
+}
+
+// warmSweep runs the full path sweep for one candidate, filling me with the
+// collapsed verdict, the complete blocker set (when it fits warmMaxHits),
+// and the swept AABB (the union of every prepared substep footprint's
+// AABB). It also records each substep footprint's AABB into subs,
+// conservatively rounded to float32 — the prefilter later ticks use to
+// reuse verdicts without re-sweeping. Unlike the cold sweep it does not
+// early-exit on a strike — the complete hit-set is what makes the verdict
+// decomposable for later ticks — but off-road and a fourth distinct
+// blocker are terminal, so it may stop there with the partial AABB (their
+// causes lie entirely within the substeps already swept).
+func warmSweep(m roadmap.Map, pm roadmap.PreparedMap, obs *Obstacles, pb *geom.PreparedBox, path []pathState, slice int, act []int32, subs []subBox, me *warmCtrl) {
+	s0 := slice
+	if s0 > obs.numSlices {
+		s0 = obs.numSlices
+	}
+	s1 := slice + 1
+	if s1 > obs.numSlices {
+		s1 = obs.numSlices
+	}
+	var hits [warmMaxHits]int32
+	nh := 0
+	var pmin, pmax geom.Vec2
+	for j := range path {
+		ps := &path[j]
+		pb.MoveTo(ps.st.Pos, ps.st.Heading, ps.sin, ps.cos)
+		subs[j] = subBox{f32lo(pb.Min.X), f32lo(pb.Min.Y), f32hi(pb.Max.X), f32hi(pb.Max.Y)}
+		if j == 0 {
+			pmin, pmax = pb.Min, pb.Max
+		} else {
+			if pb.Min.X < pmin.X {
+				pmin.X = pb.Min.X
+			}
+			if pb.Min.Y < pmin.Y {
+				pmin.Y = pb.Min.Y
+			}
+			if pb.Max.X > pmax.X {
+				pmax.X = pb.Max.X
+			}
+			if pb.Max.Y > pmax.Y {
+				pmax.Y = pb.Max.Y
+			}
+		}
+		if !drivable(m, pm, pb) {
+			me.verdict, me.nhits = verdictOffroad, 0
+			me.pathMin, me.pathMax = pmin, pmax
+			return
+		}
+		// Same scan as maskHitsPath: broad-phase survivors only, AABB
+		// reject before SAT, footprints at both bounding slice indices.
+		for _, i := range act {
+			bs := obs.boxes[i]
+			a := &bs[s0]
+			hit := pb.Min.X <= a.Max.X && a.Min.X <= pb.Max.X &&
+				pb.Min.Y <= a.Max.Y && a.Min.Y <= pb.Max.Y && pb.Intersects(a)
+			if !hit {
+				a = &bs[s1]
+				hit = pb.Min.X <= a.Max.X && a.Min.X <= pb.Max.X &&
+					pb.Min.Y <= a.Max.Y && a.Min.Y <= pb.Max.Y && pb.Intersects(a)
+			}
+			if hit {
+				known := false
+				for k := 0; k < nh; k++ {
+					if hits[k] == i {
+						known = true
+						break
+					}
+				}
+				if !known {
+					if nh == warmMaxHits {
+						me.verdict, me.nhits = verdictZeroOpaque, 0
+						me.pathMin, me.pathMax = pmin, pmax
+						return
+					}
+					hits[nh] = i
+					nh++
+				}
+			}
+		}
+	}
+	me.hits, me.nhits = hits, uint8(nh)
+	switch nh {
+	case 0:
+		me.verdict = verdictPass
+	case 1:
+		me.verdict = verdictOnly
+	default:
+		me.verdict = verdictZero
+	}
+	me.pathMin, me.pathMax = pmin, pmax
+}
+
+// warmRevalidate re-judges a memoized PASS, ONLY, or recorded-ZERO verdict
+// against only the overlapping suspects: the memoized hit-set restricted to
+// non-suspects is still exact (see the soundness argument at the top of the
+// file), so the suspects' fresh hits are merged into it and the verdict is
+// re-collapsed from the merged set. The path is the recorded one (read from
+// the memo arena, never re-integrated), the map verdict of every substep is
+// settled (an off-road path never reaches here), and the stored swept AABB
+// still covers it — so neither map tests nor AABB accumulation are
+// repeated; substeps whose recorded conservative box misses every suspect
+// are skipped outright. Should the merged set outgrow warmMaxHits the
+// verdict degrades to an opaque ZERO; the stored full-path AABB remains a
+// sound (if loose) cover for its future prefix-AABB reuse test.
+func warmRevalidate(obs *Obstacles, pb *geom.PreparedBox, path []pathState, slice int, suspects []warmSuspect, subs []subBox, me *warmCtrl) {
+	s0 := slice
+	if s0 > obs.numSlices {
+		s0 = obs.numSlices
+	}
+	s1 := slice + 1
+	if s1 > obs.numSlices {
+		s1 = obs.numSlices
+	}
+	// The union-of-old-and-new suspect boxes decided that this entry must
+	// revalidate; the re-sweep itself only tests current placements, so
+	// shrink each suspect box (a per-candidate copy) to the AABB of its
+	// current boxes at the two tested slices. That tightens the per-substep
+	// near gate below without losing any reachable hit.
+	for si := range suspects {
+		sp := &suspects[si]
+		a0, a1 := &obs.boxes[sp.idx][s0], &obs.boxes[sp.idx][s1]
+		sp.min = geom.V(math.Min(a0.Min.X, a1.Min.X), math.Min(a0.Min.Y, a1.Min.Y))
+		sp.max = geom.V(math.Max(a0.Max.X, a1.Max.X), math.Max(a0.Max.Y, a1.Max.Y))
+	}
+	var hits [warmMaxHits]int32
+	nh := 0
+	for k := 0; k < int(me.nhits); k++ {
+		h := me.hits[k]
+		keep := true
+		for si := range suspects {
+			if suspects[si].idx == h {
+				// A recorded blocker that is itself a suspect: its old hits
+				// no longer count, the re-sweep below re-derives them.
+				keep = false
+				break
+			}
+		}
+		if keep {
+			hits[nh] = h
+			nh++
+		}
+	}
+	for j := range path {
+		sb := &subs[j]
+		near := false
+		for si := range suspects {
+			sp := &suspects[si]
+			if float64(sb.minX) <= sp.max.X && sp.min.X <= float64(sb.maxX) &&
+				float64(sb.minY) <= sp.max.Y && sp.min.Y <= float64(sb.maxY) {
+				near = true
+				break
+			}
+		}
+		if !near {
+			continue
+		}
+		ps := &path[j]
+		pb.MoveTo(ps.st.Pos, ps.st.Heading, ps.sin, ps.cos)
+		for si := range suspects {
+			i := suspects[si].idx
+			bs := obs.boxes[i]
+			a := &bs[s0]
+			hit := pb.Min.X <= a.Max.X && a.Min.X <= pb.Max.X &&
+				pb.Min.Y <= a.Max.Y && a.Min.Y <= pb.Max.Y && pb.Intersects(a)
+			if !hit {
+				a = &bs[s1]
+				hit = pb.Min.X <= a.Max.X && a.Min.X <= pb.Max.X &&
+					pb.Min.Y <= a.Max.Y && a.Min.Y <= pb.Max.Y && pb.Intersects(a)
+			}
+			if hit {
+				known := false
+				for k := 0; k < nh; k++ {
+					if hits[k] == i {
+						known = true
+						break
+					}
+				}
+				if !known {
+					if nh == warmMaxHits {
+						me.verdict, me.nhits = verdictZeroOpaque, 0
+						return
+					}
+					hits[nh] = i
+					nh++
+				}
+			}
+		}
+	}
+	me.hits, me.nhits = hits, uint8(nh)
+	switch nh {
+	case 0:
+		me.verdict = verdictPass
+	case 1:
+		me.verdict = verdictOnly
+	default:
+		me.verdict = verdictZero
+	}
+}
+
+// warmSingleWord mirrors computeSingleWord with the candidate memo spliced
+// in; every bookkeeping decision (claims, caps, marks, counters) is
+// replayed identically, so the volumes are bitwise the cold engine's.
+func warmSingleWord(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch, ws *WarmState, res *SharedTubes, numWorlds int, stats *WarmStats) {
+	n := numWorlds - 1
+	allMask := ^uint64(0) >> (64 - uint(numWorlds))
+
+	scr.resetShared(cfg.CellSize, numWorlds, 1)
+	grid := scr.mgrid
+	claimed := scr.claimed
+	volCount := scr.wvol
+	sliceCount := scr.wslice
+	numSlices := cfg.NumSlices()
+	pm, _ := m.(roadmap.PreparedMap)
+
+	finish := func(states, propagations, pruned int) {
+		cs := cfg.CellSize
+		res.BaseVolume = float64(volCount[0]) * cs * cs
+		for i := 0; i < n; i++ {
+			res.WithoutVolume[i] = float64(volCount[1+i]) * cs * cs
+		}
+		res.States = states
+		telSharedStates.Add(int64(states))
+		telPropagations.Add(int64(propagations))
+		telPruned.Add(int64(pruned))
+	}
+
+	// Root: computed cold every tick (one footprint, not worth memoizing).
+	egoPb := cfg.Params.Footprint(ego).Prepare()
+	live := uint64(0)
+	if drivable(m, pm, &egoPb) {
+		live = obs.maskHits(&egoPb, 0, allMask)
+	}
+	if live == 0 {
+		finish(0, 0, 0)
+		return
+	}
+
+	controls := cfg.controls()
+	ws.memo.ensureControls(len(controls), cfg.SubSteps)
+	tans := make([]float64, len(controls))
+	for i, u := range controls {
+		tans[i] = math.Tan(u.Steer)
+	}
+	pb := egoPb
+	frontier := append(scr.mfrontier[:0], maskedState{st: ego, w: live})
+	fsrc := append(ws.fsrc[:0], -1)
+	nsrc := ws.nsrc[:0]
+	next := scr.mnext[:0]
+	act := scr.mactive
+	states, propagations, pruned := 0, 0, 0
+
+	for slice := 0; slice < numSlices && len(frontier) > 0; slice++ {
+		claimed.reset()
+		clear(sliceCount)
+		// Broad phase: identical to the cold path.
+		fmin, fmax := frontier[0].st.Pos, frontier[0].st.Pos
+		vmax := frontier[0].st.Speed
+		for fi := 1; fi < len(frontier); fi++ {
+			p := frontier[fi].st.Pos
+			if p.X < fmin.X {
+				fmin.X = p.X
+			}
+			if p.Y < fmin.Y {
+				fmin.Y = p.Y
+			}
+			if p.X > fmax.X {
+				fmax.X = p.X
+			}
+			if p.Y > fmax.Y {
+				fmax.Y = p.Y
+			}
+			if v := frontier[fi].st.Speed; v > vmax {
+				vmax = v
+			}
+		}
+		travel := math.Min(vmax+cfg.Params.MaxAccel*cfg.SliceDt, cfg.Params.MaxSpeed) * cfg.SliceDt
+		margin := travel + egoPb.Radius + 1e-6
+		act = obs.activeInto(act[:0],
+			geom.V(fmin.X-margin, fmin.Y-margin), geom.V(fmax.X+margin, fmax.Y+margin), slice)
+		capMask := uint64(0)
+		next = next[:0]
+		for fi := range frontier {
+			f := &frontier[fi]
+			if f.w&^capMask == 0 {
+				continue // every world of this parent already capped
+			}
+			base, existed := ws.memo.lookupVia(fsrc[fi], makeWarmKey(f.st, int32(slice)))
+			// Sincos is deferred until a memo miss actually integrates:
+			// cold computes it unconditionally, but it only feeds
+			// integrate, so skipping it on all-memoized parents changes
+			// nothing observable.
+			var sin0, cos0 float64
+			haveSC := false
+			for ui, u := range controls {
+				ci := base + int32(ui)
+				me := &ws.memo.ctrls[ci]
+				if !existed {
+					if !haveSC {
+						sin0, cos0 = math.Sincos(f.st.Heading)
+						haveSC = true
+					}
+					var nsub int
+					me.s2, nsub = cfg.integrate(f.st, sin0, cos0, u, tans[ui], ws.memo.ctrlPath(ci))
+					me.nsub = uint8(nsub)
+					me.skey = cfg.key(me.s2)
+				}
+				propagations++
+				s2 := me.s2
+				k := me.skey
+				// Dedup and caps first, exactly like the cold reordering:
+				// a duplicate is discarded identically whether or not its
+				// sweep would have pruned it, so its verdict need not be
+				// resolved at all this tick.
+				possible := f.w &^ capMask
+				cb, slot := claimed.probe(k)
+				possible &^= cb
+				if possible == 0 {
+					continue
+				}
+				// Verdict: reuse when resolved earlier this tick (duplicate
+				// frontier states re-reach the same candidate), when the
+				// entry is off-road (actor-independent, never expires within
+				// the epoch), or when the previous tick's verdict survives
+				// the suspect checks; merge a decomposable verdict with only
+				// the overlapping suspects' fresh hits; fully re-sweep
+				// otherwise.
+				resolve := true
+				if me.verdict != verdictNone {
+					if me.verdictGen == ws.gen {
+						resolve = false
+					} else if me.verdict == verdictOffroad {
+						stats.Reused++
+						resolve = false
+					} else if me.verdictGen == ws.gen-1 {
+						sus := ws.overlapping(slice, me.pathMin, me.pathMax)
+						if len(sus) == 0 {
+							stats.Reused++
+							resolve = false
+						} else if me.verdict != verdictZeroOpaque {
+							resolve = false
+							if !subsOverlap(ws.memo.ctrlSubs(ci), int(me.nsub), sus) {
+								stats.Reused++
+							} else {
+								stats.Invalidated++
+								warmRevalidate(obs, &pb, ws.memo.ctrlPath(ci)[:me.nsub], slice, sus, ws.memo.ctrlSubs(ci), me)
+							}
+						} else {
+							stats.Invalidated++
+						}
+					}
+				}
+				if resolve {
+					warmSweep(m, pm, obs, &pb, ws.memo.ctrlPath(ci)[:me.nsub], slice, act, ws.memo.ctrlSubs(ci), me)
+				}
+				me.verdictGen = ws.gen
+				switch me.verdict {
+				case verdictOnly:
+					possible &= uint64(1) << uint(1+me.hits[0])
+				case verdictZero, verdictZeroOpaque, verdictOffroad:
+					possible = 0
+				}
+				if possible == 0 {
+					pruned++
+					continue
+				}
+				claimed.orAt(slot, k, possible)
+				for b := grid.MarkBits(s2.Pos, possible); b != 0; b &= b - 1 {
+					volCount[bits.TrailingZeros64(b)]++
+				}
+				for b := possible; b != 0; b &= b - 1 {
+					w := bits.TrailingZeros64(b)
+					sliceCount[w]++
+					if sliceCount[w] >= cfg.MaxStates {
+						capMask |= uint64(1) << uint(w)
+					}
+				}
+				next = append(next, maskedState{st: s2, w: possible})
+				nsrc = append(nsrc, ci)
+				states++
+			}
+		}
+		frontier, next = next, frontier[:0]
+		fsrc, nsrc = nsrc, fsrc[:0]
+	}
+	scr.mfrontier, scr.mnext, scr.mactive = frontier, next, act
+	ws.fsrc, ws.nsrc = fsrc, nsrc
+	finish(states, propagations, pruned)
+}
+
+// warmSegmented mirrors computeSegmented with the candidate memo spliced
+// in, exactly as warmSingleWord mirrors computeSingleWord.
+func warmSegmented(m roadmap.Map, obs *Obstacles, ego vehicle.State, cfg Config, scr *Scratch, ws *WarmState, res *SharedTubes, numWorlds, words int, stats *WarmStats) {
+	n := numWorlds - 1
+
+	scr.resetShared(cfg.CellSize, numWorlds, words)
+	grid := scr.mgrid
+	claimed := scr.sclaimed
+	volCount := scr.wvol
+	sliceCount := scr.wslice
+	numSlices := cfg.NumSlices()
+	pm, _ := m.(roadmap.PreparedMap)
+
+	finish := func(states, propagations, pruned int) {
+		cs := cfg.CellSize
+		res.BaseVolume = float64(volCount[0]) * cs * cs
+		for i := 0; i < n; i++ {
+			res.WithoutVolume[i] = float64(volCount[1+i]) * cs * cs
+		}
+		res.States = states
+		telSharedStates.Add(int64(states))
+		telPropagations.Add(int64(propagations))
+		telPruned.Add(int64(pruned))
+	}
+
+	egoPb := cfg.Params.Footprint(ego).Prepare()
+	possible := scr.sposs
+	fullMask(possible, numWorlds)
+	if !drivable(m, pm, &egoPb) || !obs.maskHitsSeg(&egoPb, 0, possible) {
+		finish(0, 0, 0)
+		return
+	}
+
+	controls := cfg.controls()
+	ws.memo.ensureControls(len(controls), cfg.SubSteps)
+	tans := make([]float64, len(controls))
+	for i, u := range controls {
+		tans[i] = math.Tan(u.Steer)
+	}
+	pb := egoPb
+	fstates := append(scr.sfstates[:0], ego)
+	fmasks := append(scr.sfmasks[:0], possible...)
+	fsrc := append(ws.fsrc[:0], -1)
+	nsrc := ws.nsrc[:0]
+	nstates := scr.snstates[:0]
+	nmasks := scr.snmasks[:0]
+	act := scr.mactive
+	capMask := scr.scap
+	newBits := scr.snew
+	states, propagations, pruned := 0, 0, 0
+
+	for slice := 0; slice < numSlices && len(fstates) > 0; slice++ {
+		claimed.reset(words)
+		clear(sliceCount)
+		clear(capMask)
+		fmin, fmax := fstates[0].Pos, fstates[0].Pos
+		vmax := fstates[0].Speed
+		for fi := 1; fi < len(fstates); fi++ {
+			p := fstates[fi].Pos
+			if p.X < fmin.X {
+				fmin.X = p.X
+			}
+			if p.Y < fmin.Y {
+				fmin.Y = p.Y
+			}
+			if p.X > fmax.X {
+				fmax.X = p.X
+			}
+			if p.Y > fmax.Y {
+				fmax.Y = p.Y
+			}
+			if v := fstates[fi].Speed; v > vmax {
+				vmax = v
+			}
+		}
+		travel := math.Min(vmax+cfg.Params.MaxAccel*cfg.SliceDt, cfg.Params.MaxSpeed) * cfg.SliceDt
+		margin := travel + egoPb.Radius + 1e-6
+		act = obs.activeInto(act[:0],
+			geom.V(fmin.X-margin, fmin.Y-margin), geom.V(fmax.X+margin, fmax.Y+margin), slice)
+		nstates = nstates[:0]
+		nmasks = nmasks[:0]
+		for fi := range fstates {
+			fmask := fmasks[fi*words : fi*words+words]
+			if !anyUncapped(fmask, capMask) {
+				continue // every world of this parent already capped
+			}
+			base, existed := ws.memo.lookupVia(fsrc[fi], makeWarmKey(fstates[fi], int32(slice)))
+			var sin0, cos0 float64
+			haveSC := false
+			for ui, u := range controls {
+				ci := base + int32(ui)
+				me := &ws.memo.ctrls[ci]
+				if !existed {
+					if !haveSC {
+						sin0, cos0 = math.Sincos(fstates[fi].Heading)
+						haveSC = true
+					}
+					var nsub int
+					me.s2, nsub = cfg.integrate(fstates[fi], sin0, cos0, u, tans[ui], ws.memo.ctrlPath(ci))
+					me.nsub = uint8(nsub)
+					me.skey = cfg.key(me.s2)
+				}
+				propagations++
+				s2 := me.s2
+				k := me.skey
+				for w := 0; w < words; w++ {
+					possible[w] = fmask[w] &^ capMask[w]
+				}
+				live, slot := claimed.andNotProbe(k, possible)
+				if !live {
+					continue
+				}
+				resolve := true
+				if me.verdict != verdictNone {
+					if me.verdictGen == ws.gen {
+						resolve = false
+					} else if me.verdict == verdictOffroad {
+						stats.Reused++
+						resolve = false
+					} else if me.verdictGen == ws.gen-1 {
+						sus := ws.overlapping(slice, me.pathMin, me.pathMax)
+						if len(sus) == 0 {
+							stats.Reused++
+							resolve = false
+						} else if me.verdict != verdictZeroOpaque {
+							resolve = false
+							if !subsOverlap(ws.memo.ctrlSubs(ci), int(me.nsub), sus) {
+								stats.Reused++
+							} else {
+								stats.Invalidated++
+								warmRevalidate(obs, &pb, ws.memo.ctrlPath(ci)[:me.nsub], slice, sus, ws.memo.ctrlSubs(ci), me)
+							}
+						} else {
+							stats.Invalidated++
+						}
+					}
+				}
+				if resolve {
+					warmSweep(m, pm, obs, &pb, ws.memo.ctrlPath(ci)[:me.nsub], slice, act, ws.memo.ctrlSubs(ci), me)
+				}
+				me.verdictGen = ws.gen
+				ok := true
+				switch me.verdict {
+				case verdictOnly:
+					ok = strikeOnly(possible, 1+int(me.hits[0]))
+				case verdictZero, verdictZeroOpaque, verdictOffroad:
+					ok = false
+				}
+				if !ok {
+					pruned++
+					continue
+				}
+				claimed.orAt(slot, k, possible)
+				grid.MarkWords(s2.Pos, possible, newBits)
+				for w := 0; w < words; w++ {
+					for b := newBits[w]; b != 0; b &= b - 1 {
+						volCount[w<<6+bits.TrailingZeros64(b)]++
+					}
+				}
+				for w := 0; w < words; w++ {
+					for b := possible[w]; b != 0; b &= b - 1 {
+						tz := bits.TrailingZeros64(b)
+						wi := w<<6 + tz
+						sliceCount[wi]++
+						if sliceCount[wi] >= cfg.MaxStates {
+							capMask[w] |= uint64(1) << uint(tz)
+						}
+					}
+				}
+				nstates = append(nstates, s2)
+				nmasks = append(nmasks, possible...)
+				nsrc = append(nsrc, ci)
+				states++
+			}
+		}
+		fstates, nstates = nstates, fstates[:0]
+		fmasks, nmasks = nmasks, fmasks[:0]
+		fsrc, nsrc = nsrc, fsrc[:0]
+	}
+	scr.sfstates, scr.sfmasks, scr.snstates, scr.snmasks, scr.mactive = fstates, fmasks, nstates, nmasks, act
+	ws.fsrc, ws.nsrc = fsrc, nsrc
+	finish(states, propagations, pruned)
+}

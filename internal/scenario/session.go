@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/geom"
+	"repro/internal/roadmap"
+	"repro/internal/vehicle"
+)
+
+// SessionTick is one observed instant of a recorded monitoring session: the
+// ego state and every actor's state at that tick. Trajectories are not
+// recorded — replayers forecast them with the CVTR model exactly as the
+// online monitor does, so a replayed tick scores identically to the live
+// session it stands in for.
+type SessionTick struct {
+	Ego    vehicle.State
+	Actors []*actor.Actor
+}
+
+// sessionDt is the tick period of every recorded session fixture (10 Hz,
+// the control rate of the paper's deployment story §V-A).
+const sessionDt = 0.1
+
+// Stop-and-go queue pulse: creepPulse creep ticks at creepSpeed, then a
+// hold, every creepCycle ticks. Positions are a pure function of the tick
+// index (no accumulation), so a trace slice replays identically from any
+// offset.
+const (
+	creepSpeed = 0.4
+	creepCycle = 10
+	creepPulse = 3
+)
+
+// creepTicks returns how many of the first t ticks fell inside a creep
+// pulse of the stop-and-go cycle.
+func creepTicks(t int) int {
+	k := t % creepCycle
+	if k > creepPulse {
+		k = creepPulse
+	}
+	return creepPulse*(t/creepCycle) + k
+}
+
+// stopGoActor is one recorded vehicle of the stop-and-go fixture: its state
+// at tick 0 plus the creep phase of its rank (the cycle offset at which its
+// pulse starts), or -1 for constant motion at its recorded speed.
+type stopGoActor struct {
+	st    vehicle.State
+	phase int
+}
+
+// place advances a to tick t. Ranks creep creepPulse ticks out of every
+// creepCycle, offset by their phase, and report speed 0 while held — the
+// way a queue reads off a recorded odometry stream.
+func (a stopGoActor) place(t int) vehicle.State {
+	st := a.st
+	if a.phase < 0 {
+		st.Pos.X += st.Speed * sessionDt * float64(t)
+		return st
+	}
+	shift := creepCycle - a.phase
+	st.Pos.X += creepSpeed * sessionDt * float64(creepTicks(t+shift)-creepTicks(shift))
+	if (t+shift)%creepCycle >= creepPulse {
+		st.Speed = 0
+	} else {
+		st.Speed = creepSpeed
+	}
+	return st
+}
+
+// StopAndGoSession records a stop-and-go monitoring session on a four-lane
+// straight road: the ego is stopped at a yield (bitwise-identical state at
+// every tick — the case the warm-start engine exists for), boxed in by a
+// lead queue and a tailgater, while through-traffic streams past in the
+// outer lanes. The queue moves the way a real queue does — short creep
+// pulses separated by holds (creepPulse of every creepCycle ticks), frozen
+// bitwise-identical in between — and everything advances by pure
+// arithmetic from the tick index (no RNG), so every call with the same
+// arguments returns the identical trace. n must be at least 12 (the
+// canonical session12 workload); extra actors join the far ranks of the
+// lead queue. ticks must be positive.
+func StopAndGoSession(n, ticks int) (roadmap.Map, []SessionTick) {
+	if n < 12 {
+		panic(fmt.Sprintf("scenario: StopAndGoSession needs n >= 12, got %d", n))
+	}
+	if ticks < 1 {
+		panic(fmt.Sprintf("scenario: StopAndGoSession needs ticks >= 1, got %d", ticks))
+	}
+	m := roadmap.MustStraightRoad(4, laneWidth, -120, 1200)
+	lanes := [...]float64{laneWidth / 2, 3 * laneWidth / 2, 5 * laneWidth / 2, 7 * laneWidth / 2}
+	ego := vehicle.State{Pos: geom.V(0, lanes[1])} // stopped at the yield line
+
+	// The twelve canonical actors: a creeping lead queue dead ahead, a
+	// stopped left-lane rank pinning the inside, a stopped tailgater, a
+	// right-lane rank queued alongside (creeping on the opposite half of
+	// the cycle — neighbouring ranks in a jam do not pulse in unison), and
+	// a free-flow stream escaping the jam in the far lane.
+	base := []stopGoActor{
+		{vehicle.State{Pos: geom.V(10, lanes[1]), Speed: creepSpeed}, 0},  // lead queue
+		{vehicle.State{Pos: geom.V(16, lanes[1]), Speed: creepSpeed}, 0},  // second in queue
+		{vehicle.State{Pos: geom.V(22, lanes[1]), Speed: creepSpeed}, 0},  // third in queue
+		{vehicle.State{Pos: geom.V(9, lanes[0])}, -1},                     // left-lane rank, stopped
+		{vehicle.State{Pos: geom.V(15, lanes[0])}, -1},                    // left-lane rank
+		{vehicle.State{Pos: geom.V(-8, lanes[1])}, -1},                    // tailgater, stopped
+		{vehicle.State{Pos: geom.V(-18, lanes[2]), Speed: creepSpeed}, 5}, // right-lane rank
+		{vehicle.State{Pos: geom.V(-11, lanes[2]), Speed: creepSpeed}, 5}, // right-lane rank
+		{vehicle.State{Pos: geom.V(-4, lanes[2]), Speed: creepSpeed}, 5},  // right-lane rank
+		{vehicle.State{Pos: geom.V(-75, lanes[3]), Speed: 10}, -1},        // far-lane stream
+		{vehicle.State{Pos: geom.V(-45, lanes[3]), Speed: 10}, -1},        // far-lane stream
+		{vehicle.State{Pos: geom.V(-15, lanes[3]), Speed: 10}, -1},        // far-lane stream
+	}
+	for i := 12; i < n; i++ {
+		// Extra actors extend the lead queue beyond the horizon's reach,
+		// cycling lanes 0/1 every 6 m from x = 30.
+		k := i - 12
+		base = append(base, stopGoActor{vehicle.State{
+			Pos:   geom.V(30+float64(k/2)*6, lanes[k%2]),
+			Speed: creepSpeed,
+		}, 0})
+	}
+
+	out := make([]SessionTick, ticks)
+	for t := 0; t < ticks; t++ {
+		actors := make([]*actor.Actor, len(base))
+		for i, a := range base {
+			actors[i] = actor.NewVehicle(i+1, a.place(t))
+		}
+		out[t] = SessionTick{Ego: ego, Actors: actors}
+	}
+	return m, out
+}
+
+// RingSession records a roundabout monitoring session: the ego is parked on
+// the outer edge of the ring (yielding at an entry) while a platoon of
+// vehicles circulates past at constant angular velocity. All motion is
+// arithmetic in the polar angle, so the trace is deterministic. n is the
+// circulating-platoon size (at least 2); ticks must be positive.
+func RingSession(n, ticks int) (roadmap.Map, []SessionTick) {
+	if n < 2 {
+		panic(fmt.Sprintf("scenario: RingSession needs n >= 2, got %d", n))
+	}
+	if ticks < 1 {
+		panic(fmt.Sprintf("scenario: RingSession needs ticks >= 1, got %d", ticks))
+	}
+	ring, err := roadmap.NewRingRoad(geom.V(0, 0), 18, 30)
+	if err != nil {
+		panic(err)
+	}
+	mid := ring.MidRadius()
+	egoPos, egoHeading := ring.PoseAt(ring.OuterR-1.5, 0)
+	ego := vehicle.State{Pos: egoPos, Heading: egoHeading} // parked at the entry
+
+	const speed = 7.0
+	omega := speed / mid // rad/s of the circulating platoon
+	out := make([]SessionTick, ticks)
+	for t := 0; t < ticks; t++ {
+		actors := make([]*actor.Actor, n)
+		for i := 0; i < n; i++ {
+			// Platoon members are spread evenly around the ring and advance
+			// together; recomputing the angle from the tick index keeps the
+			// trace independent of iteration order.
+			angle := float64(i)*(2*math.Pi/float64(n)) + omega*sessionDt*float64(t)
+			pos, heading := ring.PoseAt(mid, angle)
+			actors[i] = actor.NewVehicle(i+1, vehicle.State{Pos: pos, Heading: heading, Speed: speed})
+		}
+		out[t] = SessionTick{Ego: ego, Actors: actors}
+	}
+	return ring, out
+}
+
+// UrbanCrushSession records a session in the UrbanCrush fixture with the
+// crush at a standstill tick: the ego is wedged stationary while every
+// other vehicle creeps forward from its UrbanCrush position at one tenth of
+// its fixture speed (stop-and-go traffic, not free flow). It is the
+// 64-actor segmented-mask trace of the warm-vs-cold differential suite.
+// n has the same floor as UrbanCrush (12); ticks must be positive.
+func UrbanCrushSession(n, ticks int) (roadmap.Map, []SessionTick) {
+	if ticks < 1 {
+		panic(fmt.Sprintf("scenario: UrbanCrushSession needs ticks >= 1, got %d", ticks))
+	}
+	m, ego, actors := UrbanCrush(n)
+	ego.Speed = 0 // wedged at a standstill; the crush inches around it
+	base := make([]vehicle.State, len(actors))
+	for i, a := range actors {
+		base[i] = a.State
+		base[i].Speed /= 10
+	}
+	return m, advanceSession(ego, base, ticks)
+}
+
+// advanceSession replays base forward: tick t places actor i at its base
+// position advanced by t·dt along its heading at its (constant) speed. The
+// per-tick positions are computed from the tick index, not accumulated, so
+// a trace slice can be replayed from any offset without drift.
+func advanceSession(ego vehicle.State, base []vehicle.State, ticks int) []SessionTick {
+	out := make([]SessionTick, ticks)
+	for t := 0; t < ticks; t++ {
+		actors := make([]*actor.Actor, len(base))
+		for i, st := range base {
+			st.Pos.X += st.Speed * sessionDt * float64(t) // headings are 0 in every straight-road fixture
+			actors[i] = actor.NewVehicle(i+1, st)
+		}
+		out[t] = SessionTick{Ego: ego, Actors: actors}
+	}
+	return out
+}

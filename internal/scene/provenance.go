@@ -28,6 +28,14 @@ type Provenance struct {
 	// ElidedActors counts per-actor counterfactual tubes skipped by a
 	// certificate (never-blocking actor or dead-band).
 	ElidedActors int `json:"elided_actors,omitempty"`
+	// WarmHit reports that a session evaluation validated its previous
+	// tick's expansion state and reused path-sweep verdicts (temporal
+	// coherence). Always absent on stateless scoring.
+	WarmHit bool `json:"warm_hit,omitempty"`
+	// WarmReused / WarmInvalidated count previous-tick verdicts reused
+	// versus recomputed on a warm hit.
+	WarmReused      int `json:"warm_reused,omitempty"`
+	WarmInvalidated int `json:"warm_invalidated,omitempty"`
 	// Actors is each actor's STI contribution and backing counterfactual
 	// volume, index-aligned with the request's actors.
 	Actors []ActorProvenance `json:"actors,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/scene"
+	"repro/internal/sti"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -193,25 +194,36 @@ func (s *Server) scoreScene(ctx context.Context, sc scene.Scene, explain bool) (
 		out.Actors[i] = ActorScore{ID: a.ID, STI: res.PerActor[i], WithoutVolume: res.WithoutVolume[i]}
 	}
 	if explain {
-		rec := trace.FromContext(ctx)
-		p := &scene.Provenance{
-			TraceID:      rec.TraceID().String(),
-			Engine:       prov.Engine,
-			CacheState:   prov.CacheState,
-			MaskWidth:    prov.MaskWidth,
-			MaskWords:    prov.MaskWords,
-			ElidedActors: prov.ElidedActors,
-		}
+		p := wireProvenance(ctx, prov)
 		p.Actors = make([]scene.ActorProvenance, len(actors))
 		for i, a := range actors {
 			p.Actors[i] = scene.ActorProvenance{ID: a.ID, STI: res.PerActor[i], WithoutVolume: res.WithoutVolume[i]}
 		}
-		for _, sp := range rec.Spans() {
-			p.Spans = append(p.Spans, scene.SpanTiming{Name: sp.Name, StartUS: sp.StartUS, DurUS: sp.DurUS})
-		}
 		out.Provenance = p
 	}
 	return out, http.StatusOK
+}
+
+// wireProvenance maps an evaluation's sti.Provenance onto the versioned
+// wire block, stamping the request's trace identifier and span waterfall.
+// Shared by stateless scoring and the session observe path.
+func wireProvenance(ctx context.Context, prov sti.Provenance) *scene.Provenance {
+	rec := trace.FromContext(ctx)
+	p := &scene.Provenance{
+		TraceID:         rec.TraceID().String(),
+		Engine:          prov.Engine,
+		CacheState:      prov.CacheState,
+		MaskWidth:       prov.MaskWidth,
+		MaskWords:       prov.MaskWords,
+		ElidedActors:    prov.ElidedActors,
+		WarmHit:         prov.WarmHit,
+		WarmReused:      prov.WarmReused,
+		WarmInvalidated: prov.WarmInvalidated,
+	}
+	for _, sp := range rec.Spans() {
+		p.Spans = append(p.Spans, scene.SpanTiming{Name: sp.Name, StartUS: sp.StartUS, DurUS: sp.DurUS})
+	}
+	return p
 }
 
 // readScene decodes and validates the request body as one scene, answering

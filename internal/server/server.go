@@ -78,6 +78,12 @@ type Config struct {
 	// recommended for serving; the legacy per-actor path remains available
 	// as the reference oracle.
 	SharedExpansion bool
+	// WarmStart gives each session a temporal-coherence warm-start state
+	// (sti.WarmState): consecutive /observe ticks of one session reuse the
+	// previous tick's reach-expansion verdicts where provably unchanged,
+	// with bitwise-identical results (see DESIGN.md "Temporal coherence").
+	// Requires SharedExpansion; stateless /v1/score requests are unaffected.
+	WarmStart bool
 	// QueueDepth bounds the jobs waiting for a worker beyond those being
 	// scored; enqueues past it answer 429. 0 resolves to 16×Workers.
 	QueueDepth int
@@ -198,6 +204,10 @@ type Server struct {
 	state     atomic.Int32 // 0 idle, 1 serving, 2 shutting down
 
 	sessions sessionTable
+	// warmPool recycles per-session warm-start states (arena-sized memo
+	// tables) across session lifetimes. States are Reset before reuse so no
+	// expansion state ever crosses sessions.
+	warmPool sync.Pool
 
 	// Observability: per-request wide events (flight recorder), the two
 	// serving SLOs, and the EWMA of scene-scoring time backing Retry-After.
@@ -224,12 +234,17 @@ func New(cfg Config) (*Server, error) {
 		closing: make(chan struct{}),
 	}
 	for i := range s.pool {
-		ev, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: cfg.EvalWorkers, SharedExpansion: cfg.SharedExpansion})
+		ev, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{
+			Workers:         cfg.EvalWorkers,
+			SharedExpansion: cfg.SharedExpansion,
+			WarmStart:       cfg.WarmStart,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: evaluator %d: %w", i, err)
 		}
 		s.pool[i] = ev
 	}
+	s.warmPool.New = func() any { return sti.NewWarmState() }
 	s.sessions.init(cfg.MaxSessions)
 	s.flight = trace.NewFlightRecorder(cfg.FlightRecorderSize)
 	s.sloAvailability = telemetry.MustNewSLOTracker(telemetry.SLOConfig{
@@ -352,6 +367,27 @@ func (s *Server) runJob(j *job, ev *sti.Evaluator) {
 		return // requester gave up (timeout/disconnect); don't burn the pool
 	}
 	j.run(ev)
+}
+
+// takeWarm hands out a warm-start state for a new session, or nil when the
+// configuration doesn't warm (WarmStart requires SharedExpansion).
+func (s *Server) takeWarm() *sti.WarmState {
+	if !s.cfg.WarmStart || !s.cfg.SharedExpansion {
+		return nil
+	}
+	return s.warmPool.Get().(*sti.WarmState)
+}
+
+// putWarm returns a session's warm-start state to the pool, dropping its
+// retained expansion state first. A state still claimed by an in-flight
+// evaluation (the session was deleted with an observe queued) is abandoned
+// to the garbage collector instead of pooled — recycling it would hand two
+// sessions the same live state.
+func (s *Server) putWarm(ws *sti.WarmState) {
+	if !ws.TryReset() {
+		return
+	}
+	s.warmPool.Put(ws)
 }
 
 // errSaturated reports queue-full backpressure to the handlers.

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/scene"
 	"repro/internal/sti"
 	"repro/internal/telemetry/trace"
 )
@@ -29,12 +31,26 @@ import (
 type session struct {
 	ID  string
 	mon *monitor.Monitor
+	// warm is this session's temporal-coherence state (nil when the server
+	// doesn't warm-start); warmPut returns it to the server's pool exactly
+	// once, on close. The monitor holds the same pointer and threads it
+	// into every evaluation; the WarmState's own CAS gate keeps concurrent
+	// observes of one session safe.
+	warm    *sti.WarmState
+	warmPut func(*sti.WarmState)
 
 	mu      sync.Mutex
 	nextSeq uint64
 	history []riskEvent // resume ring, oldest first, capped at historyCap
 	subs    map[*streamSub]struct{}
 	closed  bool
+	// lastTime/hasTime track the admitted tick-time floor: observation
+	// times must be strictly increasing within a session (a stale-clock
+	// client would otherwise corrupt the monitor's time-indexed windows).
+	// The floor advances at admission, before scoring, so a tick that later
+	// fails to score still consumes its timestamp.
+	lastTime float64
+	hasTime  bool
 
 	historyCap int
 }
@@ -60,7 +76,7 @@ var (
 // create registers a session. id is the client-assigned identifier (the
 // gateway tier names sessions so consistent-hash routing needs no shared
 // state); empty means the server mints one.
-func (t *sessionTable) create(mon *monitor.Monitor, id string, historyCap int) (*session, error) {
+func (t *sessionTable) create(mon *monitor.Monitor, id string, historyCap int, warm *sti.WarmState, warmPut func(*sti.WarmState)) (*session, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.m) >= t.max {
@@ -75,6 +91,8 @@ func (t *sessionTable) create(mon *monitor.Monitor, id string, historyCap int) (
 	s := &session{
 		ID:         id,
 		mon:        mon,
+		warm:       warm,
+		warmPut:    warmPut,
 		subs:       make(map[*streamSub]struct{}),
 		historyCap: historyCap,
 	}
@@ -146,6 +164,11 @@ type SessionObserveResponse struct {
 	TTC             float64 `json:"ttc"`
 	DistCIPA        float64 `json:"dist_cipa"`
 	MostThreatening int     `json:"most_threatening"`
+	// Provenance explains how the tick was scored (engine, cache, warm-start
+	// outcome); present only when the client asked with ?explain=1, and only
+	// on the HTTP response — SSE risk events never carry it (it is attached
+	// after the event is published).
+	Provenance *scene.Provenance `json:"provenance,omitempty"`
 }
 
 // SessionRiskResponse summarises the episode so far.
@@ -177,8 +200,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Sessions share the pool's evaluators: observations are scored by
 	// whichever worker picks the job up, so the monitor only needs an
-	// evaluator for its reach configuration.
-	sess, err := s.sessions.create(monitor.NewWithEvaluator(s.pool[0], max(req.Stride, 1)), req.ID, s.cfg.SSEHistory)
+	// evaluator for its reach configuration. The warm-start state, by
+	// contrast, is strictly per-session — it is attached to this session's
+	// monitor alone and returned to the pool when the session closes.
+	mon := monitor.NewWithEvaluator(s.pool[0], max(req.Stride, 1))
+	warm := s.takeWarm()
+	if warm != nil {
+		mon.SetWarmState(warm)
+	}
+	sess, err := s.sessions.create(mon, req.ID, s.cfg.SSEHistory, warm, s.putWarm)
+	if err != nil && warm != nil {
+		s.putWarm(warm)
+	}
 	switch {
 	case errors.Is(err, errSessionExists):
 		s.writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
@@ -224,17 +257,23 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	if err := sess.admitTime(sc.Time); err != nil {
+		telRejectedBad.Inc()
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	rec := trace.FromContext(ctx)
 	enq := time.Now()
 	var sample monitor.Sample
+	var prov sti.Provenance
 	j, err := s.submit(ctx, func(ev *sti.Evaluator) {
 		rec.Annotate("queue_wait_seconds", time.Since(enq).Seconds())
 		t := telScoreSecs.Start()
 		start := time.Now()
 		sp := rec.StartSpan("server.observe")
-		sample = sess.mon.Observe(m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs), sc.Time)
+		sample, prov = sess.mon.ObserveProv(ctx, m, ego, actors, completeTrajs(s.cfg.Reach, actors, trajs, hasTrajs), sc.Time)
 		sp.End()
 		t.Stop()
 		s.noteScore(time.Since(start))
@@ -260,8 +299,36 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		DistCIPA:        sample.DistCIPA,
 		MostThreatening: sample.MostThreatening,
 	}
+	resp.sanitizeNonFinite()
 	resp.Seq = sess.publish(resp)
+	// The provenance block rides only the HTTP response: attaching it after
+	// publish keeps SSE risk events lean for every subscriber.
+	if r.URL.Query().Get("explain") == "1" {
+		resp.Provenance = wireProvenance(ctx, prov)
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// admitTime admits an observation's tick time under the session's
+// monotonic clock: NaN is never admissible, and a time below the last
+// admitted one is rejected (a stale-clock client would silently corrupt
+// the monitor's time-indexed windows — PeakSTI intervals, SSE resume
+// order). Equal times are admitted: clients that omit the optional
+// scene time send 0 on every tick, and nothing downstream needs the
+// clock to advance — warm-start invalidation is driven by actor
+// placement diffs, not timestamps. The floor advances on admission, so
+// a tick that later fails to score still consumes its timestamp.
+func (sess *session) admitTime(t float64) error {
+	if math.IsNaN(t) {
+		return errors.New("observation time is NaN")
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.hasTime && t < sess.lastTime {
+		return fmt.Errorf("observation time %v is before the session's last tick %v", t, sess.lastTime)
+	}
+	sess.lastTime, sess.hasTime = t, true
+	return nil
 }
 
 func (s *Server) handleSessionRisk(w http.ResponseWriter, r *http.Request) {

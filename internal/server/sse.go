@@ -52,19 +52,26 @@ type streamSub struct {
 	drop   chan struct{}
 }
 
+// sanitizeNonFinite rewrites the metrics JSON cannot carry: TTC and
+// Dist. CIPA are +Inf when no in-path actor exists, and encoding/json
+// rejects non-finite numbers — after the 200 header is out, that failure
+// would truncate the response to an empty body. -1 is the documented "no
+// in-path actor" wire encoding on both the observe response and the SSE
+// stream.
+func (r *SessionObserveResponse) sanitizeNonFinite() {
+	if math.IsInf(r.TTC, 0) || math.IsNaN(r.TTC) {
+		r.TTC = -1
+	}
+	if math.IsInf(r.DistCIPA, 0) || math.IsNaN(r.DistCIPA) {
+		r.DistCIPA = -1
+	}
+}
+
 // publish assigns the next sequence number, stores the event in the resume
 // ring, and fans it out to subscribers. Subscribers whose buffer is full
 // are disconnected rather than waited on. Returns the assigned seq.
 func (sess *session) publish(resp SessionObserveResponse) uint64 {
-	// JSON cannot carry Inf; -1 is the documented "no in-path actor"
-	// encoding on the stream (the HTTP observe response keeps the struct
-	// it was handed).
-	if math.IsInf(resp.TTC, 0) || math.IsNaN(resp.TTC) {
-		resp.TTC = -1
-	}
-	if math.IsInf(resp.DistCIPA, 0) || math.IsNaN(resp.DistCIPA) {
-		resp.DistCIPA = -1
-	}
+	resp.sanitizeNonFinite()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.closed {
@@ -127,8 +134,10 @@ func (sess *session) unsubscribe(sub *streamSub) {
 	}
 }
 
-// close ends the session's streams: marks it closed and disconnects every
-// subscriber.
+// close ends the session's streams — marks it closed and disconnects every
+// subscriber — and returns the session's warm-start state to the server
+// pool (closed guards the release: close is called at most once effectively,
+// so the state is returned exactly once).
 func (sess *session) close() {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -139,6 +148,10 @@ func (sess *session) close() {
 	for sub := range sess.subs {
 		delete(sess.subs, sub)
 		close(sub.drop)
+	}
+	if sess.warm != nil && sess.warmPut != nil {
+		sess.warmPut(sess.warm)
+		sess.warm = nil
 	}
 }
 

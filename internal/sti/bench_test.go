@@ -6,6 +6,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/geom"
 	"repro/internal/reach"
+	"repro/internal/scenario"
 	"repro/internal/vehicle"
 )
 
@@ -75,3 +76,34 @@ func BenchmarkEvaluateDense12Shared(b *testing.B) {
 func BenchmarkEvaluateDense12LegacyParallel(b *testing.B) {
 	benchmarkDense12(b, Options{Workers: 8})
 }
+
+// benchmarkSession12 replays the canonical 12-actor stop-and-go session
+// trace through one evaluator, measuring the per-tick cost of session
+// scoring. Warm keeps one WarmState across the whole replay (ticks after
+// the first revalidate the previous expansion); cold recomputes every tick.
+// Compare:
+//
+//	go test -bench 'EvaluateSession12' -run - ./internal/sti
+func benchmarkSession12(b *testing.B, warm bool) {
+	e, err := NewEvaluatorOptions(reach.DefaultConfig(), Options{Workers: 1, SharedExpansion: true, WarmStart: warm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, trace := scenario.StopAndGoSession(12, 40)
+	var ws *WarmState
+	if warm {
+		ws = NewWarmState()
+	}
+	trajs := make([][]actor.Trajectory, len(trace))
+	for t, tick := range trace {
+		trajs[t] = actor.PredictAll(tick.Actors, e.cfg.NumSlices(), e.cfg.SliceDt)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick := trace[i%len(trace)]
+		e.EvaluateWarm(m, tick.Ego, tick.Actors, trajs[i%len(trace)], ws)
+	}
+}
+
+func BenchmarkEvaluateSession12Cold(b *testing.B) { benchmarkSession12(b, false) }
+func BenchmarkEvaluateSession12Warm(b *testing.B) { benchmarkSession12(b, true) }

@@ -37,4 +37,13 @@ type Provenance struct {
 	// by a certificate (never an exclusive blocker, or the dead-band
 	// certificate covering the whole scene).
 	ElidedActors int
+	// WarmHit reports whether a warm evaluation validated its previous-tick
+	// state (ego root, config, map and actor count all unchanged) and could
+	// reuse path-sweep verdicts. Always false on cold entry points.
+	WarmHit bool
+	// WarmReused / WarmInvalidated count previous-tick path-sweep verdicts
+	// that were reused versus recomputed because an actor's swept AABB
+	// touched the verdict's path region. Both zero unless WarmHit.
+	WarmReused      int
+	WarmInvalidated int
 }

@@ -44,15 +44,15 @@ var (
 	// Shared-expansion path (Options.SharedExpansion): evaluation latency,
 	// how many actors each evaluation carried as explicit world-mask bits,
 	// and how many mask words the expansion needed (1 = single-word fast
-	// path). fallback_tubes counted the legacy tubes of the retired
-	// spillover policy; it stays registered so dashboards and the
-	// zero-fallback acceptance checks keep a stable name, but segmented
-	// masks carry every actor, so it can no longer increment.
+	// path).
 	telSharedSeconds   = telemetry.NewHistogram("sti.shared_expansion.seconds", telemetry.LatencyBuckets())
 	telSharedEvals     = telemetry.NewCounter("sti.shared_expansion.evals")
 	telSharedMaskWidth = telemetry.NewHistogram("sti.shared_expansion.mask_width", telemetry.LinearBuckets(0, 8, 18))
 	telSharedMaskWords = telemetry.NewHistogram("sti.shared_expansion.mask_words", telemetry.LinearBuckets(0, 1, 5))
-	telSharedFallback  = telemetry.NewCounter("sti.shared_expansion.fallback_tubes")
+	// Warm-start path (Options.WarmStart): the fraction of warm-capable
+	// evaluations whose previous-tick expansion state was actually usable
+	// (ego root bitwise-stable, same config/map/actor count).
+	telWarmHitRatio = telemetry.NewGauge("sti.warm.hit_ratio")
 )
 
 // Result holds STI values for one evaluation instant.
@@ -105,6 +105,16 @@ type Options struct {
 	// every actor in the scene is carried by the one expansion; scenes of
 	// at most 63 actors take a scalar single-word fast path.
 	SharedExpansion bool
+
+	// WarmStart arms the temporal-coherence warm start for the shared
+	// engine: EvaluateWarm calls holding a *WarmState reuse the previous
+	// tick's path-sweep verdicts where provably unchanged
+	// (reach.ComputeCounterfactualsWarm), with results bitwise-identical
+	// to the cold path. It only affects EvaluateWarm/EvaluateWarmTraced —
+	// the stateless Evaluate entry points have no previous tick to warm
+	// from — and requires SharedExpansion (single-actor scenes and the
+	// legacy engine always score cold).
+	WarmStart bool
 }
 
 // Evaluator computes STI for scenes. It is stateless apart from
@@ -114,6 +124,7 @@ type Evaluator struct {
 	cfg     reach.Config
 	workers int
 	shared  bool
+	warm    bool
 	cache   *emptyCache
 	// scratch pools *reach.Scratch so the N+2 tube computations per
 	// evaluation reuse frontier slices, dedup maps and occupancy grids
@@ -136,7 +147,7 @@ func NewEvaluatorOptions(cfg reach.Config, opts Options) (*Evaluator, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Evaluator{cfg: cfg, workers: workers, shared: opts.SharedExpansion, cache: newEmptyCache()}
+	e := &Evaluator{cfg: cfg, workers: workers, shared: opts.SharedExpansion, warm: opts.WarmStart && opts.SharedExpansion, cache: newEmptyCache()}
 	e.scratch.New = func() any { return reach.NewScratch() }
 	return e, nil
 }
@@ -159,6 +170,10 @@ func (e *Evaluator) Workers() int { return e.workers }
 // SharedExpansion reports whether the evaluator uses the shared-expansion
 // counterfactual engine.
 func (e *Evaluator) SharedExpansion() bool { return e.shared }
+
+// WarmStart reports whether EvaluateWarm calls may warm-start the shared
+// expansion from a caller-held WarmState.
+func (e *Evaluator) WarmStart() bool { return e.warm }
 
 // Evaluate computes per-actor and combined STI for the ego at state ego on
 // map m, given each actor's (predicted or ground-truth) trajectory.
@@ -197,7 +212,7 @@ func (e *Evaluator) evaluate(rec *trace.Recorder, m roadmap.Map, ego vehicle.Sta
 	// so the legacy path is already two tubes (one on a cache hit) and the
 	// masked expansion has nothing to share.
 	if e.shared && len(actors) > 1 {
-		return e.evaluateShared(rec, m, ego, actors, trajs, scr)
+		return e.evaluateShared(rec, m, ego, actors, trajs, scr, nil)
 	}
 	prov := Provenance{Engine: EngineLegacy}
 	obs := reach.BuildObstacles(actors, trajs, e.cfg)
@@ -332,7 +347,7 @@ func (e *Evaluator) fanOut(work []int, scr *reach.Scratch, fn func(i int, ws *re
 // reporting conventions: the cached |T^∅| backs every ratio, every
 // per-actor value passes through the same snap(clamp01(·)) pipeline, and
 // the dead-band certificate reports |T| for the without-volumes it skips.
-func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, scr *reach.Scratch) (Result, Provenance) {
+func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehicle.State, actors []*actor.Actor, trajs []actor.Trajectory, scr *reach.Scratch, ws *reach.WarmState) (Result, Provenance) {
 	defer telSharedSeconds.Start().Stop()
 	telSharedEvals.Inc()
 	prov := Provenance{Engine: EngineShared}
@@ -341,7 +356,17 @@ func (e *Evaluator) evaluateShared(rec *trace.Recorder, m roadmap.Map, ego vehic
 	emptyVol, cacheState := e.emptyVolumeState(m, ego, scr)
 	sp.Annotate("cache_state", cacheState).End()
 	prov.CacheState = cacheState
-	sh := reach.ComputeCounterfactualsTraced(rec, m, obs, ego, e.cfg, scr)
+	var sh reach.SharedTubes
+	if ws != nil {
+		var stats reach.WarmStats
+		sh, stats = reach.ComputeCounterfactualsWarmTraced(rec, m, obs, ego, e.cfg, scr, ws)
+		prov.WarmHit = stats.Hit
+		prov.WarmReused = stats.Reused
+		prov.WarmInvalidated = stats.Invalidated
+		noteWarmOutcome(stats.Hit)
+	} else {
+		sh = reach.ComputeCounterfactualsTraced(rec, m, obs, ego, e.cfg, scr)
+	}
 	telSharedMaskWidth.Observe(float64(sh.Represented))
 	telSharedMaskWords.Observe(float64(sh.MaskWords))
 	prov.MaskWidth = sh.Represented

@@ -15,10 +15,12 @@ go test -race -timeout 45m ./...
 
 # Differential suite: the shared-expansion counterfactual engine must match
 # the legacy per-actor oracle bit-for-bit — including the 64-130-actor
-# segmented-mask scenes and the FuzzSharedVsLegacy seed corpus (already part
-# of ./... above, but run explicitly so a perf-motivated edit cannot
-# silently drop the proof).
-go test -race -count=1 -run 'Shared|MaskGrid|FuzzSharedVsLegacy' \
+# segmented-mask scenes and the FuzzSharedVsLegacy seed corpus — and the
+# warm-started session engine must match the cold path bit-for-bit across
+# recorded session traces and the FuzzWarmVsCold perturbation corpus
+# (already part of ./... above, but run explicitly so a perf-motivated
+# edit cannot silently drop either proof).
+go test -race -count=1 -run 'Shared|MaskGrid|Warm|FuzzSharedVsLegacy|FuzzWarmVsCold' \
   ./internal/reach ./internal/sti ./internal/geom ./internal/server
 
 # Serving smoke: ephemeral-port server, a short load burst, then SIGTERM.
