@@ -40,6 +40,19 @@ var gatedHistograms = map[string][]string{
 	"fleet": {"loadgen.request.seconds"},
 }
 
+// gatedGauges are throughput gauges — higher is better — each kind gates
+// on: the gate fails when the newer snapshot's value drops below the older
+// one's by more than the tolerance, or when a previously-measured gauge is
+// missing or zero in the newer snapshot. A gauge only the new snapshot has
+// reports its first measurement and starts gating at the next pair.
+// Training gates on throughput, not per-episode wall p95: parallel episode
+// workers time-share cores, so per-episode latency legitimately rises with
+// worker count while episodes/sec is what the workload optimises
+// (smc.episode.seconds still prints in the ungated latency table).
+var gatedGauges = map[string][]string{
+	"bench": {"bench.smc_train.episodes_per_sec"},
+}
+
 // snapshot mirrors the subset of the bench/loadgen reports the gate reads.
 type snapshot struct {
 	Kind      string `json:"kind"`
@@ -100,7 +113,7 @@ func run() error {
 		oldSnap, newSnap := snaps[len(snaps)-2], snaps[len(snaps)-1]
 		fmt.Printf("benchdiff[%s]: %s -> %s (tolerance %+.0f%%)\n",
 			kind, filepath.Base(oldSnap.path), filepath.Base(newSnap.path), *tolerance*100)
-		if diff(oldSnap, newSnap, gatedHistograms[kind], *tolerance) {
+		if diff(oldSnap, newSnap, gatedHistograms[kind], gatedGauges[kind], *tolerance) {
 			failed = true
 		}
 	}
@@ -112,11 +125,12 @@ func run() error {
 }
 
 // diff prints the full per-metric old→new comparison for one snapshot pair
-// — every latency histogram the two snapshots share, gated or not, plus the
-// informational workload per-op times — and reports whether any gated p95
-// regressed. The table always prints, pass or fail, so every snapshot pair
-// in the history documents its delta.
-func diff(oldSnap, newSnap snapshot, gated []string, tolerance float64) bool {
+// — every latency histogram the two snapshots share, gated or not, the
+// gated throughput gauges, plus the informational workload per-op times —
+// and reports whether any gated p95 regressed (latency: up is bad) or any
+// gated gauge dropped (throughput: down is bad). The table always prints,
+// pass or fail, so every snapshot pair in the history documents its delta.
+func diff(oldSnap, newSnap snapshot, gated, gatedG []string, tolerance float64) bool {
 	isGated := make(map[string]bool, len(gated))
 	for _, name := range gated {
 		isGated[name] = true
@@ -181,6 +195,31 @@ func diff(oldSnap, newSnap snapshot, gated []string, tolerance float64) bool {
 		fmt.Printf("  %s %-36s p50 %s -> %s   p95 %s -> %s (%+.1f%%) %s\n",
 			label, name, fmtSec(o.P50), fmtSec(n.P50), fmtSec(o.P95), fmtSec(n.P95),
 			(n.P95/o.P95-1)*100, status)
+	}
+
+	// Throughput gauges gate in the opposite direction from latency: the
+	// newer value must not DROP below the older by more than the tolerance.
+	for _, name := range gatedG {
+		o, oOK := oldSnap.Telemetry.Gauges[name]
+		n, nOK := newSnap.Telemetry.Gauges[name]
+		switch {
+		case !nOK || n <= 0:
+			if oOK && o > 0 {
+				fmt.Printf("  gate %-36s was %.2f/s, missing or zero in the new snapshot: MISSING\n", name, o)
+				failed = true
+			} else {
+				fmt.Printf("  gate %-36s absent from both snapshots, skipping\n", name)
+			}
+		case !oOK || o <= 0:
+			fmt.Printf("  gate %-36s %.2f/s (new metric — gating starts next snapshot)\n", name, n)
+		default:
+			status := "ok"
+			if n < o*(1-tolerance) {
+				status = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("  gate %-36s %.2f/s -> %.2f/s (%+.1f%%) %s\n", name, o, n, (n/o-1)*100, status)
+		}
 	}
 
 	// Workload per-op times are informational: totals over a whole workload

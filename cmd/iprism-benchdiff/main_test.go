@@ -73,7 +73,7 @@ func TestDiffGateVerdicts(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := diff(snap(tc.old), snap(tc.new), gated, 0.20); got != tc.fail {
+			if got := diff(snap(tc.old), snap(tc.new), gated, nil, 0.20); got != tc.fail {
 				t.Errorf("diff failed=%v, want %v", got, tc.fail)
 			}
 		})
@@ -86,7 +86,80 @@ func TestDiffGateEmptyCountsAsMissing(t *testing.T) {
 	oldSnap := snap(map[string]float64{"sti.evaluate.seconds": 1.00})
 	newSnap := snap(nil)
 	newSnap.Telemetry.Histograms["sti.evaluate.seconds"] = telemetry.HistogramStats{Count: 0}
-	if !diff(oldSnap, newSnap, []string{"sti.evaluate.seconds"}, 0.20) {
+	if !diff(oldSnap, newSnap, []string{"sti.evaluate.seconds"}, nil, 0.20) {
 		t.Error("empty gated histogram in new snapshot should fail the gate")
+	}
+}
+
+// gaugeSnap builds a snapshot carrying only throughput gauges.
+func gaugeSnap(gauges map[string]float64) snapshot {
+	g := make(map[string]float64, len(gauges))
+	for name, v := range gauges {
+		g[name] = v
+	}
+	return snapshot{Kind: "bench", Telemetry: telemetry.Snapshot{Gauges: g}}
+}
+
+// Throughput gauges gate downwards: a drop beyond tolerance fails, a rise
+// or within-tolerance drift passes, a previously-measured gauge going
+// missing (or zero) fails, and a first measurement passes with gating
+// deferred to the next snapshot pair.
+func TestDiffGaugeGateVerdicts(t *testing.T) {
+	const eps = "bench.smc_train.episodes_per_sec"
+	gated := []string{eps}
+	cases := []struct {
+		name     string
+		old, new map[string]float64
+		fail     bool
+	}{
+		{
+			name: "improvement passes",
+			old:  map[string]float64{eps: 3.7},
+			new:  map[string]float64{eps: 12.1},
+			fail: false,
+		},
+		{
+			name: "within tolerance drop passes",
+			old:  map[string]float64{eps: 3.7},
+			new:  map[string]float64{eps: 3.2},
+			fail: false,
+		},
+		{
+			name: "drop beyond tolerance fails",
+			old:  map[string]float64{eps: 3.7},
+			new:  map[string]float64{eps: 2.0},
+			fail: true,
+		},
+		{
+			name: "previously measured gauge missing fails",
+			old:  map[string]float64{eps: 3.7},
+			new:  map[string]float64{},
+			fail: true,
+		},
+		{
+			name: "previously measured gauge zero fails",
+			old:  map[string]float64{eps: 3.7},
+			new:  map[string]float64{eps: 0},
+			fail: true,
+		},
+		{
+			name: "new metric starts gating next snapshot",
+			old:  map[string]float64{},
+			new:  map[string]float64{eps: 3.7},
+			fail: false,
+		},
+		{
+			name: "gauge absent from both snapshots passes",
+			old:  map[string]float64{},
+			new:  map[string]float64{},
+			fail: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := diff(gaugeSnap(tc.old), gaugeSnap(tc.new), nil, gated, 0.20); got != tc.fail {
+				t.Errorf("diff failed=%v, want %v", got, tc.fail)
+			}
+		})
 	}
 }

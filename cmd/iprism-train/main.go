@@ -5,10 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/agent"
 	"repro/internal/experiments"
@@ -43,6 +46,10 @@ func run() error {
 		telAddr    = flag.String("telemetry", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		journal    = flag.String("journal", "", "write a JSONL telemetry journal (per-episode reward/epsilon/loss) to this path")
 		journalMax = flag.Int64("journal-max-bytes", 64<<20, "rotate the journal to <path>.1 past this size (0 = unbounded)")
+		epWorkers  = flag.Int("episode-workers", 1, "parallel episode workers (1 = historical serial trainer; N>1 is run-to-run deterministic)")
+		ckPath     = flag.String("checkpoint", "", "write atomic training checkpoints to this path")
+		ckEvery    = flag.Int("checkpoint-every", 25, "episodes between checkpoints")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists (continues the epsilon/episode schedule)")
 	)
 	flag.Parse()
 
@@ -88,17 +95,49 @@ func run() error {
 	cfg.UseSTI = !*noSTI
 	cfg.DDQN.Seed = *seed
 	cfg.DDQN.EpsDecaySteps = *episodes * 100
-	ctrl, stats, err := smc.Train(crashes[:1], lbc, cfg, *episodes)
+	cfg.EpisodeWorkers = *epWorkers
+
+	// SIGINT/SIGTERM stop training at the next episode boundary; the final
+	// checkpoint (when -checkpoint is set) carries the exact state to
+	// continue from with -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal cancels ctx, restore default handling so a
+	// second signal kills a run stuck mid-episode.
+	context.AfterFunc(ctx, stop)
+	trainOpts := smc.TrainOptions{
+		CheckpointPath:  *ckPath,
+		CheckpointEvery: *ckEvery,
+		Resume:          *resume,
+	}
+	if *resume && *ckPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	ctrl, stats, err := smc.TrainContext(ctx, crashes[:1], lbc, cfg, *episodes, trainOpts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained: %d episodes, %d training collisions, final epsilon %.2f\n",
-		stats.Episodes, stats.Collisions, stats.FinalEpsilon)
+	if stats.StartEpisode > 0 {
+		fmt.Printf("resumed from episode %d\n", stats.StartEpisode)
+	}
+	if stats.Interrupted {
+		fmt.Printf("interrupted after %d episodes", stats.Episodes)
+		if *ckPath != "" {
+			fmt.Printf("; checkpoint saved to %s — rerun with -resume to continue", *ckPath)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("trained: %d episodes, %d training collisions, final epsilon %.2f\n",
+			stats.Episodes, stats.Collisions, stats.FinalEpsilon)
+	}
 
 	if err := ctrl.Save(*out); err != nil {
 		return err
 	}
 	fmt.Printf("saved controller to %s\n", *out)
+	if stats.Interrupted {
+		return nil
+	}
 
 	// Quick self-evaluation on the crash set.
 	saved := 0

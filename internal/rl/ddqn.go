@@ -46,10 +46,32 @@ type DDQN struct {
 	target  *MLP
 	replay  *Replay
 	rng     *rand.Rand
+	src     *countedSource
 	actions int
 
 	envSteps   int
 	trainSteps int
+}
+
+// countedSource wraps the learner's seeded source and counts every draw, so
+// a checkpoint can record the exact RNG position as (seed, draws) and resume
+// by fast-forwarding. It deliberately implements only rand.Source (not
+// Source64): rand.Rand then derives every method the learner uses (Float64,
+// Intn) from Int63 alone, which keeps the value stream bit-identical to the
+// unwrapped rand.NewSource the learner has always trained on.
+type countedSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
 }
 
 // NewDDQN builds a learner for the given state/action dimensions.
@@ -62,12 +84,14 @@ func NewDDQN(stateDim, actions int, cfg DDQNConfig) (*DDQN, error) {
 	if err != nil {
 		return nil, err
 	}
+	src := &countedSource{src: rand.NewSource(cfg.Seed)}
 	return &DDQN{
 		cfg:     cfg,
 		online:  online,
 		target:  online.Clone(),
 		replay:  NewReplay(cfg.ReplayCap),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		src:     src,
 		actions: actions,
 	}, nil
 }
@@ -143,6 +167,18 @@ type Policy struct {
 
 // Act returns the greedy action for a state.
 func (p *Policy) Act(state []float64) int { return argmax(p.net.Forward(state)) }
+
+// ActEpsilonGreedy returns an ε-greedy action drawn from the caller's RNG,
+// mirroring SelectAction's draw order (one Float64, then Intn only on the
+// explore branch). Parallel episode workers act from a frozen policy with
+// the ε and RNG pinned at episode-dispatch time, which is what makes the
+// pipelined schedule reproducible.
+func (p *Policy) ActEpsilonGreedy(state []float64, eps float64, rng *rand.Rand, actions int) int {
+	if rng.Float64() < eps {
+		return rng.Intn(actions)
+	}
+	return argmax(p.net.Forward(state))
+}
 
 // Q returns the Q-values for a state.
 func (p *Policy) Q(state []float64) []float64 { return p.net.Forward(state) }

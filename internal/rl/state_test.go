@@ -1,0 +1,147 @@
+package rl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// The counted source must be stream-transparent: wrapping rand.NewSource
+// changes nothing about the values the learner draws (Float64 and Intn are
+// both derived from Int63 when the source does not expose Source64), so a
+// learner built on it trains bitwise-identically to the historical one.
+func TestCountedSourceStreamMatchesPlainSource(t *testing.T) {
+	plain := rand.New(rand.NewSource(42))
+	counted := rand.New(&countedSource{src: rand.NewSource(42)})
+	for i := 0; i < 1000; i++ {
+		if p, c := plain.Float64(), counted.Float64(); p != c {
+			t.Fatalf("Float64 draw %d diverged: %v != %v", i, p, c)
+		}
+		if p, c := plain.Intn(7), counted.Intn(7); p != c {
+			t.Fatalf("Intn draw %d diverged: %d != %d", i, p, c)
+		}
+	}
+}
+
+// synthetic transition stream for learner tests.
+func synthTransitions(seed int64, n, dim int) []Transition {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Transition, n)
+	for i := range out {
+		s := make([]float64, dim)
+		nx := make([]float64, dim)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+			nx[j] = rng.NormFloat64()
+		}
+		out[i] = Transition{State: s, Action: rng.Intn(3), Reward: rng.Float64(), Next: nx, Done: rng.Intn(10) == 0}
+	}
+	return out
+}
+
+func testDDQNConfig() DDQNConfig {
+	cfg := DefaultDDQNConfig()
+	cfg.Hidden = []int{16}
+	cfg.WarmUp = 20
+	cfg.BatchSize = 8
+	cfg.TargetSync = 15
+	cfg.ReplayCap = 64
+	cfg.Seed = 9
+	return cfg
+}
+
+// Capturing a learner mid-training and restoring it must continue the exact
+// run: identical action selections, identical Q-values, identical training
+// losses — including through replay evictions, target syncs and Adam steps.
+func TestDDQNStateRoundTripContinuesExactly(t *testing.T) {
+	const dim, actions = 6, 3
+	cfg := testDDQNConfig()
+	stream := synthTransitions(4, 200, dim)
+
+	ref, err := NewDDQN(dim, actions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range stream[:120] {
+		ref.SelectAction(tr.State, true)
+		ref.Observe(tr)
+	}
+
+	restored, err := RestoreDDQN(actions, cfg, ref.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range stream[120:] {
+		if a, b := ref.SelectAction(tr.State, true), restored.SelectAction(tr.State, true); a != b {
+			t.Fatalf("step %d: action diverged after restore: %d != %d", i, a, b)
+		}
+		if la, lb := ref.Observe(tr), restored.Observe(tr); la != lb {
+			t.Fatalf("step %d: loss diverged after restore: %v != %v", i, la, lb)
+		}
+	}
+	qa, qb := ref.Q(stream[0].State), restored.Q(stream[0].State)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("final Q diverged at %d: %v != %v", i, qa[i], qb[i])
+		}
+	}
+	if ref.Epsilon() != restored.Epsilon() {
+		t.Fatalf("epsilon diverged: %v != %v", ref.Epsilon(), restored.Epsilon())
+	}
+}
+
+// The JSON round trip of a full learner state (the checkpoint path) must
+// preserve it losslessly — float64s survive encoding/json bit-for-bit.
+func TestDDQNStateSurvivesJSON(t *testing.T) {
+	const dim, actions = 4, 3
+	cfg := testDDQNConfig()
+	d, err := NewDDQN(dim, actions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range synthTransitions(5, 60, dim) {
+		d.SelectAction(tr.State, true)
+		d.Observe(tr)
+	}
+	raw, err := json.Marshal(d.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt DDQNState
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreDDQN(actions, cfg, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := synthTransitions(6, 30, dim)
+	for i, tr := range probe {
+		if a, b := d.SelectAction(tr.State, true), restored.SelectAction(tr.State, true); a != b {
+			t.Fatalf("step %d: action diverged after JSON round trip: %d != %d", i, a, b)
+		}
+		if la, lb := d.Observe(tr), restored.Observe(tr); la != lb {
+			t.Fatalf("step %d: loss diverged after JSON round trip: %v != %v", i, la, lb)
+		}
+	}
+}
+
+// ActEpsilonGreedy with the learner's current ε and a cloned RNG position
+// mirrors SelectAction's draw order, so frozen-snapshot acting in the
+// parallel trainer explores exactly like an inline learner at that ε.
+func TestActEpsilonGreedyMirrorsSelectAction(t *testing.T) {
+	const dim, actions = 5, 3
+	cfg := testDDQNConfig()
+	cfg.EpsDecaySteps = 0 // pin ε at EpsEnd
+	d, err := NewDDQN(dim, actions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Policy()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i, tr := range synthTransitions(7, 300, dim) {
+		if a, b := d.SelectAction(tr.State, true), p.ActEpsilonGreedy(tr.State, cfg.EpsEnd, rng, actions); a != b {
+			t.Fatalf("draw %d: snapshot acting diverged from inline learner: %d != %d", i, a, b)
+		}
+	}
+}

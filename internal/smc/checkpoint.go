@@ -1,0 +1,80 @@
+package smc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/rl"
+)
+
+// checkpointVersion guards the on-disk training-checkpoint schema.
+const checkpointVersion = 1
+
+// actingSnapshot is one pinned (policy, ε) pair from the parallel
+// pipeline's snapshot ring: the learner state after consuming episodes
+// [0, Episode). In-flight episodes act from these, so a checkpoint must
+// carry the live ring for a resumed run to re-dispatch those episodes
+// against the exact snapshots the uninterrupted run used.
+type actingSnapshot struct {
+	Episode int        `json:"episode"`
+	Epsilon float64    `json:"epsilon"`
+	Policy  *rl.Policy `json:"policy"`
+}
+
+// Checkpoint is the resumable state of a training run: the full learner
+// (both networks with Adam moments, replay ring, step counters, RNG
+// position), the episode ledger, and — in parallel mode — the acting-
+// snapshot ring for the in-flight window. Restoring it and continuing is
+// bitwise-equivalent to never having stopped.
+type Checkpoint struct {
+	Version     int       `json:"version"`
+	RunID       string    `json:"run_id"`
+	Seed        int64     `json:"seed"`
+	Workers     int       `json:"workers"`
+	NextEpisode int       `json:"next_episode"`
+	Rewards     []float64 `json:"episode_rewards"`
+	Collisions  int       `json:"collisions"`
+
+	Learner  rl.DDQNState     `json:"learner"`
+	Inflight []actingSnapshot `json:"inflight,omitempty"`
+}
+
+// saveCheckpoint writes ck atomically (see writeFileAtomic); a crash
+// mid-save leaves the previous checkpoint intact.
+func saveCheckpoint(path string, ck *Checkpoint) (int, error) {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return 0, fmt.Errorf("smc: encode checkpoint: %w", err)
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return 0, fmt.Errorf("smc: write checkpoint: %w", err)
+	}
+	return len(data), nil
+}
+
+// LoadCheckpoint reads a training checkpoint written by a checkpointing
+// TrainContext run. A torn or truncated file fails cleanly (the atomic
+// writer makes one impossible through crashes, but a copy can be cut).
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("smc: read checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("smc: decode checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("smc: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.NextEpisode < 0 || len(ck.Rewards) != ck.NextEpisode {
+		return nil, fmt.Errorf("smc: checkpoint %s is inconsistent: %d rewards for next episode %d", path, len(ck.Rewards), ck.NextEpisode)
+	}
+	for _, snap := range ck.Inflight {
+		if snap.Policy == nil {
+			return nil, fmt.Errorf("smc: checkpoint %s: in-flight snapshot %d has no policy", path, snap.Episode)
+		}
+	}
+	return &ck, nil
+}

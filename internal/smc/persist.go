@@ -4,9 +4,45 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/rl"
 )
+
+// writeFileAtomic writes data to path through a same-directory temp file,
+// an fsync, an os.Rename, and a directory fsync, so a crash mid-write can
+// never leave a torn file at path: readers see either the old content or
+// the new, never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
 
 // smcFile is the on-disk representation of a trained controller: its
 // configuration (so the feature layout and action set round-trip) plus the
@@ -23,9 +59,10 @@ type smcFile struct {
 	Policy          *rl.Policy `json:"policy"`
 }
 
-// Save writes the controller to path as JSON. The reach configuration is
-// not persisted; the loader supplies it (it is an evaluation-environment
-// concern, not a learned artefact).
+// Save atomically writes the controller to path as JSON (temp file +
+// rename, see writeFileAtomic). The reach configuration is not persisted;
+// the loader supplies it (it is an evaluation-environment concern, not a
+// learned artefact).
 func (s *SMC) Save(path string) error {
 	f := smcFile{
 		Actions:         s.cfg.Actions,
@@ -42,7 +79,7 @@ func (s *SMC) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("smc: encode: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeFileAtomic(path, data); err != nil {
 		return fmt.Errorf("smc: write: %w", err)
 	}
 	return nil

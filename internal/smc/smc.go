@@ -74,6 +74,12 @@ type Config struct {
 	// DecisionStride executes a new decision every N simulator steps,
 	// holding the previous action in between.
 	DecisionStride int
+	// EpisodeWorkers bounds the concurrent episode runners during training.
+	// 0 or 1 runs the fully serial loop (bitwise-identical to the historical
+	// trainer); N>1 runs a pipelined worker pool that is run-to-run
+	// deterministic for a fixed seed but follows a different (snapshot-
+	// actored) schedule than the serial loop. See DESIGN.md §13.
+	EpisodeWorkers int
 	// Reach configures the STI evaluator.
 	Reach reach.Config
 	// DDQN configures the learner.
@@ -92,6 +98,7 @@ func DefaultConfig() Config {
 		PerceptionRange: 60,
 		MaxActors:       4,
 		DecisionStride:  2,
+		EpisodeWorkers:  1,
 		Reach:           reach.DefaultConfig(),
 		DDQN:            rl.DefaultDDQNConfig(),
 	}
@@ -110,6 +117,9 @@ func (c Config) Validate() error {
 	}
 	if c.DecisionStride < 1 {
 		return fmt.Errorf("smc: decision stride must be >= 1, got %d", c.DecisionStride)
+	}
+	if c.EpisodeWorkers < 0 {
+		return fmt.Errorf("smc: episode workers must be >= 0, got %d", c.EpisodeWorkers)
 	}
 	return c.Reach.Validate()
 }
@@ -219,6 +229,15 @@ type SMC struct {
 	policy *rl.Policy
 	eval   *sti.Evaluator
 
+	// warm retains the previous decision's shared-expansion state so that
+	// re-scoring a scene whose ego root has not moved (a braked ego riding
+	// out a hazard) reuses the prior tick's path-sweep verdicts. One state
+	// per controller instance: CloneForRun hands every concurrent episode
+	// its own.
+	warm    *sti.WarmState
+	prevEgo vehicle.State
+	hasPrev bool
+
 	stepsSinceDecision int
 	lastAction         Action
 }
@@ -230,31 +249,39 @@ func New(cfg Config, policy *rl.Policy) (*SMC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// The SMC only uses the two-tube EvaluateCombined fast path (no
-	// per-actor fan-out) and suites clone controllers across an
-	// episode-level worker pool, so a single-worker evaluator avoids
-	// oversubscribing that pool.
-	eval, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: 1})
+	// Suites clone controllers across an episode-level worker pool, so a
+	// single-worker evaluator avoids oversubscribing that pool. The shared-
+	// expansion engine (bitwise-equal to the legacy per-actor path) backs
+	// the warm start used when the ego root is stationary between decisions;
+	// the common moving-ego decision still takes the two-tube
+	// EvaluateCombined fast path.
+	eval, err := sti.NewEvaluatorOptions(cfg.Reach, sti.Options{Workers: 1, SharedExpansion: true, WarmStart: true})
 	if err != nil {
 		return nil, err
 	}
-	return &SMC{cfg: cfg, policy: policy, eval: eval}, nil
+	return &SMC{cfg: cfg, policy: policy, eval: eval, warm: sti.NewWarmState()}, nil
 }
 
 // Config returns the controller's configuration.
 func (s *SMC) Config() Config { return s.cfg }
 
 // CloneForRun returns a controller sharing this one's (read-only) policy
-// and STI evaluator cache but with independent per-episode state, so suites
-// can be evaluated concurrently.
+// and STI evaluator cache but with independent per-episode state (including
+// a private warm-start state), so suites can be evaluated concurrently.
 func (s *SMC) CloneForRun() *SMC {
-	return &SMC{cfg: s.cfg, policy: s.policy, eval: s.eval}
+	return &SMC{cfg: s.cfg, policy: s.policy, eval: s.eval, warm: sti.NewWarmState()}
 }
 
 // Reset implements sim.Mitigator.
 func (s *SMC) Reset() {
 	s.stepsSinceDecision = 0
 	s.lastAction = NoOp
+	s.hasPrev = false
+	if s.warm != nil && !s.warm.TryReset() {
+		// An evaluation still owns the state (a racing clone misuse);
+		// abandon it rather than corrupt the in-flight tick.
+		s.warm = sti.NewWarmState()
+	}
 }
 
 // Mitigate implements sim.Mitigator: every DecisionStride steps it
@@ -278,5 +305,21 @@ func (s *SMC) LastAction() Action { return s.lastAction }
 
 func (s *SMC) currentSTI(obs sim.Observation) float64 {
 	visible := nearestActors(obs, s.cfg)
+	// A reach warm start can only validate when the ego root is bitwise
+	// unchanged since the previous decision (a stopped ego riding out a
+	// hazard) — any ego motion is a guaranteed cold re-expansion, where the
+	// two-tube EvaluateCombined fast path is strictly cheaper than the
+	// shared per-actor engine. Gate the warm path on exactly the states
+	// that can hit. Both paths return bitwise-identical combined STI (the
+	// shared-vs-legacy and warm-vs-cold differential suites), so the gate
+	// trades only compute.
+	warmable := s.warm != nil && s.hasPrev && len(visible) > 1 && obs.Ego == s.prevEgo
+	s.prevEgo = obs.Ego
+	s.hasPrev = true
+	if warmable {
+		trajs := actor.PredictAll(visible, s.cfg.Reach.NumSlices(), s.cfg.Reach.SliceDt)
+		res, _ := s.eval.EvaluateWarm(obs.Map, obs.Ego, visible, trajs, s.warm)
+		return res.Combined
+	}
 	return s.eval.CombinedWithPrediction(obs.Map, obs.Ego, visible)
 }

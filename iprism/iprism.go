@@ -17,6 +17,8 @@
 package iprism
 
 import (
+	"context"
+
 	"repro/internal/actor"
 	"repro/internal/geom"
 	"repro/internal/metrics"
@@ -142,6 +144,14 @@ func DefaultSMCConfig() SMCConfig { return smc.DefaultConfig() }
 // supplied ADS in the loop.
 func TrainSMC(scns []Scenario, makeDriver func() Driver, cfg SMCConfig, episodes int) (*SMC, smc.TrainResult, error) {
 	return smc.Train(scns, makeDriver, cfg, episodes)
+}
+
+// TrainSMCContext is TrainSMC with cancellation and checkpoint/resume:
+// training stops at the next episode boundary when ctx is cancelled,
+// returning the partial result (and a final checkpoint when opts configures
+// one). cfg.EpisodeWorkers > 1 runs the pipelined parallel trainer.
+func TrainSMCContext(ctx context.Context, scns []Scenario, makeDriver func() Driver, cfg SMCConfig, episodes int, opts smc.TrainOptions) (*SMC, smc.TrainResult, error) {
+	return smc.TrainContext(ctx, scns, makeDriver, cfg, episodes, opts)
 }
 
 // GenerateScenarios samples n instances of an NHTSA typology (§IV-B1) under

@@ -144,4 +144,30 @@ kill -TERM "${backend_pids[0]}" "${backend_pids[2]}"
 wait "${backend_pids[0]}" "${backend_pids[2]}"
 echo "verify: fleet smoke passed (SIGKILL failover absorbed, graceful drain exit 0)"
 
+# Training smoke: a short seeded run, then an identical run interrupted by
+# SIGINT after its first checkpoint and completed with -resume. The resumed
+# controller must be bitwise-equal to the uninterrupted one — the checkpoint
+# carries the exact learner/RNG/schedule state. (If the run outraces the
+# signal the kill is a no-op and the cmp still gates resume correctness.)
+go build -o "$smoke_dir" ./cmd/iprism-train
+"$smoke_dir/iprism-train" -typology ghost-cut-in -n 6 -seed 11 -episodes 40 \
+  -o "$smoke_dir/smc_a.json" > /dev/null
+"$smoke_dir/iprism-train" -typology ghost-cut-in -n 6 -seed 11 -episodes 40 \
+  -checkpoint "$smoke_dir/train.ck" -checkpoint-every 2 \
+  -o "$smoke_dir/smc_cut.json" > "$smoke_dir/train_cut.log" &
+train_pid=$!
+for _ in $(seq 1 300); do
+  [ -s "$smoke_dir/train.ck" ] && break
+  kill -0 "$train_pid" 2>/dev/null || break
+  sleep 0.1
+done
+kill -INT "$train_pid" 2>/dev/null || true
+wait "$train_pid" \
+  || { echo "verify: interrupted iprism-train exited non-zero" >&2; cat "$smoke_dir/train_cut.log" >&2; exit 1; }
+"$smoke_dir/iprism-train" -typology ghost-cut-in -n 6 -seed 11 -episodes 40 \
+  -checkpoint "$smoke_dir/train.ck" -resume -o "$smoke_dir/smc_b.json" > /dev/null
+cmp "$smoke_dir/smc_a.json" "$smoke_dir/smc_b.json" \
+  || { echo "verify: resumed training diverged from the uninterrupted run" >&2; exit 1; }
+echo "verify: training interrupt/resume smoke passed (controllers bitwise-equal)"
+
 go run ./cmd/iprism-benchdiff -dir .
